@@ -1,0 +1,118 @@
+#include "harness.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/log.hh"
+#include "prefetch/stride.hh"
+
+namespace stms::bench
+{
+
+SimConfig
+defaultSimConfig(bool functional)
+{
+    SimConfig config;  // Defaults already copy Table 1.
+    config.memory.mem.functional = functional;
+    if (functional) {
+        // Trace-based mode: timing out of the picture, coverage only.
+        config.memory.l1Latency = 0;
+        config.memory.l2Latency = 0;
+        config.memory.prefetchBufLatency = 0;
+    }
+    return config;
+}
+
+const Trace &
+cachedTrace(const std::string &workload, std::uint64_t records_per_core)
+{
+    static std::map<std::pair<std::string, std::uint64_t>, Trace> cache;
+    const auto key = std::make_pair(workload, records_per_core);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        WorkloadGenerator generator(
+            makeWorkload(workload, records_per_core));
+        it = cache.emplace(key, generator.generate()).first;
+    }
+    return it->second;
+}
+
+RunOutput
+runTrace(const Trace &trace, const SimConfig &sim_config,
+         const std::optional<StmsConfig> &stms_config,
+         double warmup_fraction)
+{
+    SimConfig config = sim_config;
+    config.warmupRecords = static_cast<std::uint64_t>(
+        warmup_fraction * static_cast<double>(trace.totalRecords()));
+
+    CmpSystem system(config, trace);
+    StridePrefetcher stride;
+    system.addPrefetcher(&stride);
+
+    std::optional<StmsPrefetcher> stms;
+    if (stms_config) {
+        stms.emplace(*stms_config);
+        system.addPrefetcher(&*stms);
+    }
+
+    RunOutput out;
+    out.sim = system.run();
+    out.stride = out.sim.prefetchers.at(0);
+    if (stms) {
+        out.stms = out.sim.prefetchers.at(1);
+        out.stmsInternal = stms->stats();
+        out.stmsMetaBytes = stms->metaFootprintBytes();
+        const double full = static_cast<double>(out.stms.useful);
+        const double partial = static_cast<double>(out.stms.partial);
+        const double uncovered =
+            static_cast<double>(out.sim.mem.offchipReads);
+        const double denom = full + partial + uncovered;
+        if (denom > 0) {
+            out.stmsCoverage = (full + partial) / denom;
+            out.stmsFullCoverage = full / denom;
+            out.stmsPartialCoverage = partial / denom;
+        }
+    }
+    return out;
+}
+
+double
+speedup(const SimResult &base, const SimResult &opt)
+{
+    if (base.ipc <= 0.0)
+        return 0.0;
+    return opt.ipc / base.ipc - 1.0;
+}
+
+double
+overheadPerBaseByte(const RunOutput &out)
+{
+    const auto &traffic = out.sim.traffic;
+    double useful = static_cast<double>(
+        traffic.bytesFor(TrafficClass::DemandRead) +
+        traffic.bytesFor(TrafficClass::DemandWriteback));
+    double overhead = static_cast<double>(
+        traffic.bytesFor(TrafficClass::MetaLookup) +
+        traffic.bytesFor(TrafficClass::MetaUpdate) +
+        traffic.bytesFor(TrafficClass::MetaRecord));
+    for (const auto &pf : out.sim.prefetchers) {
+        useful += static_cast<double>(pf.useful + pf.partial) *
+                  kBlockBytes;
+        overhead += static_cast<double>(pf.erroneous) * kBlockBytes;
+    }
+    return useful > 0.0 ? overhead / useful : 0.0;
+}
+
+std::uint64_t
+benchRecords(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("STMS_BENCH_RECORDS")) {
+        const std::uint64_t value = std::strtoull(env, nullptr, 0);
+        if (value > 0)
+            return value;
+    }
+    return fallback;
+}
+
+} // namespace stms::bench

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared bench-harness helpers.
+ *
+ * Every figure/table bench follows the same recipe: synthesize the
+ * workload trace once, run the base system (stride prefetcher only)
+ * and one or more STMS/idealized-TMS configurations on it, and report
+ * coverage in excess of the stride prefetcher (Sec. 5.1), traffic
+ * overhead per useful data byte (Fig. 7), and speedup versus the base
+ * system's aggregate user IPC.
+ */
+
+#ifndef STMS_BENCH_HARNESS_HH
+#define STMS_BENCH_HARNESS_HH
+
+#include <optional>
+#include <string>
+
+#include "core/stms.hh"
+#include "sim/system.hh"
+#include "workload/workloads.hh"
+
+namespace stms::bench
+{
+
+/** Everything one simulation run yields for reporting. */
+struct RunOutput
+{
+    SimResult sim;
+    PrefetcherStats stride;
+    PrefetcherStats stms;       ///< Zeroed when no STMS was attached.
+    StmsStats stmsInternal;     ///< Copy of STMS-internal stats.
+    std::uint64_t stmsMetaBytes = 0;
+
+    /** STMS coverage in excess of the stride prefetcher. */
+    double stmsCoverage = 0.0;
+    /** Fully covered fraction only (Fig. 9 split). */
+    double stmsFullCoverage = 0.0;
+    /** Partially covered fraction only. */
+    double stmsPartialCoverage = 0.0;
+};
+
+/** Table-1 system configuration. @p functional zeroes memory timing
+ *  for trace-based coverage sweeps (Sec. 5.1 methodology). */
+SimConfig defaultSimConfig(bool functional = false);
+
+/** Generate the trace for a named workload (cached per process). */
+const Trace &cachedTrace(const std::string &workload,
+                         std::uint64_t records_per_core);
+
+/**
+ * Run one configuration on a trace.
+ * @param stms_config attach an STMS prefetcher when present.
+ * @param warmup_fraction fraction of records before the stats reset.
+ */
+RunOutput runTrace(const Trace &trace, const SimConfig &sim_config,
+                   const std::optional<StmsConfig> &stms_config,
+                   double warmup_fraction = 0.25);
+
+/** Relative speedup of @p opt over @p base (0.10 = +10%). */
+double speedup(const SimResult &base, const SimResult &opt);
+
+/**
+ * Overhead bytes per base-system data byte, the paper's Fig. 7/8
+ * normalization: useful traffic counts demand fetches, writebacks,
+ * and consumed prefetches (data the base system would move anyway);
+ * overhead counts meta-data traffic and erroneous prefetches.
+ */
+double overheadPerBaseByte(const RunOutput &out);
+
+/** Records-per-core for benches, overridable via STMS_BENCH_RECORDS. */
+std::uint64_t benchRecords(std::uint64_t fallback);
+
+} // namespace stms::bench
+
+#endif // STMS_BENCH_HARNESS_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the data-plane structures:
+ * index-table lookup/update, history-buffer append, prefetch-buffer
+ * operations, cache accesses, and the event-queue kernel. These bound
+ * the simulator's own throughput, not the modeled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/history_buffer.hh"
+#include "core/index_table.hh"
+#include "prefetch/prefetch_buffer.hh"
+#include "sim/cache.hh"
+#include "sim/event_queue.hh"
+
+using namespace stms;
+
+namespace
+{
+
+void
+BM_IndexTableUpdate(benchmark::State &state)
+{
+    IndexTable table(16ULL << 20);
+    Rng rng(1);
+    std::uint64_t seq = 0;
+    for (auto _ : state) {
+        const Addr block = blockAddress(rng.below(1ULL << 24));
+        table.update(block, HistoryPointer{0, seq++});
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexTableUpdate);
+
+void
+BM_IndexTableLookup(benchmark::State &state)
+{
+    IndexTable table(16ULL << 20);
+    Rng rng(2);
+    for (std::uint64_t i = 0; i < 1'000'000; ++i) {
+        table.update(blockAddress(rng.below(1ULL << 24)),
+                     HistoryPointer{0, i});
+    }
+    Rng probe(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            table.lookup(blockAddress(probe.below(1ULL << 24))));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexTableLookup);
+
+void
+BM_HistoryBufferAppend(benchmark::State &state)
+{
+    HistoryBuffer buffer(1ULL << 20);
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            buffer.append(blockAddress(rng.below(1ULL << 24))));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistoryBufferAppend);
+
+void
+BM_PrefetchBuffer(benchmark::State &state)
+{
+    PrefetchBuffer buffer(32);
+    Rng rng(5);
+    for (auto _ : state) {
+        const Addr block = blockAddress(rng.below(1024));
+        if (!buffer.consume(block))
+            buffer.insert(block);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefetchBuffer);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{"bench-l2", 8 * 1024 * 1024, 16,
+                            ReplPolicy::Lru, 7});
+    Rng rng(6);
+    for (auto _ : state) {
+        const Addr block = blockAddress(rng.below(1ULL << 18));
+        if (!cache.access(block, false))
+            cache.fill(block);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue queue;
+        std::uint64_t count = 0;
+        for (int i = 0; i < 1000; ++i) {
+            queue.schedule(static_cast<Cycle>(i % 37),
+                           [&count]() { ++count; });
+        }
+        queue.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Trace tool — generate, save, inspect, and replay workload traces.
+ *
+ * The binary trace format lets experiments run against identical
+ * inputs across configurations and machines, standing in for the
+ * public trace files ChampSim-style studies distribute.
+ *
+ * Usage:
+ *   trace_tool mode=gen workload=oltp-db2 records=65536 out=t.trace
+ *   trace_tool mode=info in=t.trace
+ *   trace_tool mode=run in=t.trace [ideal=false]
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "core/stms.hh"
+#include "prefetch/stride.hh"
+#include "sim/system.hh"
+#include "workload/trace.hh"
+#include "workload/workloads.hh"
+
+using namespace stms;
+
+namespace
+{
+
+int
+generate(const Options &options)
+{
+    const std::string workload = options.get("workload", "oltp-db2");
+    const std::string out = options.get("out", workload + ".trace");
+    if (!isKnownWorkload(workload)) {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     workload.c_str());
+        return 1;
+    }
+    WorkloadGenerator generator(makeWorkload(
+        workload, options.getUint("records", 64 * 1024)));
+    const Trace trace = generator.generate();
+    if (!trace_io::save(trace, out)) {
+        std::fprintf(stderr, "failed to write '%s'\n", out.c_str());
+        return 1;
+    }
+    std::printf("wrote %s: %llu records, %u cores\n", out.c_str(),
+                static_cast<unsigned long long>(trace.totalRecords()),
+                trace.numCores());
+    return 0;
+}
+
+int
+info(const Options &options)
+{
+    Trace trace;
+    const std::string in = options.get("in", "");
+    if (!trace_io::load(trace, in)) {
+        std::fprintf(stderr, "failed to read '%s'\n", in.c_str());
+        return 1;
+    }
+    std::printf("trace '%s': %u cores, %llu records, %llu distinct "
+                "blocks (%s footprint)\n",
+                trace.name.c_str(), trace.numCores(),
+                static_cast<unsigned long long>(trace.totalRecords()),
+                static_cast<unsigned long long>(
+                    trace.footprintBlocks()),
+                formatSize(trace.footprintBlocks() * kBlockBytes)
+                    .c_str());
+    for (CoreId c = 0; c < trace.numCores(); ++c) {
+        std::uint64_t writes = 0;
+        std::uint64_t dependent = 0;
+        double think = 0.0;
+        for (const auto &record : trace.perCore[c]) {
+            writes += record.isWrite() ? 1 : 0;
+            dependent += record.isDependent() ? 1 : 0;
+            think += record.think;
+        }
+        const double n =
+            static_cast<double>(trace.perCore[c].size());
+        std::printf("  core %u: %zu records, %.1f%% writes, %.1f%% "
+                    "dependent, mean think %.0f cycles\n",
+                    c, trace.perCore[c].size(),
+                    n > 0 ? 100.0 * static_cast<double>(writes) / n : 0,
+                    n > 0 ? 100.0 * static_cast<double>(dependent) / n
+                          : 0,
+                    n > 0 ? think / n : 0);
+    }
+    return 0;
+}
+
+int
+replay(const Options &options)
+{
+    Trace trace;
+    const std::string in = options.get("in", "");
+    if (!trace_io::load(trace, in)) {
+        std::fprintf(stderr, "failed to read '%s'\n", in.c_str());
+        return 1;
+    }
+    SimConfig sim;
+    sim.warmupRecords = trace.totalRecords() / 4;
+    CmpSystem system(sim, trace);
+    StridePrefetcher stride;
+    system.addPrefetcher(&stride);
+    StmsConfig config;
+    if (options.getBool("ideal", false))
+        config = makeIdealTmsConfig();
+    StmsPrefetcher stms(config);
+    system.addPrefetcher(&stms);
+    SimResult result = system.run();
+    const auto &pf = result.prefetchers.at(1);
+    const double covered = static_cast<double>(pf.useful + pf.partial);
+    const double denom =
+        covered + static_cast<double>(result.mem.offchipReads);
+    std::printf("replayed %s: ipc %.3f, STMS coverage %.1f%%, "
+                "overhead %.2f bytes/useful byte\n",
+                in.c_str(), result.ipc,
+                denom > 0 ? 100.0 * covered / denom : 0.0,
+                result.overheadPerDataByte);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options = Options::fromArgs(argc, argv);
+    const std::string mode = options.get("mode", "gen");
+    if (mode == "gen")
+        return generate(options);
+    if (mode == "info")
+        return info(options);
+    if (mode == "run")
+        return replay(options);
+    std::fprintf(stderr, "unknown mode '%s' (gen|info|run)\n",
+                 mode.c_str());
+    return 1;
+}

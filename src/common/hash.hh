@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Address hashing used by the STMS index table and baseline predictors.
+ *
+ * The index table hashes a physical block address to a bucket number
+ * (Sec. 4.3). We use a strong 64-bit finalizer so that bucket occupancy
+ * stays uniform even for the highly structured addresses synthetic
+ * workloads produce.
+ */
+
+#ifndef STMS_COMMON_HASH_HH
+#define STMS_COMMON_HASH_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace stms
+{
+
+/** MurmurHash3 64-bit finalizer; a bijective mixer. */
+constexpr std::uint64_t
+mixHash64(std::uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    key *= 0xc4ceb9fe1a85ec53ULL;
+    key ^= key >> 33;
+    return key;
+}
+
+/** Hash a block address into [0, buckets). */
+constexpr std::uint64_t
+hashToBucket(Addr block_addr, std::uint64_t buckets)
+{
+    return mixHash64(block_addr) % buckets;
+}
+
+} // namespace stms
+
+#endif // STMS_COMMON_HASH_HH

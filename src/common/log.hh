@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() is for simulator bugs (aborts); fatal() is for user error
+ * (clean exit); warn()/inform() report status without stopping.
+ */
+
+#ifndef STMS_COMMON_LOG_HH
+#define STMS_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace stms
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Format a printf-style message into a std::string. */
+std::string logFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace stms
+
+/** Abort: something happened that indicates a simulator bug. */
+#define stms_panic(...) \
+    ::stms::panicImpl(__FILE__, __LINE__, ::stms::logFormat(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to user error. */
+#define stms_fatal(...) \
+    ::stms::fatalImpl(__FILE__, __LINE__, ::stms::logFormat(__VA_ARGS__))
+
+/** Report suspicious but survivable conditions. */
+#define stms_warn(...) ::stms::warnImpl(::stms::logFormat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define stms_inform(...) ::stms::informImpl(::stms::logFormat(__VA_ARGS__))
+
+/** Panic when a condition that must hold does not. */
+#define stms_assert(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::stms::panicImpl(__FILE__, __LINE__,                         \
+                              ::stms::logFormat(__VA_ARGS__));            \
+    } while (0)
+
+#endif // STMS_COMMON_LOG_HH

@@ -1,0 +1,40 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stms
+{
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew)
+{
+    stms_assert(n > 0, "ZipfSampler over empty domain");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+        cdf_[i] = total;
+    }
+    for (auto &value : cdf_)
+        value /= total;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::mass(std::size_t i) const
+{
+    stms_assert(i < cdf_.size(), "ZipfSampler::mass out of range");
+    return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+} // namespace stms

@@ -1,0 +1,20 @@
+#include "common/types.hh"
+
+namespace stms
+{
+
+const char *
+trafficClassName(TrafficClass cls)
+{
+    switch (cls) {
+      case TrafficClass::DemandRead: return "demand-read";
+      case TrafficClass::DemandWriteback: return "demand-writeback";
+      case TrafficClass::Prefetch: return "prefetch";
+      case TrafficClass::MetaLookup: return "meta-lookup";
+      case TrafficClass::MetaUpdate: return "meta-update";
+      case TrafficClass::MetaRecord: return "meta-record";
+      default: return "unknown";
+    }
+}
+
+} // namespace stms

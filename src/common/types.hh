@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fundamental types shared by every STMS module.
+ *
+ * The simulator models physical addresses at cache-block granularity.
+ * All timing is expressed in core clock cycles (the paper's system runs
+ * at 4 GHz, so 1 cycle = 0.25 ns).
+ */
+
+#ifndef STMS_COMMON_TYPES_HH
+#define STMS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace stms
+{
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a core in the CMP (0-based). */
+using CoreId = std::uint32_t;
+
+/** Monotonically increasing history-buffer sequence number. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "no sequence number". */
+inline constexpr SeqNum kInvalidSeq = std::numeric_limits<SeqNum>::max();
+
+/** Cache-block size in bytes (Table 1: 64-byte transfers). */
+inline constexpr std::uint32_t kBlockBytes = 64;
+
+/** log2 of the cache-block size. */
+inline constexpr std::uint32_t kBlockShift = 6;
+
+/** Core clock frequency in Hz (Table 1: 4 GHz). */
+inline constexpr double kCoreFreqHz = 4.0e9;
+
+/** Align a byte address down to its cache-block address. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kBlockBytes - 1);
+}
+
+/** Block number of a byte address. */
+constexpr Addr
+blockNumber(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** Byte address of a block number. */
+constexpr Addr
+blockAddress(Addr block)
+{
+    return block << kBlockShift;
+}
+
+/** True if @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2; undefined for zero. */
+constexpr std::uint32_t
+floorLog2(std::uint64_t value)
+{
+    std::uint32_t result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Smallest power of two >= @p value (value must be nonzero). */
+constexpr std::uint64_t
+ceilPowerOfTwo(std::uint64_t value)
+{
+    std::uint64_t result = 1;
+    while (result < value)
+        result <<= 1;
+    return result;
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t numerator, std::uint64_t denominator)
+{
+    return (numerator + denominator - 1) / denominator;
+}
+
+/** Memory-traffic classes tracked by the memory controller (Sec. 5.5). */
+enum class TrafficClass : std::uint8_t
+{
+    DemandRead,       ///< Demand-triggered cache-block fetch.
+    DemandWriteback,  ///< Dirty-block writeback from the L2.
+    Prefetch,         ///< Prefetched cache-block fetch (useful or not).
+    MetaLookup,       ///< Index-table lookup + history-buffer read.
+    MetaUpdate,       ///< Index-table read-modify-write traffic.
+    MetaRecord,       ///< History-buffer append (block-packed writes).
+    NumClasses,
+};
+
+/** Number of distinct traffic classes. */
+inline constexpr std::size_t kNumTrafficClasses =
+    static_cast<std::size_t>(TrafficClass::NumClasses);
+
+/** Human-readable name of a traffic class. */
+const char *trafficClassName(TrafficClass cls);
+
+/** Priority of a memory request: demand beats everything else. */
+enum class Priority : std::uint8_t
+{
+    High,  ///< Processor-initiated demand requests.
+    Low,   ///< Prefetch and predictor meta-data traffic.
+};
+
+} // namespace stms
+
+#endif // STMS_COMMON_TYPES_HH

@@ -1,0 +1,71 @@
+#include "core/bucket_buffer.hh"
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+BucketBuffer::BucketBuffer(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    stms_assert(capacity > 0, "bucket buffer needs capacity");
+}
+
+bool
+BucketBuffer::probe(std::uint64_t bucket)
+{
+    auto it = index_.find(bucket);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+void
+BucketBuffer::insert(std::uint64_t bucket, bool &writeback_victim)
+{
+    writeback_victim = false;
+    auto it = index_.find(bucket);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (lru_.size() >= capacity_) {
+        const Node victim = lru_.back();
+        lru_.pop_back();
+        index_.erase(victim.bucket);
+        if (victim.dirty) {
+            writeback_victim = true;
+            ++stats_.writebacks;
+        }
+    }
+    lru_.push_front(Node{bucket, false});
+    index_[bucket] = lru_.begin();
+}
+
+void
+BucketBuffer::markDirty(std::uint64_t bucket)
+{
+    auto it = index_.find(bucket);
+    if (it != index_.end())
+        it->second->dirty = true;
+}
+
+std::uint32_t
+BucketBuffer::flush()
+{
+    std::uint32_t drained = 0;
+    for (Node &node : lru_) {
+        if (node.dirty) {
+            node.dirty = false;
+            ++drained;
+            ++stats_.writebacks;
+        }
+    }
+    return drained;
+}
+
+} // namespace stms

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * On-chip bucket buffer (Sec. 4.3).
+ *
+ * An 8 KB fully-associative cache of index-table buckets that holds
+ * bucket blocks between lookup, update, and write-back, letting STMS
+ * delay bucket write-backs until memory bandwidth is available. A hit
+ * saves the off-chip read of an update's read-modify-write; dirty
+ * buckets are written back on eviction.
+ */
+
+#ifndef STMS_CORE_BUCKET_BUFFER_HH
+#define STMS_CORE_BUCKET_BUFFER_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace stms
+{
+
+/** Bucket-buffer access statistics. */
+struct BucketBufferStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+};
+
+/** Fully-associative LRU cache of index-table bucket numbers. */
+class BucketBuffer
+{
+  public:
+    /** @param capacity buckets held (8KB / 64B = 128). */
+    explicit BucketBuffer(std::uint32_t capacity = 128);
+
+    /** Probe and refresh LRU. @return true on hit. */
+    bool probe(std::uint64_t bucket);
+
+    /**
+     * Install a bucket after fetching it from memory.
+     * @param[out] writeback_victim set to true when a dirty bucket was
+     *             displaced and must be written back.
+     */
+    void insert(std::uint64_t bucket, bool &writeback_victim);
+
+    /** Mark a resident bucket dirty (update applied on chip). */
+    void markDirty(std::uint64_t bucket);
+
+    /** Drain all dirty buckets; @return number of write-backs. */
+    std::uint32_t flush();
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(lru_.size());
+    }
+
+    const BucketBufferStats &stats() const { return stats_; }
+    void resetStats() { stats_ = BucketBufferStats{}; }
+
+  private:
+    struct Node
+    {
+        std::uint64_t bucket;
+        bool dirty;
+    };
+
+    std::uint32_t capacity_;
+    std::list<Node> lru_;  ///< MRU at front.
+    std::unordered_map<std::uint64_t, std::list<Node>::iterator> index_;
+    BucketBufferStats stats_;
+};
+
+} // namespace stms
+
+#endif // STMS_CORE_BUCKET_BUFFER_HH

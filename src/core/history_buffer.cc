@@ -1,0 +1,70 @@
+#include "core/history_buffer.hh"
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+HistoryBuffer::HistoryBuffer(std::uint64_t capacity_entries,
+                             std::uint32_t entries_per_block)
+    : capacity_(capacity_entries), entriesPerBlock_(entries_per_block)
+{
+    stms_assert(entries_per_block > 0, "entriesPerBlock must be nonzero");
+    if (capacity_ > 0)
+        store_.assign(capacity_, HistoryEntry{});
+}
+
+SeqNum
+HistoryBuffer::append(Addr block)
+{
+    const SeqNum seq = head_++;
+    if (unbounded()) {
+        store_.push_back(HistoryEntry{block, false});
+    } else {
+        store_[seq % capacity_] = HistoryEntry{block, false};
+    }
+    return seq;
+}
+
+bool
+HistoryBuffer::valid(SeqNum seq) const
+{
+    if (seq >= head_)
+        return false;
+    if (unbounded())
+        return true;
+    return head_ - seq <= capacity_;
+}
+
+const HistoryEntry &
+HistoryBuffer::at(SeqNum seq) const
+{
+    stms_assert(valid(seq), "history read of invalid seq %llu (head %llu)",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(head_));
+    return unbounded() ? store_[seq] : store_[seq % capacity_];
+}
+
+bool
+HistoryBuffer::setEndMark(SeqNum seq)
+{
+    if (!valid(seq))
+        return false;
+    (unbounded() ? store_[seq] : store_[seq % capacity_]).endMark = true;
+    return true;
+}
+
+bool
+HistoryBuffer::lastAppendCompletedBlock() const
+{
+    return head_ > 0 && head_ % entriesPerBlock_ == 0;
+}
+
+std::uint64_t
+HistoryBuffer::footprintBytes() const
+{
+    const std::uint64_t entries = unbounded() ? head_ : capacity_;
+    return divCeil(entries, entriesPerBlock_) * kBlockBytes;
+}
+
+} // namespace stms

@@ -1,0 +1,110 @@
+#include "core/index_table.hh"
+
+#include "common/hash.hh"
+#include "common/log.hh"
+
+namespace stms
+{
+
+IndexTable::IndexTable(std::uint64_t total_bytes,
+                       std::uint32_t entries_per_bucket)
+    : entriesPerBucket_(entries_per_bucket)
+{
+    stms_assert(entries_per_bucket > 0, "bucket needs entries");
+    if (total_bytes == 0) {
+        buckets_ = 0;
+        return;
+    }
+    buckets_ = total_bytes / kBlockBytes;
+    stms_assert(buckets_ > 0, "index table smaller than one bucket");
+    store_.assign(buckets_ * entriesPerBucket_, Pair{});
+}
+
+std::uint64_t
+IndexTable::bucketOf(Addr block) const
+{
+    return unbounded() ? 0 : hashToBucket(blockNumber(block), buckets_);
+}
+
+std::optional<HistoryPointer>
+IndexTable::lookup(Addr block)
+{
+    ++stats_.lookups;
+    if (unbounded()) {
+        auto it = map_.find(block);
+        if (it == map_.end())
+            return std::nullopt;
+        ++stats_.lookupHits;
+        return HistoryPointer::unpack(it->second);
+    }
+
+    Pair *base = &store_[bucketOf(block) * entriesPerBucket_];
+    for (std::uint32_t i = 0; i < entriesPerBucket_; ++i) {
+        if (base[i].valid && base[i].block == block) {
+            ++stats_.lookupHits;
+            const Pair hit = base[i];
+            // Reshuffle to maintain LRU order (MRU at slot 0).
+            for (std::uint32_t j = i; j > 0; --j)
+                base[j] = base[j - 1];
+            base[0] = hit;
+            return HistoryPointer::unpack(hit.pointer);
+        }
+    }
+    return std::nullopt;
+}
+
+void
+IndexTable::update(Addr block, HistoryPointer pointer)
+{
+    ++stats_.updates;
+    if (unbounded()) {
+        auto [it, inserted] = map_.insert_or_assign(block, pointer.packed());
+        (void)it;
+        if (inserted)
+            ++stats_.inserts;
+        return;
+    }
+
+    Pair *base = &store_[bucketOf(block) * entriesPerBucket_];
+    // If the trigger address is present, refresh its pointer and move
+    // it to the MRU position.
+    for (std::uint32_t i = 0; i < entriesPerBucket_; ++i) {
+        if (base[i].valid && base[i].block == block) {
+            for (std::uint32_t j = i; j > 0; --j)
+                base[j] = base[j - 1];
+            base[0] = Pair{block, pointer.packed(), true};
+            return;
+        }
+    }
+    // Otherwise insert at MRU, displacing the LRU pair if full.
+    if (base[entriesPerBucket_ - 1].valid)
+        ++stats_.replacements;
+    else
+        ++stats_.inserts;
+    for (std::uint32_t j = entriesPerBucket_ - 1; j > 0; --j)
+        base[j] = base[j - 1];
+    base[0] = Pair{block, pointer.packed(), true};
+}
+
+std::uint64_t
+IndexTable::footprintBytes() const
+{
+    if (unbounded()) {
+        // 5.33 bytes/pair at the paper's packing density.
+        return divCeil(map_.size(), entriesPerBucket_) * kBlockBytes;
+    }
+    return buckets_ * kBlockBytes;
+}
+
+std::uint64_t
+IndexTable::occupancy() const
+{
+    if (unbounded())
+        return map_.size();
+    std::uint64_t count = 0;
+    for (const Pair &pair : store_)
+        count += pair.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace stms

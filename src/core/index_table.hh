@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hash-based index table (Sec. 4.3).
+ *
+ * The shared index table maps a physical block address to a pointer
+ * into some core's history buffer. It is a bucketized probabilistic
+ * hash table in main memory: each bucket is exactly one 64-byte memory
+ * block holding up to twelve {address, pointer} pairs maintained in
+ * LRU order, so a lookup or update touches exactly one memory block.
+ * The LRU policy inside each bucket naturally ages out useless entries
+ * (Sec. 5.3).
+ *
+ * An unbounded mode (hash map) models the idealized prefetcher's
+ * magic on-chip meta-data, and a bounded-entry mode supports the
+ * coverage-vs-entries sweep of Fig. 1 (left).
+ */
+
+#ifndef STMS_CORE_INDEX_TABLE_HH
+#define STMS_CORE_INDEX_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stms
+{
+
+/** A history-buffer pointer tagged with its owning core. */
+struct HistoryPointer
+{
+    CoreId core = 0;
+    SeqNum seq = 0;
+
+    std::uint64_t
+    packed() const
+    {
+        return (static_cast<std::uint64_t>(core) << 48) | seq;
+    }
+
+    static HistoryPointer
+    unpack(std::uint64_t value)
+    {
+        return HistoryPointer{static_cast<CoreId>(value >> 48),
+                              value & ((1ULL << 48) - 1)};
+    }
+};
+
+/** Index-table occupancy and churn statistics. */
+struct IndexTableStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t lookupHits = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t replacements = 0;
+};
+
+/** Bucketized LRU hash table from block address to history pointer. */
+class IndexTable
+{
+  public:
+    /**
+     * @param total_bytes main-memory footprint; 0 = unbounded (ideal).
+     * @param entries_per_bucket pairs packed into one 64B block (12).
+     */
+    explicit IndexTable(std::uint64_t total_bytes,
+                        std::uint32_t entries_per_bucket = 12);
+
+    /** Find the pointer for @p block; refreshes bucket LRU on hit. */
+    std::optional<HistoryPointer> lookup(Addr block);
+
+    /**
+     * Insert or refresh the mapping for @p block. Evicts the bucket's
+     * LRU pair when the bucket is full.
+     */
+    void update(Addr block, HistoryPointer pointer);
+
+    /** Bucket number @p block hashes to (for bucket-buffer modeling). */
+    std::uint64_t bucketOf(Addr block) const;
+
+    std::uint64_t numBuckets() const { return buckets_; }
+    bool unbounded() const { return buckets_ == 0; }
+    std::uint64_t footprintBytes() const;
+
+    /** Total pairs currently stored (O(size); for tests/benches). */
+    std::uint64_t occupancy() const;
+
+    const IndexTableStats &stats() const { return stats_; }
+    void resetStats() { stats_ = IndexTableStats{}; }
+
+  private:
+    struct Pair
+    {
+        Addr block = kInvalidAddr;
+        std::uint64_t pointer = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t entriesPerBucket_;
+    std::uint64_t buckets_;
+    /** Bounded storage: buckets_ x entriesPerBucket_, MRU first. */
+    std::vector<Pair> store_;
+    /** Unbounded (idealized) storage. */
+    std::unordered_map<Addr, std::uint64_t> map_;
+    IndexTableStats stats_;
+};
+
+} // namespace stms
+
+#endif // STMS_CORE_INDEX_TABLE_HH

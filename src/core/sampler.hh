@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Probabilistic-update sampler (Sec. 4.4).
+ *
+ * For every potential index-table update, a coin flip biased to the
+ * configured sampling probability decides whether the update is
+ * performed. Index-table maintenance bandwidth is directly
+ * proportional to the sampling probability; the paper picks 12.5%.
+ */
+
+#ifndef STMS_CORE_SAMPLER_HH
+#define STMS_CORE_SAMPLER_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace stms
+{
+
+/** Biased coin deciding which index-table updates are applied. */
+class UpdateSampler
+{
+  public:
+    explicit UpdateSampler(double probability, std::uint64_t seed = 97)
+        : probability_(probability), rng_(seed)
+    {
+        stms_assert(probability >= 0.0 && probability <= 1.0,
+                    "sampling probability %f out of [0,1]", probability);
+    }
+
+    /** Flip the biased coin for one potential update. */
+    bool
+    shouldUpdate()
+    {
+        ++offered_;
+        const bool take = rng_.chance(probability_);
+        if (take)
+            ++taken_;
+        return take;
+    }
+
+    double probability() const { return probability_; }
+    std::uint64_t offered() const { return offered_; }
+    std::uint64_t taken() const { return taken_; }
+
+    /** Observed sampling rate (should converge to probability()). */
+    double
+    observedRate() const
+    {
+        return offered_ == 0 ? 0.0
+                             : static_cast<double>(taken_) /
+                               static_cast<double>(offered_);
+    }
+
+    void resetStats() { offered_ = taken_ = 0; }
+
+  private:
+    double probability_;
+    Rng rng_;
+    std::uint64_t offered_ = 0;
+    std::uint64_t taken_ = 0;
+};
+
+} // namespace stms
+
+#endif // STMS_CORE_SAMPLER_HH

@@ -1,0 +1,142 @@
+#include "prefetch/correlation_table.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+#include "common/log.hh"
+
+namespace stms
+{
+
+CorrelationPrefetcher::CorrelationPrefetcher(
+    const CorrelationConfig &config)
+    : config_(config)
+{
+    stms_assert(config.depth > 0 && config.depth <= kMaxDepth,
+                "correlation depth %u out of range", config.depth);
+    stms_assert(config.ways > 0, "correlation table needs ways");
+    sets_ = ceilPowerOfTwo(
+        std::max<std::uint64_t>(1, config.tableEntries / config.ways));
+    table_.resize(sets_ * config.ways);
+}
+
+void
+CorrelationPrefetcher::attach(PrefetchPort &port, std::uint32_t num_cores,
+                              std::uint32_t id)
+{
+    Prefetcher::attach(port, num_cores, id);
+    recent_.assign(num_cores, {});
+    lastLookupTick_.assign(num_cores, 0);
+}
+
+CorrelationPrefetcher::Entry *
+CorrelationPrefetcher::find(Addr block)
+{
+    const std::uint64_t set = mixHash64(blockNumber(block)) & (sets_ - 1);
+    Entry *base = &table_[set * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w)
+        if (base[w].valid && base[w].trigger == block)
+            return &base[w];
+    return nullptr;
+}
+
+CorrelationPrefetcher::Entry &
+CorrelationPrefetcher::allocate(Addr block)
+{
+    const std::uint64_t set = mixHash64(blockNumber(block)) & (sets_ - 1);
+    Entry *base = &table_[set * config_.ways];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->trigger = block;
+    victim->successors.clear();
+    victim->valid = true;
+    victim->lastUse = ++useClock_;
+    return *victim;
+}
+
+void
+CorrelationPrefetcher::update(CoreId core, Addr block)
+{
+    auto &window = recent_[core];
+    window.push_back(block);
+    if (window.size() < config_.depth + 1)
+        return;
+
+    // The oldest miss in the window correlates to the depth misses
+    // that followed it.
+    const Addr trigger = window.front();
+    window.pop_front();
+
+    Entry *entry = find(trigger);
+    if (!entry)
+        entry = &allocate(trigger);
+    entry->successors.assign(window.begin(), window.end());
+    entry->lastUse = ++useClock_;
+    ++updates_;
+
+    if (config_.offchipMeta) {
+        // Read-modify-write of the off-chip table entry.
+        port_->metaRequest(TrafficClass::MetaUpdate, 1, nullptr);
+        port_->metaRequest(TrafficClass::MetaUpdate, 1, nullptr);
+    }
+}
+
+void
+CorrelationPrefetcher::firePrefetches(CoreId core,
+                                      std::vector<Addr> successors)
+{
+    for (Addr successor : successors)
+        port_->issuePrefetch(*this, core, successor);
+}
+
+void
+CorrelationPrefetcher::lookupAndPrefetch(CoreId core, Addr block)
+{
+    ++lookups_;
+    Entry *entry = find(block);
+    if (entry) {
+        ++lookupHits_;
+        entry->lastUse = ++useClock_;
+    }
+    std::vector<Addr> successors =
+        entry ? entry->successors : std::vector<Addr>{};
+
+    if (config_.offchipMeta) {
+        // One memory round trip before any prefetch can issue.
+        port_->metaRequest(
+            TrafficClass::MetaLookup, 1,
+            [this, core, successors = std::move(successors)](Cycle) {
+                firePrefetches(core, successors);
+            });
+    } else if (!successors.empty()) {
+        firePrefetches(core, std::move(successors));
+    }
+}
+
+void
+CorrelationPrefetcher::onOffchipRead(CoreId core, Addr block)
+{
+    const Cycle now = port_->now();
+    bool do_lookup = true;
+    if (config_.epochMode) {
+        // EBCP looks up once per off-chip miss epoch; we approximate an
+        // epoch boundary as a gap of at least one memory latency since
+        // the previous lookup.
+        do_lookup = (now >= lastLookupTick_[core] + config_.epochGap) ||
+                    lastLookupTick_[core] == 0;
+    }
+    if (do_lookup) {
+        lastLookupTick_[core] = now;
+        lookupAndPrefetch(core, block);
+    }
+    update(core, block);
+}
+
+} // namespace stms

@@ -1,0 +1,106 @@
+#include "prefetch/markov.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+#include "common/log.hh"
+
+namespace stms
+{
+
+MarkovPrefetcher::MarkovPrefetcher(const MarkovConfig &config)
+    : config_(config)
+{
+    stms_assert(config.ways > 0, "markov table needs ways");
+    stms_assert(config.successors > 0 &&
+                config.successors <= kMaxSuccessors,
+                "markov successors out of range");
+    sets_ = ceilPowerOfTwo(
+        std::max<std::uint64_t>(1, config.tableEntries / config.ways));
+    table_.resize(sets_ * config.ways);
+}
+
+void
+MarkovPrefetcher::attach(PrefetchPort &port, std::uint32_t num_cores,
+                         std::uint32_t id)
+{
+    Prefetcher::attach(port, num_cores, id);
+    lastMiss_.assign(num_cores, kInvalidAddr);
+}
+
+MarkovPrefetcher::Entry *
+MarkovPrefetcher::find(Addr block)
+{
+    const std::uint64_t set = mixHash64(blockNumber(block)) & (sets_ - 1);
+    Entry *base = &table_[set * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w)
+        if (base[w].valid && base[w].trigger == block)
+            return &base[w];
+    return nullptr;
+}
+
+MarkovPrefetcher::Entry &
+MarkovPrefetcher::allocate(Addr block)
+{
+    const std::uint64_t set = mixHash64(blockNumber(block)) & (sets_ - 1);
+    Entry *base = &table_[set * config_.ways];
+    Entry *victim = base;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    *victim = Entry{};
+    victim->trigger = block;
+    victim->valid = true;
+    victim->lastUse = ++useClock_;
+    return *victim;
+}
+
+void
+MarkovPrefetcher::recordSuccessor(Addr trigger, Addr successor)
+{
+    Entry *entry = find(trigger);
+    if (!entry)
+        entry = &allocate(trigger);
+    entry->lastUse = ++useClock_;
+
+    // MRU-ordered successor list; duplicates move to the front.
+    std::uint32_t found = entry->successorCount;
+    for (std::uint32_t i = 0; i < entry->successorCount; ++i) {
+        if (entry->successors[i] == successor) {
+            found = i;
+            break;
+        }
+    }
+    if (found == entry->successorCount &&
+        entry->successorCount < config_.successors) {
+        ++entry->successorCount;
+    }
+    const std::uint32_t limit =
+        std::min(found, config_.successors - 1);
+    for (std::uint32_t i = limit; i > 0; --i)
+        entry->successors[i] = entry->successors[i - 1];
+    entry->successors[0] = successor;
+}
+
+void
+MarkovPrefetcher::onOffchipRead(CoreId core, Addr block)
+{
+    if (lastMiss_[core] != kInvalidAddr)
+        recordSuccessor(lastMiss_[core], block);
+    lastMiss_[core] = block;
+
+    ++lookups_;
+    if (Entry *entry = find(block)) {
+        ++hits_;
+        entry->lastUse = ++useClock_;
+        for (std::uint32_t i = 0; i < entry->successorCount; ++i)
+            port_->issuePrefetch(*this, core, entry->successors[i]);
+    }
+}
+
+} // namespace stms

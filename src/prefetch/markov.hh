@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Markov prefetcher (Joseph & Grunwald, ISCA'97) — the simplest
+ * pair-wise address-correlating design (Sec. 2).
+ *
+ * A set-associative on-chip table maps a miss address to its most
+ * recently observed successors; on a miss, all recorded successors are
+ * prefetched. Included as the pair-wise baseline the paper contrasts
+ * with temporal streaming: it predicts only one miss ahead, limiting
+ * lookahead and memory-level parallelism.
+ */
+
+#ifndef STMS_PREFETCH_MARKOV_HH
+#define STMS_PREFETCH_MARKOV_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace stms
+{
+
+/** Markov prefetcher configuration. */
+struct MarkovConfig
+{
+    std::uint64_t tableEntries = 64 * 1024;  ///< Total triggers tracked.
+    std::uint32_t ways = 4;                  ///< Set associativity.
+    std::uint32_t successors = 2;            ///< Successors per trigger.
+};
+
+/** Pair-wise correlating prefetcher with an on-chip table. */
+class MarkovPrefetcher : public Prefetcher
+{
+  public:
+    explicit MarkovPrefetcher(const MarkovConfig &config = {});
+
+    const std::string &name() const override { return name_; }
+    void attach(PrefetchPort &port, std::uint32_t num_cores,
+                std::uint32_t id) override;
+
+    void onOffchipRead(CoreId core, Addr block) override;
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    void resetStats() override { lookups_ = hits_ = 0; }
+
+  private:
+    static constexpr std::uint32_t kMaxSuccessors = 4;
+
+    struct Entry
+    {
+        Addr trigger = kInvalidAddr;
+        std::array<Addr, kMaxSuccessors> successors{};
+        std::uint32_t successorCount = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    Entry *find(Addr block);
+    Entry &allocate(Addr block);
+    void recordSuccessor(Addr trigger, Addr successor);
+
+    MarkovConfig config_;
+    std::string name_ = "markov";
+    std::uint64_t sets_ = 0;
+    std::vector<Entry> table_;
+    std::vector<Addr> lastMiss_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace stms
+
+#endif // STMS_PREFETCH_MARKOV_HH

@@ -1,0 +1,26 @@
+#include "prefetch/next_line.hh"
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+NextLinePrefetcher::NextLinePrefetcher(const NextLineConfig &config)
+    : config_(config)
+{
+    stms_assert(config.degree > 0, "next-line degree must be >= 1");
+}
+
+void
+NextLinePrefetcher::onOffchipRead(CoreId core, Addr block)
+{
+    ++triggered_;
+    for (std::uint32_t d = 1; d <= config_.degree; ++d) {
+        port_->issuePrefetch(
+            *this, core,
+            blockAlign(block) +
+                static_cast<Addr>(d) * kBlockBytes);
+    }
+}
+
+} // namespace stms

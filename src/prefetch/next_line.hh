@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Next-line prefetcher (Table 1 lists one in the instruction-fetch
+ * unit).
+ *
+ * On every off-chip read miss, fetch the next @p degree sequential
+ * blocks. The simplest possible prefetcher: useful as a sanity
+ * baseline (it captures pure spatial locality and nothing else) and
+ * as a reference point in tests.
+ */
+
+#ifndef STMS_PREFETCH_NEXT_LINE_HH
+#define STMS_PREFETCH_NEXT_LINE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "prefetch/prefetcher.hh"
+
+namespace stms
+{
+
+/** Next-line prefetcher configuration. */
+struct NextLineConfig
+{
+    std::uint32_t degree = 1;  ///< Sequential blocks fetched per miss.
+};
+
+/** Fetch block N+1 (.. N+degree) whenever block N misses. */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(const NextLineConfig &config = {});
+
+    const std::string &name() const override { return name_; }
+    void onOffchipRead(CoreId core, Addr block) override;
+
+    std::uint64_t triggered() const { return triggered_; }
+    void resetStats() override { triggered_ = 0; }
+
+  private:
+    NextLineConfig config_;
+    std::string name_ = "next-line";
+    std::uint64_t triggered_ = 0;
+};
+
+} // namespace stms
+
+#endif // STMS_PREFETCH_NEXT_LINE_HH

@@ -1,0 +1,61 @@
+#include "prefetch/prefetch_buffer.hh"
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+PrefetchBuffer::PrefetchBuffer(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    stms_assert(capacity > 0, "prefetch buffer needs capacity");
+}
+
+bool
+PrefetchBuffer::contains(Addr block) const
+{
+    return index_.count(blockAlign(block)) != 0;
+}
+
+bool
+PrefetchBuffer::consume(Addr block)
+{
+    block = blockAlign(block);
+    auto it = index_.find(block);
+    if (it == index_.end())
+        return false;
+    lru_.erase(it->second);
+    index_.erase(it);
+    return true;
+}
+
+std::optional<Addr>
+PrefetchBuffer::insert(Addr block)
+{
+    block = blockAlign(block);
+    auto it = index_.find(block);
+    if (it != index_.end()) {
+        // Refresh recency of a duplicate fill.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return std::nullopt;
+    }
+
+    std::optional<Addr> evicted;
+    if (lru_.size() >= capacity_) {
+        const Addr victim = lru_.back();
+        lru_.pop_back();
+        index_.erase(victim);
+        evicted = victim;
+    }
+    lru_.push_front(block);
+    index_[block] = lru_.begin();
+    return evicted;
+}
+
+bool
+PrefetchBuffer::invalidate(Addr block)
+{
+    return consume(blockAlign(block));
+}
+
+} // namespace stms

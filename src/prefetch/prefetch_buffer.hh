@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fully-associative prefetch buffer (2 KB = 32 blocks per core).
+ *
+ * Prefetched blocks wait here until a demand access consumes them or
+ * LRU pressure evicts them; an unused eviction is an erroneous
+ * prefetch. Keeping prefetched data out of the caches avoids pollution
+ * (Sec. 4.2, following Jouppi's victim/stream buffers).
+ */
+
+#ifndef STMS_PREFETCH_PREFETCH_BUFFER_HH
+#define STMS_PREFETCH_PREFETCH_BUFFER_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace stms
+{
+
+/** Fully-associative LRU buffer of prefetched block addresses. */
+class PrefetchBuffer
+{
+  public:
+    explicit PrefetchBuffer(std::uint32_t capacity = 32);
+
+    /** Non-destructive presence check. */
+    bool contains(Addr block) const;
+
+    /**
+     * Consume a block on a demand hit: removes it and frees the entry.
+     * @return true if the block was present.
+     */
+    bool consume(Addr block);
+
+    /**
+     * Insert a freshly prefetched block. If the buffer is full the LRU
+     * entry is evicted and returned so the caller can count it as an
+     * erroneous prefetch.
+     */
+    std::optional<Addr> insert(Addr block);
+
+    /** Drop a block without counting it as used (e.g., invalidation). */
+    bool invalidate(Addr block);
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(lru_.size());
+    }
+    std::uint32_t room() const { return capacity_ - size(); }
+
+  private:
+    std::uint32_t capacity_;
+    /** MRU at front. */
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> index_;
+};
+
+} // namespace stms
+
+#endif // STMS_PREFETCH_PREFETCH_BUFFER_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Prefetcher interface.
+ *
+ * Prefetchers observe the off-chip miss stream through hooks invoked by
+ * the MemorySystem and issue prefetches back through a PrefetchPort.
+ * Data prefetched on a core's behalf lands in that core's per-prefetcher
+ * prefetch buffer (Jouppi-style, Sec. 4.2), never in the caches, so
+ * erroneous prefetches cannot pollute them.
+ */
+
+#ifndef STMS_PREFETCH_PREFETCHER_HH
+#define STMS_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace stms
+{
+
+class Prefetcher;
+
+/** Outcome of an issuePrefetch call. */
+enum class IssueResult : std::uint8_t
+{
+    Issued,          ///< Memory request launched.
+    AlreadyPresent,  ///< Block already cached/buffered/in flight.
+    NoResources,     ///< Prefetch-buffer or MSHR space exhausted.
+};
+
+/**
+ * Services the MemorySystem provides to prefetchers.
+ *
+ * metaRequest models predictor meta-data traffic (index-table lookups
+ * and updates, history-buffer reads and writes); it always travels at
+ * low priority, which the paper finds essential (Sec. 4.3).
+ */
+class PrefetchPort
+{
+  public:
+    virtual ~PrefetchPort() = default;
+
+    /** Launch a prefetch of @p block for @p core. */
+    virtual IssueResult issuePrefetch(Prefetcher &owner, CoreId core,
+                                      Addr block) = 0;
+
+    /**
+     * Issue predictor meta-data traffic of @p blocks cache blocks.
+     * @p done fires when the access completes (null for posted writes).
+     */
+    virtual void metaRequest(TrafficClass cls, std::uint32_t blocks,
+                             std::function<void(Cycle)> done) = 0;
+
+    /** Current simulated time. */
+    virtual Cycle now() const = 0;
+
+    /** Number of additional prefetches @p core can absorb right now. */
+    virtual std::uint32_t prefetchRoom(const Prefetcher &owner,
+                                       CoreId core) const = 0;
+};
+
+/** Per-prefetcher issue/outcome statistics, kept by the MemorySystem. */
+struct PrefetcherStats
+{
+    std::uint64_t issued = 0;      ///< Prefetches sent to memory.
+    std::uint64_t useful = 0;      ///< Consumed while in the buffer.
+    std::uint64_t partial = 0;     ///< Demanded while still in flight.
+    std::uint64_t erroneous = 0;   ///< Evicted or discarded unused.
+    std::uint64_t redundant = 0;   ///< Dropped: target already present.
+    std::uint64_t rejected = 0;    ///< Dropped: no resources.
+
+    double
+    accuracy() const
+    {
+        return issued == 0 ? 0.0
+                           : static_cast<double>(useful + partial) /
+                             static_cast<double>(issued);
+    }
+};
+
+/**
+ * Base class for all prefetchers.
+ *
+ * The MemorySystem invokes the on* hooks; implementations react by
+ * calling back into the PrefetchPort. All hooks run at the tick
+ * reported by port().now().
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Bind to a memory system. Called once at registration. */
+    virtual void
+    attach(PrefetchPort &port, std::uint32_t num_cores, std::uint32_t id)
+    {
+        port_ = &port;
+        numCores_ = num_cores;
+        id_ = id;
+    }
+
+    /**
+     * An off-chip demand read miss by @p core on @p block — the trigger
+     * event for address-correlating prefetchers.
+     */
+    virtual void onOffchipRead(CoreId core, Addr block) = 0;
+
+    /**
+     * A demand access consumed @p block from this prefetcher's buffer
+     * (fully covered) or merged with it in flight (partially covered,
+     * @p partial = true).
+     */
+    virtual void
+    onPrefetchUsed(CoreId core, Addr block, bool partial)
+    {
+        (void)core; (void)block; (void)partial;
+    }
+
+    /**
+     * A demand miss was covered by a *different* prefetcher's buffer.
+     * Temporal streaming logs these in the history buffer too: the
+     * recorded miss sequence includes all prefetched hits (Sec. 4.2).
+     */
+    virtual void onForeignCovered(CoreId core, Addr block)
+    {
+        (void)core; (void)block;
+    }
+
+    /** A prefetched block arrived in @p core's buffer. */
+    virtual void onPrefetchFill(CoreId core, Addr block)
+    {
+        (void)core; (void)block;
+    }
+
+    /** A prefetched block was evicted unused (erroneous prefetch). */
+    virtual void onPrefetchUnused(CoreId core, Addr block)
+    {
+        (void)core; (void)block;
+    }
+
+    /** Reset internal statistics at the warmup barrier. */
+    virtual void resetStats() {}
+
+    std::uint32_t id() const { return id_; }
+
+  protected:
+    PrefetchPort *port_ = nullptr;
+    std::uint32_t numCores_ = 0;
+    std::uint32_t id_ = 0;
+};
+
+} // namespace stms
+
+#endif // STMS_PREFETCH_PREFETCHER_HH

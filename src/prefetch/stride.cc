@@ -1,0 +1,88 @@
+#include "prefetch/stride.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+StridePrefetcher::StridePrefetcher(const StrideConfig &config)
+    : config_(config)
+{
+    stms_assert(config.tableEntries > 0, "stride table needs entries");
+}
+
+void
+StridePrefetcher::attach(PrefetchPort &port, std::uint32_t num_cores,
+                         std::uint32_t id)
+{
+    Prefetcher::attach(port, num_cores, id);
+    tables_.assign(num_cores,
+                   std::vector<Entry>(config_.tableEntries));
+}
+
+void
+StridePrefetcher::onOffchipRead(CoreId core, Addr block)
+{
+    const std::int64_t block_num =
+        static_cast<std::int64_t>(blockNumber(block));
+    auto &table = tables_[core];
+
+    // Find the tracking entry closest to this miss (within a region).
+    Entry *match = nullptr;
+    std::int64_t best_distance = 64;  // Blocks; beyond this, no match.
+    for (auto &entry : table) {
+        if (!entry.valid)
+            continue;
+        const std::int64_t distance = std::llabs(
+            block_num - static_cast<std::int64_t>(
+                            blockNumber(entry.lastBlock)));
+        if (distance < best_distance && distance != 0) {
+            best_distance = distance;
+            match = &entry;
+        }
+    }
+
+    if (!match) {
+        // Allocate the LRU entry for a new candidate stream.
+        Entry *victim = &table[0];
+        for (auto &entry : table) {
+            if (!entry.valid) {
+                victim = &entry;
+                break;
+            }
+            if (entry.lastUse < victim->lastUse)
+                victim = &entry;
+        }
+        *victim = Entry{block, 0, 0, ++useClock_, true};
+        return;
+    }
+
+    const std::int64_t delta =
+        block_num - static_cast<std::int64_t>(blockNumber(match->lastBlock));
+    if (delta == match->stride && delta != 0) {
+        if (match->confidence < 255)
+            ++match->confidence;
+    } else {
+        match->stride = delta;
+        match->confidence = 1;
+    }
+    match->lastBlock = block;
+    match->lastUse = ++useClock_;
+
+    if (match->confidence >= config_.trainThreshold && match->stride != 0) {
+        ++launches_;
+        for (std::uint32_t d = 1; d <= config_.degree; ++d) {
+            const std::int64_t target =
+                block_num + match->stride * static_cast<std::int64_t>(d);
+            if (target <= 0)
+                break;
+            port_->issuePrefetch(
+                *this, core,
+                blockAddress(static_cast<Addr>(target)));
+        }
+    }
+}
+
+} // namespace stms

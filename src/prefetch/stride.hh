@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Stride prefetcher (the paper's base system includes one; Table 1:
+ * 32-entry buffer, max 16 distinct strides).
+ *
+ * Classic address-delta stream detection: per core, a small table of
+ * recently observed miss strides; when the same stride between
+ * consecutive misses to a region repeats, the prefetcher runs ahead by
+ * a configurable degree. All STMS coverage is reported in excess of
+ * this prefetcher (Sec. 5.1), so it is active in every configuration.
+ */
+
+#ifndef STMS_PREFETCH_STRIDE_HH
+#define STMS_PREFETCH_STRIDE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace stms
+{
+
+/** Stride prefetcher configuration. */
+struct StrideConfig
+{
+    std::uint32_t tableEntries = 16;  ///< Distinct strides tracked/core.
+    std::uint32_t degree = 4;         ///< Blocks prefetched per match.
+    std::uint32_t trainThreshold = 2; ///< Stride repeats before launch.
+};
+
+/** Per-core stride-detection table driving next-line style prefetch. */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(const StrideConfig &config = {});
+
+    const std::string &name() const override { return name_; }
+    void attach(PrefetchPort &port, std::uint32_t num_cores,
+                std::uint32_t id) override;
+
+    void onOffchipRead(CoreId core, Addr block) override;
+
+    std::uint64_t launches() const { return launches_; }
+    void resetStats() override { launches_ = 0; }
+
+  private:
+    struct Entry
+    {
+        Addr lastBlock = kInvalidAddr;
+        std::int64_t stride = 0;
+        std::uint32_t confidence = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    StrideConfig config_;
+    std::string name_ = "stride";
+    std::vector<std::vector<Entry>> tables_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t launches_ = 0;
+};
+
+} // namespace stms
+
+#endif // STMS_PREFETCH_STRIDE_HH

@@ -1,0 +1,148 @@
+#include "sim/cache.hh"
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+Cache::Cache(const CacheConfig &config)
+    : name_(config.name), ways_(config.ways)
+{
+    stms_assert(config.sizeBytes % (kBlockBytes * config.ways) == 0,
+                "%s: size %llu not divisible by ways*blockSize",
+                name_.c_str(),
+                static_cast<unsigned long long>(config.sizeBytes));
+    sets_ = config.sizeBytes / (kBlockBytes * config.ways);
+    stms_assert(isPowerOfTwo(sets_), "%s: set count %llu not a power of 2",
+                name_.c_str(), static_cast<unsigned long long>(sets_));
+    lines_.resize(sets_ * ways_);
+    repl_.reserve(sets_);
+    for (std::uint64_t s = 0; s < sets_; ++s)
+        repl_.emplace_back(config.policy, ways_, config.seed + s);
+}
+
+std::uint64_t
+Cache::setIndex(Addr block_addr) const
+{
+    return blockNumber(block_addr) & (sets_ - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr block_addr, std::uint32_t *way_out)
+{
+    const std::uint64_t set = setIndex(block_addr);
+    Line *base = &lines_[set * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == block_addr) {
+            if (way_out)
+                *way_out = w;
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr block_addr) const
+{
+    const std::uint64_t set = setIndex(block_addr);
+    const Line *base = &lines_[set * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == block_addr)
+            return &base[w];
+    return nullptr;
+}
+
+bool
+Cache::access(Addr block_addr, bool is_write)
+{
+    block_addr = blockAlign(block_addr);
+    std::uint32_t way = 0;
+    Line *line = findLine(block_addr, &way);
+    if (line) {
+        ++stats_.hits;
+        line->dirty |= is_write;
+        repl_[setIndex(block_addr)].touch(way);
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+Cache::contains(Addr block_addr) const
+{
+    return findLine(blockAlign(block_addr)) != nullptr;
+}
+
+Eviction
+Cache::fill(Addr block_addr, bool dirty)
+{
+    block_addr = blockAlign(block_addr);
+    Eviction evicted;
+    const std::uint64_t set = setIndex(block_addr);
+    Line *base = &lines_[set * ways_];
+
+    // Refill of a block that is already present just updates state.
+    std::uint32_t way = 0;
+    if (Line *line = findLine(block_addr, &way)) {
+        line->dirty |= dirty;
+        repl_[set].touch(way);
+        return evicted;
+    }
+
+    // Prefer an invalid way.
+    std::uint32_t victim_way = ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way == ways_) {
+        victim_way = repl_[set].victim();
+        Line &victim = base[victim_way];
+        evicted.valid = true;
+        evicted.dirty = victim.dirty;
+        evicted.blockAddr = victim.tag;
+        ++stats_.evictions;
+        if (victim.dirty)
+            ++stats_.dirtyEvictions;
+    }
+
+    base[victim_way] = Line{block_addr, true, dirty};
+    repl_[set].touch(victim_way);
+    ++stats_.fills;
+    return evicted;
+}
+
+bool
+Cache::invalidate(Addr block_addr)
+{
+    if (Line *line = findLine(blockAlign(block_addr))) {
+        line->valid = false;
+        line->dirty = false;
+        line->tag = kInvalidAddr;
+        ++stats_.invalidations;
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::markDirty(Addr block_addr)
+{
+    if (Line *line = findLine(blockAlign(block_addr)))
+        line->dirty = true;
+}
+
+std::uint64_t
+Cache::occupancy() const
+{
+    std::uint64_t count = 0;
+    for (const Line &line : lines_)
+        count += line.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace stms

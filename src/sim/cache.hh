@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Functional set-associative cache model.
+ *
+ * The cache is functional: it tracks presence/dirtiness and hit/miss
+ * statistics; latency composition is done by the MemorySystem that owns
+ * it. This mirrors the split in trace-driven simulators where the tag
+ * array is exact and timing is layered on top.
+ */
+
+#ifndef STMS_SIM_CACHE_HH
+#define STMS_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/replacement.hh"
+
+namespace stms
+{
+
+/** Geometry and policy of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    std::uint32_t ways = 2;
+    ReplPolicy policy = ReplPolicy::Lru;
+    std::uint64_t seed = 1;
+};
+
+/** Result of a cache eviction: what got displaced, if anything. */
+struct Eviction
+{
+    bool valid = false;   ///< A valid block was displaced.
+    bool dirty = false;   ///< Displaced block needs writeback.
+    Addr blockAddr = kInvalidAddr;
+};
+
+/** Aggregate hit/miss statistics for a cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+    std::uint64_t invalidations = 0;
+
+    double
+    missRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(misses) /
+                                  static_cast<double>(total);
+    }
+};
+
+/** Set-associative, write-back, write-allocate cache tag array. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access a block. On a hit, recency is updated and dirtiness is
+     * accumulated for writes. Returns true on hit. Does not allocate;
+     * callers fill separately once the block arrives.
+     */
+    bool access(Addr block_addr, bool is_write);
+
+    /** Probe without disturbing replacement state or stats. */
+    bool contains(Addr block_addr) const;
+
+    /**
+     * Install a block, evicting a victim if the set is full.
+     * @return description of the displaced block, if any.
+     */
+    Eviction fill(Addr block_addr, bool dirty = false);
+
+    /** Remove a block if present; returns true if it was present. */
+    bool invalidate(Addr block_addr);
+
+    /** Mark an existing block dirty (e.g., write hits from merges). */
+    void markDirty(Addr block_addr);
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    std::uint64_t numSets() const { return sets_; }
+    std::uint32_t numWays() const { return ways_; }
+    std::uint64_t sizeBytes() const { return sets_ * ways_ * kBlockBytes; }
+    const std::string &name() const { return name_; }
+
+    /** Count of currently valid blocks (O(size); for tests). */
+    std::uint64_t occupancy() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = kInvalidAddr;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setIndex(Addr block_addr) const;
+    Line *findLine(Addr block_addr, std::uint32_t *way_out = nullptr);
+    const Line *findLine(Addr block_addr) const;
+
+    std::string name_;
+    std::uint64_t sets_;
+    std::uint32_t ways_;
+    std::vector<Line> lines_;
+    std::vector<ReplacementState> repl_;
+    CacheStats stats_;
+};
+
+} // namespace stms
+
+#endif // STMS_SIM_CACHE_HH

@@ -1,0 +1,155 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+TraceCore::TraceCore(EventQueue &events, MemorySystem &memory, CoreId id,
+                     const CoreConfig &config,
+                     const std::vector<TraceRecord> &trace)
+    : events_(events), memory_(memory), id_(id), config_(config),
+      trace_(trace), completion_(kRingSize, kPending)
+{
+    stms_assert(config.window > 0, "core window must be nonzero");
+    stms_assert(config.window + 2 < kRingSize,
+                "core window %u too large for completion ring",
+                config.window);
+}
+
+void
+TraceCore::start()
+{
+    events_.schedule(0, [this]() { advance(); });
+}
+
+void
+TraceCore::advance()
+{
+    while (index_ < trace_.size()) {
+        // Keep synchronous bursts from running too far ahead of the
+        // global clock; shared-resource ordering stays approximate
+        // only within this quantum.
+        if (localTime_ > events_.now() + config_.burstQuantum) {
+            if (!eventScheduled_) {
+                eventScheduled_ = true;
+                events_.scheduleAt(localTime_, [this]() {
+                    eventScheduled_ = false;
+                    advance();
+                });
+            }
+            return;
+        }
+
+        const TraceRecord &rec = trace_[index_];
+
+        // Pointer-chasing dependence: wait for the previous record.
+        Cycle dep_ready = 0;
+        if (rec.isDependent() && index_ > 0) {
+            const Cycle prev = completion_[(index_ - 1) % kRingSize];
+            if (prev == kPending) {
+                waitDep_ = true;
+                ++stats_.depStalls;
+                return;
+            }
+            dep_ready = prev;
+        }
+
+        const bool is_write = rec.isWrite();
+        if (!is_write && outstanding_ >= config_.window) {
+            waitWindow_ = true;
+            ++stats_.windowStalls;
+            return;
+        }
+
+        const Cycle issue_tick = std::max(localTime_, dep_ready) + rec.think;
+        const std::uint64_t rec_idx = index_;
+
+        ++index_;
+        ++stats_.records;
+        stats_.instructions += static_cast<std::uint64_t>(rec.think) + 1;
+        localTime_ = issue_tick;
+        if (issueCallback_)
+            issueCallback_();
+
+        // Fast path: L1 hits are core-private and need no global
+        // ordering, so they complete inline, possibly ahead of time.
+        if (memory_.tryL1(id_, rec.addr, is_write)) {
+            const Cycle done_tick = issue_tick + memory_.l1Latency();
+            completion_[rec_idx % kRingSize] = done_tick;
+            noteRetired(done_tick);
+            continue;
+        }
+
+        if (is_write) {
+            // Stores retire through the write buffer: the core does
+            // not wait, but the access still moves data underneath.
+            const Cycle done_tick = issue_tick + memory_.l1Latency();
+            completion_[rec_idx % kRingSize] = done_tick;
+            const Addr addr = rec.addr;
+            events_.scheduleAt(std::max(issue_tick, events_.now()),
+                               [this, addr]() {
+                                   memory_.demandAccess(id_, addr, true,
+                                                        nullptr);
+                               });
+            noteRetired(done_tick);
+            continue;
+        }
+
+        // Loads that miss the L1 go through the event queue so the
+        // shared L2 and memory controller see them in time order.
+        completion_[rec_idx % kRingSize] = kPending;
+        ++outstanding_;
+        const Addr addr = rec.addr;
+        events_.scheduleAt(
+            std::max(issue_tick, events_.now()),
+            [this, addr, rec_idx]() {
+                memory_.demandAccess(
+                    id_, addr, false,
+                    [this, rec_idx](Cycle done_tick, AccessOutcome) {
+                        accessDone(rec_idx, done_tick);
+                    });
+            });
+    }
+
+    if (retired_ == trace_.size() && !finishedNotified_) {
+        finishedNotified_ = true;
+        if (finishedCallback_)
+            finishedCallback_();
+    }
+}
+
+void
+TraceCore::accessDone(std::uint64_t record_index, Cycle done_tick)
+{
+    stms_assert(outstanding_ > 0, "core %u completion underflow", id_);
+    --outstanding_;
+    completion_[record_index % kRingSize] = done_tick;
+    noteRetired(done_tick);
+
+    if (waitWindow_ || waitDep_) {
+        waitWindow_ = false;
+        waitDep_ = false;
+        // The stalled record issues no earlier than the completion
+        // that unblocked it.
+        localTime_ = std::max(localTime_, done_tick);
+    }
+    advance();
+
+    if (retired_ == trace_.size() && !finishedNotified_) {
+        finishedNotified_ = true;
+        if (finishedCallback_)
+            finishedCallback_();
+    }
+}
+
+void
+TraceCore::noteRetired(Cycle done_tick)
+{
+    ++retired_;
+    stats_.finishTick = std::max(stats_.finishTick, done_tick);
+}
+
+} // namespace stms

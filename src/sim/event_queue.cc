@@ -1,0 +1,38 @@
+#include "sim/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+void
+EventQueue::scheduleAt(Cycle when, Callback fn)
+{
+    stms_assert(when >= now_,
+                "event scheduled in the past (%llu < %llu)",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(now_));
+    heap_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+Cycle
+EventQueue::run()
+{
+    return runUntil(std::numeric_limits<Cycle>::max());
+}
+
+Cycle
+EventQueue::runUntil(Cycle limit)
+{
+    while (!heap_.empty() && heap_.top().tick <= limit) {
+        // Move the callback out before popping so it survives the pop.
+        Event event = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        now_ = event.tick;
+        ++executed_;
+        event.fn();
+    }
+    return now_;
+}
+
+} // namespace stms

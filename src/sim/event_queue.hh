@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global time-ordered queue of callbacks, in the gem5
+ * tradition. Ties are broken by insertion order so that runs are
+ * exactly deterministic.
+ */
+
+#ifndef STMS_SIM_EVENT_QUEUE_HH
+#define STMS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stms
+{
+
+/** Time-ordered queue of scheduled callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in cycles. */
+    Cycle now() const { return now_; }
+
+    /** Schedule @p fn at absolute tick @p when (>= now). */
+    void scheduleAt(Cycle when, Callback fn);
+
+    /** Schedule @p fn @p delay cycles in the future. */
+    void
+    schedule(Cycle delay, Callback fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /** Run until the queue is empty. Returns the final tick. */
+    Cycle run();
+
+    /** Run until the queue is empty or @p limit is reached. */
+    Cycle runUntil(Cycle limit);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t pending() const { return heap_.size(); }
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Cycle tick;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.tick != b.tick)
+                return a.tick > b.tick;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Cycle now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace stms
+
+#endif // STMS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,105 @@
+#include "sim/memctrl.hh"
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+std::uint64_t
+MemCtrlStats::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t value : bytes)
+        total += value;
+    return total;
+}
+
+std::uint64_t
+MemCtrlStats::overheadBytes() const
+{
+    return totalBytes() -
+           bytesFor(TrafficClass::DemandRead) -
+           bytesFor(TrafficClass::DemandWriteback);
+}
+
+MemController::MemController(EventQueue &events, const MemCtrlConfig &config)
+    : events_(events), config_(config)
+{
+    stms_assert(config_.transferCycles > 0, "transferCycles must be > 0");
+}
+
+void
+MemController::request(TrafficClass cls, Priority prio, std::uint32_t blocks,
+                       Callback done)
+{
+    stms_assert(blocks > 0, "memory request of zero blocks");
+    const auto idx = static_cast<std::size_t>(cls);
+    ++stats_.requests[idx];
+    stats_.bytes[idx] += static_cast<std::uint64_t>(blocks) * kBlockBytes;
+    if (prio == Priority::High)
+        ++stats_.highPrioRequests;
+    else
+        ++stats_.lowPrioRequests;
+
+    if (config_.functional) {
+        // Zero-latency completion; traffic still counted above.
+        if (done)
+            done(events_.now());
+        return;
+    }
+
+    Request request{cls, blocks, std::move(done), events_.now()};
+    auto &queue = (prio == Priority::High) ? highQueue_ : lowQueue_;
+    queue.push_back(std::move(request));
+    if (!channelBusy_)
+        grantNext();
+}
+
+void
+MemController::grantNext()
+{
+    if (!highQueue_.empty()) {
+        Request request = std::move(highQueue_.front());
+        highQueue_.pop_front();
+        startTransfer(std::move(request));
+    } else if (!lowQueue_.empty()) {
+        Request request = std::move(lowQueue_.front());
+        lowQueue_.pop_front();
+        lowDelay_.sample(events_.now() - request.arrival);
+        startTransfer(std::move(request));
+    } else {
+        channelBusy_ = false;
+    }
+}
+
+void
+MemController::startTransfer(Request request)
+{
+    channelBusy_ = true;
+    const Cycle occupancy =
+        static_cast<Cycle>(request.blocks) * config_.transferCycles;
+    stats_.busyCycles += occupancy;
+
+    // Data is available one access latency plus the transfer time after
+    // the grant; the channel frees up after the transfer alone, so
+    // later requests pipeline behind the DRAM access of this one.
+    const Cycle data_ready =
+        events_.now() + config_.accessLatency + occupancy;
+    if (request.done) {
+        events_.scheduleAt(data_ready,
+                           [cb = std::move(request.done), data_ready]() {
+                               cb(data_ready);
+                           });
+    }
+    events_.schedule(occupancy, [this]() { grantNext(); });
+}
+
+double
+MemController::utilization(Cycle elapsed) const
+{
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(stats_.busyCycles) /
+                          static_cast<double>(elapsed);
+}
+
+} // namespace stms

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Main-memory controller model.
+ *
+ * Models the paper's memory system (Table 1): 45 ns access latency and
+ * 28.4 GB/s peak bandwidth in 64-byte transfers. A single shared data
+ * channel serializes transfers; demand requests always win arbitration
+ * over prefetch and predictor meta-data traffic, which the paper finds
+ * "essential to minimize queueing-related stalls" (Sec. 4.3).
+ *
+ * Per-class byte counters feed the traffic-overhead figures (Figs. 1,
+ * 7, 8).
+ */
+
+#ifndef STMS_SIM_MEMCTRL_HH
+#define STMS_SIM_MEMCTRL_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+#include "stats/histogram.hh"
+
+namespace stms
+{
+
+/** Memory-controller timing and arbitration configuration. */
+struct MemCtrlConfig
+{
+    /** DRAM access latency in cycles (45 ns at 4 GHz). */
+    Cycle accessLatency = 180;
+    /** Channel occupancy per 64-byte transfer (28.4 GB/s at 4 GHz). */
+    Cycle transferCycles = 9;
+    /**
+     * Functional mode: callbacks fire with zero latency and no
+     * bandwidth contention, but traffic is still counted. Used for
+     * trace-based coverage sweeps (the paper's own methodology mixes
+     * trace-based and cycle-accurate runs, Sec. 5.1).
+     */
+    bool functional = false;
+};
+
+/** Per-class traffic and queueing statistics. */
+struct MemCtrlStats
+{
+    std::array<std::uint64_t, kNumTrafficClasses> requests{};
+    std::array<std::uint64_t, kNumTrafficClasses> bytes{};
+    std::uint64_t highPrioRequests = 0;
+    std::uint64_t lowPrioRequests = 0;
+    /** Total cycles the channel was occupied transferring data. */
+    Cycle busyCycles = 0;
+
+    std::uint64_t
+    bytesFor(TrafficClass cls) const
+    {
+        return bytes[static_cast<std::size_t>(cls)];
+    }
+
+    /** Total bytes across all classes. */
+    std::uint64_t totalBytes() const;
+
+    /** Bytes of everything except demand reads and writebacks. */
+    std::uint64_t overheadBytes() const;
+};
+
+/**
+ * Priority-arbitrated single-channel memory controller.
+ *
+ * Requests complete via callback. Reads deliver data accessLatency
+ * cycles after the transfer is granted; the channel stays busy for
+ * transferCycles per block, which is what bounds peak bandwidth.
+ */
+class MemController
+{
+  public:
+    using Callback = std::function<void(Cycle done)>;
+
+    MemController(EventQueue &events, const MemCtrlConfig &config);
+
+    /**
+     * Issue a request of @p blocks cache blocks.
+     *
+     * @param cls traffic class for accounting.
+     * @param prio arbitration priority (demand = High).
+     * @param blocks number of 64-byte blocks moved.
+     * @param done invoked when data is available (reads) or the write
+     *             has drained; may be null for fire-and-forget writes.
+     */
+    void request(TrafficClass cls, Priority prio, std::uint32_t blocks,
+                 Callback done);
+
+    const MemCtrlStats &stats() const { return stats_; }
+    void resetStats() { stats_ = MemCtrlStats{}; }
+
+    /** Queue-delay distribution of low-priority traffic (cycles). */
+    const LinearHistogram &lowPrioDelay() const { return lowDelay_; }
+
+    /** Fraction of elapsed time the channel was busy. */
+    double utilization(Cycle elapsed) const;
+
+  private:
+    struct Request
+    {
+        TrafficClass cls;
+        std::uint32_t blocks;
+        Callback done;
+        Cycle arrival;
+    };
+
+    void grantNext();
+    void startTransfer(Request request);
+
+    EventQueue &events_;
+    MemCtrlConfig config_;
+    std::deque<Request> highQueue_;
+    std::deque<Request> lowQueue_;
+    bool channelBusy_ = false;
+    MemCtrlStats stats_;
+    LinearHistogram lowDelay_{64, 64};
+};
+
+} // namespace stms
+
+#endif // STMS_SIM_MEMCTRL_HH

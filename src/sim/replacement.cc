@@ -1,0 +1,91 @@
+#include "sim/replacement.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+ReplacementState::ReplacementState(ReplPolicy policy, std::uint32_t ways,
+                                   std::uint64_t seed)
+    : policy_(policy), ways_(ways), rng_(seed)
+{
+    stms_assert(ways > 0, "replacement state needs at least one way");
+    switch (policy_) {
+      case ReplPolicy::Lru:
+        age_.assign(ways_, 0);
+        break;
+      case ReplPolicy::Random:
+        break;
+      case ReplPolicy::TreePlru:
+        stms_assert(isPowerOfTwo(ways_),
+                    "tree-PLRU requires power-of-two ways (got %u)", ways_);
+        tree_.assign(ways_ - 1, 0);
+        break;
+    }
+}
+
+void
+ReplacementState::touch(std::uint32_t way)
+{
+    stms_assert(way < ways_, "touch of way %u >= %u", way, ways_);
+    switch (policy_) {
+      case ReplPolicy::Lru:
+        age_[way] = ++clock_;
+        break;
+      case ReplPolicy::Random:
+        break;
+      case ReplPolicy::TreePlru: {
+        // Point every node on the path to the touched leaf away from it.
+        std::uint32_t leaf = way + static_cast<std::uint32_t>(tree_.size());
+        while (leaf != 0) {
+            const std::uint32_t parent = (leaf - 1) / 2;
+            const bool is_right = (leaf == 2 * parent + 2);
+            tree_[parent] = is_right ? 0 : 1;
+            leaf = parent;
+        }
+        break;
+      }
+    }
+}
+
+std::uint32_t
+ReplacementState::victim()
+{
+    switch (policy_) {
+      case ReplPolicy::Lru: {
+        std::uint32_t victim_way = 0;
+        for (std::uint32_t w = 1; w < ways_; ++w)
+            if (age_[w] < age_[victim_way])
+                victim_way = w;
+        return victim_way;
+      }
+      case ReplPolicy::Random:
+        return static_cast<std::uint32_t>(rng_.below(ways_));
+      case ReplPolicy::TreePlru: {
+        std::uint32_t node = 0;
+        // Walk toward the pseudo-LRU leaf, flipping bits as we go.
+        while (node < tree_.size()) {
+            const std::uint8_t dir = tree_[node];
+            tree_[node] ^= 1;
+            node = 2 * node + 1 + dir;
+        }
+        return static_cast<std::uint32_t>(node - tree_.size());
+      }
+    }
+    return 0;
+}
+
+std::uint32_t
+ReplacementState::recencyRank(std::uint32_t way) const
+{
+    stms_assert(policy_ == ReplPolicy::Lru, "recencyRank needs LRU");
+    std::uint32_t rank = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        if (w != way && age_[w] > age_[way])
+            ++rank;
+    return rank;
+}
+
+} // namespace stms

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cache replacement policies.
+ *
+ * The paper's caches use LRU; Random and tree-PLRU are provided for
+ * the cache substrate's completeness and for ablation tests. Policies
+ * operate on per-set state so the cache model stays a flat array.
+ */
+
+#ifndef STMS_SIM_REPLACEMENT_HH
+#define STMS_SIM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace stms
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy : std::uint8_t
+{
+    Lru,
+    Random,
+    TreePlru,
+};
+
+/**
+ * Per-set replacement state shared by all policies.
+ *
+ * For LRU, `age[way]` holds a recency stamp (higher = more recent).
+ * For tree-PLRU, `tree` holds the direction bits.
+ */
+class ReplacementState
+{
+  public:
+    ReplacementState(ReplPolicy policy, std::uint32_t ways,
+                     std::uint64_t seed = 1);
+
+    /** Record a touch (hit or fill) of @p way. */
+    void touch(std::uint32_t way);
+
+    /** Pick a victim among valid ways; all ways assumed valid. */
+    std::uint32_t victim();
+
+    ReplPolicy policy() const { return policy_; }
+    std::uint32_t ways() const { return ways_; }
+
+    /** Recency rank of @p way: 0 = MRU (LRU policy only). */
+    std::uint32_t recencyRank(std::uint32_t way) const;
+
+  private:
+    ReplPolicy policy_;
+    std::uint32_t ways_;
+    std::vector<std::uint64_t> age_;
+    std::vector<std::uint8_t> tree_;
+    std::uint64_t clock_ = 0;
+    Rng rng_;
+};
+
+} // namespace stms
+
+#endif // STMS_SIM_REPLACEMENT_HH

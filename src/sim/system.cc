@@ -1,0 +1,110 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+CmpSystem::CmpSystem(const SimConfig &config, const Trace &trace)
+    : config_(config), trace_(trace)
+{
+    stms_assert(trace.numCores() > 0, "trace has no cores");
+    SimConfig adjusted = config_;
+    adjusted.memory.numCores = trace.numCores();
+    config_ = adjusted;
+
+    memory_ = std::make_unique<MemorySystem>(events_, config_.memory);
+    cores_.reserve(trace.numCores());
+    for (CoreId c = 0; c < trace.numCores(); ++c) {
+        cores_.push_back(std::make_unique<TraceCore>(
+            events_, *memory_, c, config_.core, trace.perCore[c]));
+        cores_.back()->onIssue([this]() {
+            ++issuedRecords_;
+            maybeWarmupReset();
+        });
+    }
+    instrSnapshot_.assign(trace.numCores(), 0);
+}
+
+void
+CmpSystem::addPrefetcher(Prefetcher *prefetcher)
+{
+    memory_->addPrefetcher(prefetcher);
+    ++numPrefetchers_;
+}
+
+void
+CmpSystem::maybeWarmupReset()
+{
+    if (warmupDone_ || issuedRecords_ < config_.warmupRecords)
+        return;
+    warmupDone_ = true;
+    measureStart_ = events_.now();
+    memory_->resetStats();
+    for (CoreId c = 0; c < cores_.size(); ++c)
+        instrSnapshot_[c] = cores_[c]->instructionsCommitted();
+}
+
+SimResult
+CmpSystem::run()
+{
+    if (config_.warmupRecords == 0)
+        warmupDone_ = true;
+
+    for (auto &core : cores_)
+        core->start();
+
+    if (config_.maxCycles > 0)
+        events_.runUntil(config_.maxCycles);
+    else
+        events_.run();
+
+    for (auto &core : cores_) {
+        if (!core->done()) {
+            stms_warn("core %u did not finish (issued %llu of %zu)",
+                      core->id(),
+                      static_cast<unsigned long long>(core->issued()),
+                      trace_.perCore[core->id()].size());
+        }
+    }
+
+    SimResult result;
+    Cycle finish = 0;
+    std::uint64_t instructions = 0;
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        finish = std::max(finish, cores_[c]->stats().finishTick);
+        instructions += cores_[c]->instructionsCommitted() -
+                        instrSnapshot_[c];
+    }
+    result.cycles = finish > measureStart_ ? finish - measureStart_ : 0;
+    result.instructions = instructions;
+    result.ipc = result.cycles == 0
+                     ? 0.0
+                     : static_cast<double>(instructions) /
+                       static_cast<double>(result.cycles);
+
+    result.mem = memory_->stats();
+    result.traffic = memory_->memStats();
+    result.meanMlp = memory_->meanMlp();
+    for (CoreId c = 0; c < cores_.size(); ++c)
+        result.mlpPerCore.push_back(memory_->mlp(c));
+    for (std::uint32_t pf = 0; pf < numPrefetchers_; ++pf)
+        result.prefetchers.push_back(memory_->prefetcherStats(pf));
+    result.memUtilization =
+        memory_->memController().utilization(result.cycles);
+
+    result.coverage = result.mem.coverage();
+    result.fullCoverage = result.mem.fullCoverage();
+    const std::uint64_t useful =
+        result.traffic.bytesFor(TrafficClass::DemandRead) +
+        result.traffic.bytesFor(TrafficClass::DemandWriteback);
+    result.overheadPerDataByte =
+        useful == 0 ? 0.0
+                    : static_cast<double>(result.traffic.overheadBytes()) /
+                      static_cast<double>(useful);
+    return result;
+}
+
+} // namespace stms

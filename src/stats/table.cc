@@ -1,0 +1,97 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    stms_assert(!headers_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    stms_assert(cells.size() == headers_.size(),
+                "Table row arity %zu != header arity %zu",
+                cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::string cell = row[c];
+            cell.resize(widths[c], ' ');
+            line += cell;
+            if (c + 1 < row.size())
+                line += "  ";
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = renderRow(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule += std::string(widths[c], '-');
+        if (c + 1 < widths.size())
+            rule += "  ";
+    }
+    out += rule + "\n";
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    auto renderRow = [](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += ",";
+        }
+        return line + "\n";
+    };
+    std::string out = renderRow(headers_);
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+} // namespace stms

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table formatter used by the bench harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures
+ * as rows of text; this helper keeps the output aligned and can also
+ * emit CSV for downstream plotting.
+ */
+
+#ifndef STMS_STATS_TABLE_HH
+#define STMS_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace stms
+{
+
+/** Column-aligned text table with an optional CSV rendering. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p decimals places. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Convenience: format a percentage ("42.0%"). */
+    static std::string pct(double fraction, int decimals = 1);
+
+    /** Render with aligned columns. */
+    std::string toString() const;
+
+    /** Render as CSV. */
+    std::string toCsv() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace stms
+
+#endif // STMS_STATS_TABLE_HH

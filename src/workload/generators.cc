@@ -1,0 +1,214 @@
+#include "workload/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+namespace
+{
+
+/** Per-core address-region tags (bits 36..39 select the region). */
+constexpr Addr
+regionBase(CoreId core, std::uint64_t region)
+{
+    return (static_cast<Addr>(core + 1) << 40) | (region << 36);
+}
+
+constexpr std::uint64_t kStreamRegion = 1;
+constexpr std::uint64_t kNoiseRegion = 2;
+constexpr std::uint64_t kHotRegion = 3;
+constexpr std::uint64_t kScanRegion = 4;
+
+/** Log-uniform draw in [lo, hi]. */
+std::uint64_t
+logUniform(Rng &rng, std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo >= hi)
+        return lo;
+    const double log_lo = std::log(static_cast<double>(lo));
+    const double log_hi = std::log(static_cast<double>(hi));
+    const double draw = std::exp(log_lo + rng.uniform() *
+                                 (log_hi - log_lo));
+    return static_cast<std::uint64_t>(draw);
+}
+
+} // namespace
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec &spec)
+    : spec_(spec)
+{
+    stms_assert(spec.numCores > 0, "workload needs cores");
+    stms_assert(spec.noiseFraction + spec.hotFraction +
+                    spec.scanFraction <= 1.0 + 1e-9,
+                "access-mix fractions exceed 1.0 in workload %s",
+                spec.name.c_str());
+    stms_assert(spec.meanVisits >= 1.0, "meanVisits must be >= 1");
+}
+
+Trace
+WorkloadGenerator::generate() const
+{
+    Trace trace;
+    trace.name = spec_.name;
+    trace.perCore.resize(spec_.numCores);
+    for (CoreId core = 0; core < spec_.numCores; ++core)
+        generateCore(core, trace.perCore[core]);
+    return trace;
+}
+
+void
+WorkloadGenerator::generateCore(CoreId core,
+                                std::vector<TraceRecord> &records) const
+{
+    Rng rng(spec_.seed * 0x9e3779b9ULL + core * 0x85ebca6bULL + 1);
+    records.reserve(spec_.recordsPerCore);
+
+    // --- Temporal-stream machinery -------------------------------
+    // Streams are created lazily; each gets a geometric number of
+    // total visits and recurrences scheduled at log-uniform reuse
+    // distances. A min-heap of (due record index, stream id) decides
+    // whether the next stream playback is a recurrence or fresh data.
+    struct LiveStream
+    {
+        std::vector<Addr> body;
+        std::uint32_t visitsLeft;
+    };
+    std::vector<LiveStream> streams;
+    using Due = std::pair<std::uint64_t, std::uint32_t>;
+    std::priority_queue<Due, std::vector<Due>, std::greater<>> pending;
+
+    const std::uint64_t max_reuse =
+        std::min(spec_.maxReuseRecords,
+                 std::max<std::uint64_t>(spec_.recordsPerCore / 2, 2));
+    const std::uint64_t min_reuse =
+        std::min(spec_.minReuseRecords, max_reuse);
+
+    LibraryConfig length_config{
+        1, spec_.minStreamLen, spec_.maxStreamLen,
+        spec_.lengthLogMean, spec_.lengthLogSigma, 0};
+
+    Addr stream_next = blockNumber(regionBase(core, kStreamRegion));
+    Addr scan_next = blockNumber(regionBase(core, kScanRegion));
+
+    auto make_stream = [&]() -> std::uint32_t {
+        const std::uint32_t length =
+            spec_.loopSingleStream
+                ? spec_.minStreamLen
+                : StreamLibrary::sampleLength(length_config, rng);
+        LiveStream stream;
+        stream.body.resize(length);
+        for (std::uint32_t i = 0; i < length; ++i)
+            stream.body[i] = blockAddress(stream_next + i);
+        for (std::uint32_t i = length - 1; i > 0; --i) {
+            const auto j =
+                static_cast<std::uint32_t>(rng.below(i + 1));
+            std::swap(stream.body[i], stream.body[j]);
+        }
+        stream_next += length;
+        if (rng.chance(spec_.onceFraction)) {
+            stream.visitsLeft = 0;  // Visited once, never again.
+        } else {
+            // Geometric total-visit count with the configured mean.
+            stream.visitsLeft = static_cast<std::uint32_t>(
+                rng.geometric(1.0 / spec_.meanVisits));
+        }
+        streams.push_back(std::move(stream));
+        return static_cast<std::uint32_t>(streams.size() - 1);
+    };
+
+    std::int64_t current = -1;  // Stream being played back.
+    std::size_t position = 0;
+
+    auto next_stream_addr = [&](std::uint64_t idx) -> Addr {
+        if (spec_.loopSingleStream) {
+            if (current < 0)
+                current = make_stream();
+            auto &body = streams[static_cast<std::size_t>(current)].body;
+            if (position >= body.size())
+                position = 0;  // Next iteration of the computation.
+            return body[position++];
+        }
+
+        if (current >= 0 &&
+            position <
+                streams[static_cast<std::size_t>(current)].body.size()) {
+            return streams[static_cast<std::size_t>(current)]
+                .body[position++];
+        }
+
+        // Current playback exhausted: prefer a due recurrence, else
+        // mint fresh data.
+        if (!pending.empty() && pending.top().first <= idx) {
+            current = pending.top().second;
+            pending.pop();
+        } else {
+            current = make_stream();
+        }
+        auto &stream = streams[static_cast<std::size_t>(current)];
+        if (stream.visitsLeft > 0) {
+            --stream.visitsLeft;
+            pending.emplace(idx + logUniform(rng, min_reuse, max_reuse),
+                            static_cast<std::uint32_t>(current));
+        }
+        position = 0;
+        return stream.body[position++];
+    };
+
+    const double p_noise = spec_.noiseFraction;
+    const double p_hot = p_noise + spec_.hotFraction;
+    const double p_scan = p_hot + spec_.scanFraction;
+
+    auto emit = [&](Addr addr, std::uint16_t think, bool dependent) {
+        TraceRecord record;
+        record.addr = addr;
+        record.think = think;
+        std::uint8_t flags = 0;
+        if (rng.chance(spec_.writeFraction))
+            flags |= TraceRecord::kWrite;
+        if (dependent)
+            flags |= TraceRecord::kDependent;
+        record.flags = flags;
+        records.push_back(record);
+    };
+
+    while (records.size() < spec_.recordsPerCore) {
+        const double roll = rng.uniform();
+        const auto think = static_cast<std::uint16_t>(
+            rng.range(spec_.thinkMin, spec_.thinkMax));
+        const bool dependent = rng.chance(spec_.dependentProb);
+
+        if (roll < p_noise) {
+            emit(regionBase(core, kNoiseRegion) +
+                     blockAddress(rng.below(spec_.noiseBlocks)),
+                 think, dependent);
+        } else if (roll < p_hot) {
+            emit(regionBase(core, kHotRegion) +
+                     blockAddress(rng.below(spec_.hotBlocks)),
+                 think, dependent);
+        } else if (roll < p_scan) {
+            emit(blockAddress(scan_next++), think, dependent);
+        } else {
+            emit(next_stream_addr(records.size()), think, dependent);
+            // Burst: further stream accesses issue back-to-back and
+            // independently, overlapping in the core's miss window.
+            if (spec_.missBurstMax > 0) {
+                const std::uint64_t burst =
+                    rng.below(spec_.missBurstMax + 1);
+                for (std::uint64_t i = 0;
+                     i < burst &&
+                     records.size() < spec_.recordsPerCore; ++i) {
+                    emit(next_stream_addr(records.size()),
+                         static_cast<std::uint16_t>(rng.range(2, 10)),
+                         false);
+                }
+            }
+        }
+    }
+}
+
+} // namespace stms

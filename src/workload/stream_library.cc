@@ -1,0 +1,65 @@
+#include "workload/stream_library.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+namespace
+{
+
+/** One standard-normal draw via Box-Muller (uses two uniforms). */
+double
+normalDraw(Rng &rng)
+{
+    double u1 = rng.uniform();
+    if (u1 <= 0.0)
+        u1 = 1e-12;
+    const double u2 = rng.uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+} // namespace
+
+std::uint32_t
+StreamLibrary::sampleLength(const LibraryConfig &config, Rng &rng)
+{
+    const double draw = std::exp(config.lengthLogMean +
+                                 config.lengthLogSigma * normalDraw(rng));
+    const auto length = static_cast<std::uint32_t>(std::lround(draw));
+    return std::clamp(length, config.minLength, config.maxLength);
+}
+
+StreamLibrary::StreamLibrary(const LibraryConfig &config, Rng &rng)
+{
+    stms_assert(config.numStreams > 0, "library needs streams");
+    stms_assert(config.minLength >= 2 &&
+                config.minLength <= config.maxLength,
+                "bad stream length bounds [%u, %u]",
+                config.minLength, config.maxLength);
+
+    streams_.reserve(config.numStreams);
+    Addr next_block = blockNumber(config.baseAddr);
+    for (std::uint64_t s = 0; s < config.numStreams; ++s) {
+        const std::uint32_t length = sampleLength(config, rng);
+        std::vector<Addr> body(length);
+        for (std::uint32_t i = 0; i < length; ++i)
+            body[i] = blockAddress(next_block + i);
+        // Fisher-Yates shuffle: kill any arithmetic stride within the
+        // stream so only address correlation can predict it.
+        for (std::uint32_t i = length - 1; i > 0; --i) {
+            const auto j =
+                static_cast<std::uint32_t>(rng.below(i + 1));
+            std::swap(body[i], body[j]);
+        }
+        next_block += length;
+        totalBlocks_ += length;
+        streams_.push_back(std::move(body));
+    }
+}
+
+} // namespace stms

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Temporal-stream library.
+ *
+ * A library is a fixed set of temporal streams — sequences of block
+ * addresses that recur over a workload's execution (Sec. 2, citing
+ * Chilimbi & Hirzel). Stream lengths are drawn from a clipped
+ * lognormal, matching the paper's observation that lengths vary
+ * drastically, from two to hundreds of misses, with half of all
+ * streamed blocks coming from streams longer than ten (Fig. 6 left).
+ *
+ * Stream bodies are shuffled permutations of disjoint address ranges:
+ * within a stream, consecutive addresses have no arithmetic
+ * relationship, so stride prefetchers cannot learn them while
+ * address-correlating prefetchers can — precisely the pointer-chasing
+ * structure of commercial workloads the paper targets.
+ */
+
+#ifndef STMS_WORKLOAD_STREAM_LIBRARY_HH
+#define STMS_WORKLOAD_STREAM_LIBRARY_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace stms
+{
+
+/** Stream-library shape parameters. */
+struct LibraryConfig
+{
+    std::uint64_t numStreams = 4096;
+    std::uint32_t minLength = 2;
+    std::uint32_t maxLength = 512;
+    /** ln of the median stream length. */
+    double lengthLogMean = 2.2;
+    /** Lognormal shape (spread across orders of magnitude). */
+    double lengthLogSigma = 1.1;
+    /** Base byte address of the library's block range. */
+    Addr baseAddr = 0;
+};
+
+/** An immutable set of temporal streams over disjoint addresses. */
+class StreamLibrary
+{
+  public:
+    StreamLibrary(const LibraryConfig &config, Rng &rng);
+
+    std::size_t numStreams() const { return streams_.size(); }
+
+    std::span<const Addr> stream(std::size_t i) const
+    {
+        return streams_[i];
+    }
+
+    std::uint32_t length(std::size_t i) const
+    {
+        return static_cast<std::uint32_t>(streams_[i].size());
+    }
+
+    /** Total distinct blocks across all streams. */
+    std::uint64_t totalBlocks() const { return totalBlocks_; }
+
+    /** Sample a stream length from the configured distribution. */
+    static std::uint32_t sampleLength(const LibraryConfig &config,
+                                      Rng &rng);
+
+  private:
+    std::vector<std::vector<Addr>> streams_;
+    std::uint64_t totalBlocks_ = 0;
+};
+
+} // namespace stms
+
+#endif // STMS_WORKLOAD_STREAM_LIBRARY_HH

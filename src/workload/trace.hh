@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Memory-access trace representation and file I/O.
+ *
+ * A trace is the per-core sequence of correct-path memory accesses a
+ * workload performs. Each record carries the block-aligned physical
+ * address, the non-memory work (in cycles) preceding the access, and
+ * flags: whether it is a store, and whether it depends on the previous
+ * record's data (pointer chasing). The dependence flags are how the
+ * generators control each workload's inherent MLP (Table 2).
+ */
+
+#ifndef STMS_WORKLOAD_TRACE_HH
+#define STMS_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stms
+{
+
+/** One memory access of one core. */
+struct TraceRecord
+{
+    Addr addr = 0;              ///< Byte address (block aligned by use).
+    std::uint16_t think = 0;    ///< Non-memory cycles before the access.
+    std::uint8_t flags = 0;     ///< See flag constants below.
+
+    static constexpr std::uint8_t kWrite = 1u << 0;
+    static constexpr std::uint8_t kDependent = 1u << 1;
+
+    bool isWrite() const { return flags & kWrite; }
+    bool isDependent() const { return flags & kDependent; }
+};
+
+/** A full multi-core trace: one record vector per core. */
+struct Trace
+{
+    std::string name;
+    std::vector<std::vector<TraceRecord>> perCore;
+
+    std::uint32_t
+    numCores() const
+    {
+        return static_cast<std::uint32_t>(perCore.size());
+    }
+
+    std::uint64_t totalRecords() const;
+
+    /** Count of distinct blocks touched across all cores. */
+    std::uint64_t footprintBlocks() const;
+};
+
+/**
+ * Binary trace file I/O (little-endian, versioned header). Lets the
+ * examples persist generated workloads and replay them, standing in
+ * for the public trace files ChampSim-style studies distribute.
+ */
+namespace trace_io
+{
+
+/** Write @p trace to @p path. Panics on I/O failure in tests. */
+bool save(const Trace &trace, const std::string &path);
+
+/** Read a trace from @p path; returns an empty trace on failure. */
+bool load(Trace &trace, const std::string &path);
+
+} // namespace trace_io
+
+} // namespace stms
+
+#endif // STMS_WORKLOAD_TRACE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The standard workload suite (Table 1 of the paper).
+ *
+ * Eight synthetic workloads substitute for the paper's suite, each
+ * parameterized from the paper's published per-workload measurements:
+ * temporal-stream length structure (Fig. 6 left), recurrence and
+ * reuse-distance behaviour (Fig. 5), visit-once scans for DSS
+ * (Sec. 5.2), single-iteration streams for the scientific codes
+ * (Sec. 5.4 gives per-iteration stream lengths), on-chip-bottleneck
+ * fractions (which bound speedup), and dependence structure targeting
+ * each workload's MLP (Table 2).
+ *
+ * Scientific iteration lengths are scaled ~5x below the paper's
+ * (em3d 400K -> 80K misses/iteration) to keep bench runtimes sane;
+ * DESIGN.md and EXPERIMENTS.md record the scaling.
+ */
+
+#ifndef STMS_WORKLOAD_WORKLOADS_HH
+#define STMS_WORKLOAD_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/generators.hh"
+
+namespace stms
+{
+
+/** One entry of the standard suite. */
+struct WorkloadInfo
+{
+    std::string name;   ///< e.g. "web-apache".
+    std::string group;  ///< "Web", "OLTP", "DSS", "Sci".
+    std::string label;  ///< Short label, e.g. "Apache".
+    double paperIdealCoverage;  ///< Fig. 4 left (fraction).
+    double paperIdealSpeedup;   ///< Fig. 4 right (fraction).
+    double paperMlp;            ///< Table 2.
+};
+
+/** The suite in the paper's presentation order. */
+const std::vector<WorkloadInfo> &standardSuite();
+
+/**
+ * Build the spec for a named workload.
+ * @param name one of the standardSuite() names.
+ * @param records_per_core trace length; 0 keeps the preset default.
+ */
+WorkloadSpec makeWorkload(const std::string &name,
+                          std::uint64_t records_per_core = 0);
+
+/** True if @p name names a workload in the standard suite. */
+bool isKnownWorkload(const std::string &name);
+
+} // namespace stms
+
+#endif // STMS_WORKLOAD_WORKLOADS_HH

@@ -1,0 +1,80 @@
+/** @file Unit tests for address math and traffic-class helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(Types, BlockAlignMasksLowBits)
+{
+    EXPECT_EQ(blockAlign(0x1000), 0x1000u);
+    EXPECT_EQ(blockAlign(0x103F), 0x1000u);
+    EXPECT_EQ(blockAlign(0x1040), 0x1040u);
+    EXPECT_EQ(blockAlign(0), 0u);
+}
+
+TEST(Types, BlockNumberRoundTrips)
+{
+    for (Addr addr : {Addr{0}, Addr{64}, Addr{0x12345678C0}}) {
+        EXPECT_EQ(blockAddress(blockNumber(addr)), blockAlign(addr));
+    }
+}
+
+TEST(Types, BlockGeometryConsistent)
+{
+    EXPECT_EQ(1u << kBlockShift, kBlockBytes);
+}
+
+TEST(Types, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(Types, CeilPowerOfTwo)
+{
+    EXPECT_EQ(ceilPowerOfTwo(1), 1u);
+    EXPECT_EQ(ceilPowerOfTwo(2), 2u);
+    EXPECT_EQ(ceilPowerOfTwo(3), 4u);
+    EXPECT_EQ(ceilPowerOfTwo(1000), 1024u);
+}
+
+TEST(Types, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 12), 0u);
+    EXPECT_EQ(divCeil(1, 12), 1u);
+    EXPECT_EQ(divCeil(12, 12), 1u);
+    EXPECT_EQ(divCeil(13, 12), 2u);
+}
+
+TEST(Types, TrafficClassNamesDistinct)
+{
+    for (std::size_t a = 0; a < kNumTrafficClasses; ++a) {
+        for (std::size_t b = a + 1; b < kNumTrafficClasses; ++b) {
+            EXPECT_STRNE(
+                trafficClassName(static_cast<TrafficClass>(a)),
+                trafficClassName(static_cast<TrafficClass>(b)));
+        }
+    }
+}
+
+} // namespace
+} // namespace stms

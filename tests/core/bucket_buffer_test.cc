@@ -1,0 +1,94 @@
+/** @file Unit tests for the on-chip bucket buffer. */
+
+#include <gtest/gtest.h>
+
+#include "core/bucket_buffer.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(BucketBuffer, ProbeMissThenInsertThenHit)
+{
+    BucketBuffer buffer(4);
+    EXPECT_FALSE(buffer.probe(7));
+    bool writeback = false;
+    buffer.insert(7, writeback);
+    EXPECT_FALSE(writeback);
+    EXPECT_TRUE(buffer.probe(7));
+    EXPECT_EQ(buffer.stats().hits, 1u);
+    EXPECT_EQ(buffer.stats().misses, 1u);
+}
+
+TEST(BucketBuffer, CleanEvictionNeedsNoWriteback)
+{
+    BucketBuffer buffer(2);
+    bool writeback = false;
+    buffer.insert(1, writeback);
+    buffer.insert(2, writeback);
+    buffer.insert(3, writeback);  // Evicts 1 (clean).
+    EXPECT_FALSE(writeback);
+    EXPECT_FALSE(buffer.probe(1));
+}
+
+TEST(BucketBuffer, DirtyEvictionSignalsWriteback)
+{
+    BucketBuffer buffer(2);
+    bool writeback = false;
+    buffer.insert(1, writeback);
+    buffer.markDirty(1);
+    buffer.insert(2, writeback);
+    buffer.insert(3, writeback);  // Evicts dirty bucket 1.
+    EXPECT_TRUE(writeback);
+    EXPECT_EQ(buffer.stats().writebacks, 1u);
+}
+
+TEST(BucketBuffer, ProbeRefreshesLru)
+{
+    BucketBuffer buffer(2);
+    bool writeback = false;
+    buffer.insert(1, writeback);
+    buffer.insert(2, writeback);
+    EXPECT_TRUE(buffer.probe(1));  // 2 becomes LRU.
+    buffer.insert(3, writeback);
+    EXPECT_TRUE(buffer.probe(1));
+    EXPECT_FALSE(buffer.probe(2));
+}
+
+TEST(BucketBuffer, DuplicateInsertKeepsDirtiness)
+{
+    BucketBuffer buffer(2);
+    bool writeback = false;
+    buffer.insert(5, writeback);
+    buffer.markDirty(5);
+    buffer.insert(5, writeback);  // Re-insert must not lose dirty bit.
+    buffer.insert(6, writeback);
+    buffer.insert(7, writeback);  // Evicts 5.
+    EXPECT_TRUE(writeback);
+}
+
+TEST(BucketBuffer, FlushDrainsAllDirty)
+{
+    BucketBuffer buffer(4);
+    bool writeback = false;
+    for (std::uint64_t b = 0; b < 4; ++b) {
+        buffer.insert(b, writeback);
+        buffer.markDirty(b);
+    }
+    EXPECT_EQ(buffer.flush(), 4u);
+    EXPECT_EQ(buffer.flush(), 0u);  // Now clean.
+}
+
+TEST(BucketBuffer, SizeBounded)
+{
+    BucketBuffer buffer(3);
+    bool writeback = false;
+    for (std::uint64_t b = 0; b < 10; ++b)
+        buffer.insert(b, writeback);
+    EXPECT_EQ(buffer.size(), 3u);
+    EXPECT_EQ(buffer.capacity(), 3u);
+}
+
+} // namespace
+} // namespace stms

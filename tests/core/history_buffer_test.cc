@@ -1,0 +1,108 @@
+/** @file Unit tests for the circular history buffer. */
+
+#include <gtest/gtest.h>
+
+#include "core/history_buffer.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(HistoryBuffer, AppendAssignsMonotonicSequences)
+{
+    HistoryBuffer buffer(16);
+    for (SeqNum expected = 0; expected < 10; ++expected)
+        EXPECT_EQ(buffer.append(blockAddress(expected)), expected);
+    EXPECT_EQ(buffer.head(), 10u);
+}
+
+TEST(HistoryBuffer, ReadBackWithinRetention)
+{
+    HistoryBuffer buffer(8);
+    for (Addr i = 0; i < 8; ++i)
+        buffer.append(blockAddress(100 + i));
+    for (SeqNum seq = 0; seq < 8; ++seq) {
+        ASSERT_TRUE(buffer.valid(seq));
+        EXPECT_EQ(buffer.at(seq).block, blockAddress(100 + seq));
+    }
+}
+
+TEST(HistoryBuffer, WrapInvalidatesOldEntries)
+{
+    HistoryBuffer buffer(4);
+    for (Addr i = 0; i < 10; ++i)
+        buffer.append(blockAddress(i));
+    EXPECT_FALSE(buffer.valid(0));
+    EXPECT_FALSE(buffer.valid(5));
+    EXPECT_TRUE(buffer.valid(6));
+    EXPECT_TRUE(buffer.valid(9));
+    EXPECT_FALSE(buffer.valid(10));  // Not yet written.
+    EXPECT_EQ(buffer.at(9).block, blockAddress(9));
+}
+
+TEST(HistoryBuffer, UnboundedKeepsEverything)
+{
+    HistoryBuffer buffer(0);
+    EXPECT_TRUE(buffer.unbounded());
+    for (Addr i = 0; i < 10000; ++i)
+        buffer.append(blockAddress(i));
+    EXPECT_TRUE(buffer.valid(0));
+    EXPECT_EQ(buffer.at(0).block, blockAddress(0));
+    EXPECT_EQ(buffer.at(9999).block, blockAddress(9999));
+}
+
+TEST(HistoryBuffer, EndMarksStickUntilOverwrite)
+{
+    HistoryBuffer buffer(8);
+    buffer.append(blockAddress(1));
+    buffer.append(blockAddress(2));
+    EXPECT_FALSE(buffer.at(1).endMark);
+    EXPECT_TRUE(buffer.setEndMark(1));
+    EXPECT_TRUE(buffer.at(1).endMark);
+    // Overwriting the slot clears the mark.
+    for (Addr i = 0; i < 8; ++i)
+        buffer.append(blockAddress(10 + i));
+    EXPECT_FALSE(buffer.at(9).endMark);
+}
+
+TEST(HistoryBuffer, EndMarkOnInvalidSeqRejected)
+{
+    HistoryBuffer buffer(4);
+    buffer.append(blockAddress(1));
+    EXPECT_FALSE(buffer.setEndMark(5));   // Beyond head.
+    for (Addr i = 0; i < 6; ++i)
+        buffer.append(blockAddress(i));
+    EXPECT_FALSE(buffer.setEndMark(0));   // Aged out.
+}
+
+TEST(HistoryBuffer, BlockPackingSignalsWrites)
+{
+    HistoryBuffer buffer(64, /*entries_per_block=*/4);
+    int completed = 0;
+    for (int i = 0; i < 12; ++i) {
+        buffer.append(blockAddress(static_cast<Addr>(i)));
+        completed += buffer.lastAppendCompletedBlock() ? 1 : 0;
+    }
+    EXPECT_EQ(completed, 3);  // 12 appends / 4 per block.
+}
+
+TEST(HistoryBuffer, FootprintMatchesPacking)
+{
+    HistoryBuffer bounded(1200, 12);
+    EXPECT_EQ(bounded.footprintBytes(), 100 * kBlockBytes);
+    HistoryBuffer unbounded(0, 12);
+    for (int i = 0; i < 24; ++i)
+        unbounded.append(blockAddress(static_cast<Addr>(i)));
+    EXPECT_EQ(unbounded.footprintBytes(), 2 * kBlockBytes);
+}
+
+TEST(HistoryBufferDeath, ReadingInvalidSeqPanics)
+{
+    HistoryBuffer buffer(4);
+    buffer.append(blockAddress(1));
+    EXPECT_DEATH(buffer.at(3), "invalid seq");
+}
+
+} // namespace
+} // namespace stms

@@ -1,0 +1,147 @@
+/** @file Unit tests for the bucketized hash index table. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/index_table.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(HistoryPointer, PackUnpackRoundTrip)
+{
+    for (CoreId core : {0u, 1u, 3u, 255u}) {
+        for (SeqNum seq : {SeqNum{0}, SeqNum{12345},
+                           (SeqNum{1} << 47) + 99}) {
+            HistoryPointer original{core, seq};
+            HistoryPointer copy =
+                HistoryPointer::unpack(original.packed());
+            EXPECT_EQ(copy.core, core);
+            EXPECT_EQ(copy.seq, seq);
+        }
+    }
+}
+
+TEST(IndexTable, UpdateThenLookup)
+{
+    IndexTable table(1 << 20);
+    table.update(blockAddress(42), HistoryPointer{1, 7});
+    auto pointer = table.lookup(blockAddress(42));
+    ASSERT_TRUE(pointer.has_value());
+    EXPECT_EQ(pointer->core, 1u);
+    EXPECT_EQ(pointer->seq, 7u);
+    EXPECT_FALSE(table.lookup(blockAddress(43)).has_value());
+}
+
+TEST(IndexTable, UpdateRefreshesPointer)
+{
+    IndexTable table(1 << 20);
+    table.update(blockAddress(42), HistoryPointer{0, 1});
+    table.update(blockAddress(42), HistoryPointer{0, 99});
+    auto pointer = table.lookup(blockAddress(42));
+    ASSERT_TRUE(pointer.has_value());
+    EXPECT_EQ(pointer->seq, 99u);
+    EXPECT_EQ(table.occupancy(), 1u);
+}
+
+TEST(IndexTable, BucketLruEvictsOldest)
+{
+    // One bucket only: every address collides.
+    IndexTable table(kBlockBytes, /*entries_per_bucket=*/4);
+    EXPECT_EQ(table.numBuckets(), 1u);
+    for (Addr i = 0; i < 5; ++i)
+        table.update(blockAddress(i), HistoryPointer{0, i});
+    // The first-inserted (LRU) pair must be gone; the rest remain.
+    EXPECT_FALSE(table.lookup(blockAddress(0)).has_value());
+    for (Addr i = 1; i < 5; ++i)
+        EXPECT_TRUE(table.lookup(blockAddress(i)).has_value());
+    EXPECT_EQ(table.stats().replacements, 1u);
+}
+
+TEST(IndexTable, LookupRefreshesLru)
+{
+    IndexTable table(kBlockBytes, 2);
+    table.update(blockAddress(1), HistoryPointer{0, 1});
+    table.update(blockAddress(2), HistoryPointer{0, 2});
+    // Touch 1 so 2 becomes LRU, then insert 3.
+    EXPECT_TRUE(table.lookup(blockAddress(1)).has_value());
+    table.update(blockAddress(3), HistoryPointer{0, 3});
+    EXPECT_TRUE(table.lookup(blockAddress(1)).has_value());
+    EXPECT_FALSE(table.lookup(blockAddress(2)).has_value());
+}
+
+TEST(IndexTable, UnboundedNeverEvicts)
+{
+    IndexTable table(0);
+    EXPECT_TRUE(table.unbounded());
+    for (Addr i = 0; i < 100000; ++i)
+        table.update(blockAddress(i), HistoryPointer{0, i});
+    EXPECT_EQ(table.occupancy(), 100000u);
+    for (Addr i : {Addr{0}, Addr{50000}, Addr{99999}})
+        EXPECT_TRUE(table.lookup(blockAddress(i)).has_value());
+}
+
+TEST(IndexTable, StatsCountHitsAndMisses)
+{
+    IndexTable table(1 << 16);
+    table.update(blockAddress(5), HistoryPointer{0, 5});
+    table.lookup(blockAddress(5));
+    table.lookup(blockAddress(6));
+    EXPECT_EQ(table.stats().lookups, 2u);
+    EXPECT_EQ(table.stats().lookupHits, 1u);
+    EXPECT_EQ(table.stats().updates, 1u);
+    EXPECT_EQ(table.stats().inserts, 1u);
+    table.resetStats();
+    EXPECT_EQ(table.stats().lookups, 0u);
+}
+
+TEST(IndexTable, FootprintMatchesConfiguredBytes)
+{
+    IndexTable table(16ULL << 20);
+    EXPECT_EQ(table.footprintBytes(), 16ULL << 20);
+    EXPECT_EQ(table.numBuckets(), (16ULL << 20) / kBlockBytes);
+}
+
+TEST(IndexTable, HashSpreadsAcrossBuckets)
+{
+    IndexTable table(1 << 16, 12);  // 1024 buckets.
+    std::vector<std::uint64_t> used;
+    for (Addr i = 0; i < 512; ++i)
+        used.push_back(table.bucketOf(blockAddress(i * 64)));
+    std::sort(used.begin(), used.end());
+    const auto distinct = static_cast<std::size_t>(
+        std::unique(used.begin(), used.end()) - used.begin());
+    // 512 balls into 1024 bins: expect ~400+ distinct bins.
+    EXPECT_GT(distinct, 350u);
+}
+
+TEST(IndexTable, FullLoadKeepsHitRateForHotSet)
+{
+    // In-bucket LRU should retain a recently re-touched working set
+    // even under heavy insertion pressure (Sec. 5.3).
+    IndexTable table(1 << 14, 12);
+    std::vector<Addr> hot;
+    for (Addr i = 0; i < 64; ++i)
+        hot.push_back(blockAddress(1000000 + i));
+    for (int round = 0; round < 50; ++round) {
+        for (Addr addr : hot) {
+            table.update(addr, HistoryPointer{0, 1});
+            table.lookup(addr);
+        }
+        for (Addr i = 0; i < 200; ++i) {
+            table.update(
+                blockAddress(static_cast<Addr>(round) * 1000 + i),
+                HistoryPointer{0, 2});
+        }
+    }
+    int hits = 0;
+    for (Addr addr : hot)
+        hits += table.lookup(addr).has_value() ? 1 : 0;
+    EXPECT_GT(hits, 48);  // >75% of the hot set survives.
+}
+
+} // namespace
+} // namespace stms

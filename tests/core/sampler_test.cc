@@ -1,0 +1,68 @@
+/** @file Unit and statistical tests for the probabilistic sampler. */
+
+#include <gtest/gtest.h>
+
+#include "core/sampler.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(Sampler, AlwaysAndNever)
+{
+    UpdateSampler always(1.0);
+    UpdateSampler never(0.0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(always.shouldUpdate());
+        EXPECT_FALSE(never.shouldUpdate());
+    }
+    EXPECT_DOUBLE_EQ(always.observedRate(), 1.0);
+    EXPECT_DOUBLE_EQ(never.observedRate(), 0.0);
+}
+
+class SamplerRates : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SamplerRates, ObservedRateConvergesToProbability)
+{
+    const double p = GetParam();
+    UpdateSampler sampler(p, 1234);
+    constexpr int trials = 200000;
+    for (int i = 0; i < trials; ++i)
+        sampler.shouldUpdate();
+    EXPECT_EQ(sampler.offered(), static_cast<std::uint64_t>(trials));
+    EXPECT_NEAR(sampler.observedRate(), p, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, SamplerRates,
+                         ::testing::Values(0.01, 0.0625, 0.125, 0.25,
+                                           0.5, 0.9));
+
+TEST(Sampler, DeterministicForSeed)
+{
+    UpdateSampler a(0.125, 42), b(0.125, 42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.shouldUpdate(), b.shouldUpdate());
+}
+
+TEST(Sampler, ResetClearsCountsOnly)
+{
+    UpdateSampler sampler(0.5, 7);
+    for (int i = 0; i < 100; ++i)
+        sampler.shouldUpdate();
+    sampler.resetStats();
+    EXPECT_EQ(sampler.offered(), 0u);
+    EXPECT_EQ(sampler.taken(), 0u);
+    EXPECT_DOUBLE_EQ(sampler.probability(), 0.5);
+}
+
+TEST(SamplerDeath, RejectsOutOfRangeProbability)
+{
+    EXPECT_DEATH(UpdateSampler(-0.1), "out of");
+    EXPECT_DEATH(UpdateSampler(1.5), "out of");
+}
+
+} // namespace
+} // namespace stms

@@ -1,0 +1,146 @@
+/** @file Property-style TEST_P sweeps over the STMS configuration
+ *  space: invariants that must hold for EVERY configuration. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/stms.hh"
+#include "prefetch/stride.hh"
+#include "sim/system.hh"
+#include "workload/workloads.hh"
+
+namespace stms
+{
+namespace
+{
+
+/** (sampling probability, stream slots, end marks enabled). */
+using ConfigPoint = std::tuple<double, std::uint32_t, bool>;
+
+class StmsConfigMatrix : public ::testing::TestWithParam<ConfigPoint>
+{
+  protected:
+    static const Trace &
+    trace()
+    {
+        static const Trace instance = WorkloadGenerator(
+            makeWorkload("oltp-db2", 48 * 1024)).generate();
+        return instance;
+    }
+
+    struct Run
+    {
+        SimResult result;
+        StmsStats stms;
+        std::uint64_t samplerOffered;
+        std::uint64_t samplerTaken;
+    };
+
+    Run
+    run() const
+    {
+        auto [p, slots, marks] = GetParam();
+        SimConfig config;
+        config.warmupRecords = trace().totalRecords() / 4;
+        config.memory.mem.functional = true;
+        CmpSystem system(config, trace());
+        StridePrefetcher stride;
+        system.addPrefetcher(&stride);
+        StmsConfig sc;
+        sc.samplingProbability = p;
+        sc.streamsPerCore = slots;
+        sc.useEndMarks = marks;
+        StmsPrefetcher stms(sc);
+        system.addPrefetcher(&stms);
+        Run out;
+        out.result = system.run();
+        out.stms = stms.stats();
+        out.samplerOffered = stms.sampler().offered();
+        out.samplerTaken = stms.sampler().taken();
+        return out;
+    }
+};
+
+TEST_P(StmsConfigMatrix, AccountingIdentitiesHold)
+{
+    Run out = run();
+    const auto &pf = out.result.prefetchers.at(1);
+    // Everything issued is eventually useful, partial, erroneous, or
+    // still resident in the prefetch buffer / in flight at the end.
+    EXPECT_LE(pf.useful + pf.partial + pf.erroneous, pf.issued);
+    // Lookup accounting: hits cannot exceed lookups; started streams
+    // cannot exceed hits (stale pointers and duplicates drop some).
+    EXPECT_LE(out.stms.lookupHits, out.stms.lookups);
+    EXPECT_LE(out.stms.streamsStarted, out.stms.lookupHits);
+    // Streams end at most as often as they start (plus active ones).
+    EXPECT_LE(out.stms.streamsEnded, out.stms.streamsStarted);
+    // Consumption is a subset of followed entries.
+    EXPECT_LE(out.stms.consumed, out.stms.followed);
+}
+
+TEST_P(StmsConfigMatrix, SamplerObeysProbability)
+{
+    Run out = run();
+    auto [p, slots, marks] = GetParam();
+    (void)slots;
+    (void)marks;
+    if (out.samplerOffered > 10000) {
+        const double observed =
+            static_cast<double>(out.samplerTaken) /
+            static_cast<double>(out.samplerOffered);
+        EXPECT_NEAR(observed, p, 0.02);
+    }
+}
+
+TEST_P(StmsConfigMatrix, TrafficOnlyFromEnabledSources)
+{
+    Run out = run();
+    auto [p, slots, marks] = GetParam();
+    (void)slots;
+    const auto &traffic = out.result.traffic;
+    if (p == 0.0) {
+        // No sampled updates -> no update traffic at all.
+        EXPECT_EQ(traffic.bytesFor(TrafficClass::MetaUpdate), 0u);
+    } else {
+        EXPECT_GT(traffic.bytesFor(TrafficClass::MetaUpdate), 0u);
+    }
+    if (!marks) {
+        EXPECT_EQ(out.stms.endMarksWritten, 0u);
+        EXPECT_EQ(out.stms.pauses, 0u);
+    }
+    // Record traffic is bounded by logged/12 (+ end marks).
+    const std::uint64_t record_blocks =
+        traffic.bytesFor(TrafficClass::MetaRecord) / kBlockBytes;
+    EXPECT_LE(record_blocks,
+              out.stms.logged / 12 + out.stms.endMarksWritten + 1);
+}
+
+TEST_P(StmsConfigMatrix, DeterministicRepeatability)
+{
+    Run a = run();
+    Run b = run();
+    EXPECT_EQ(a.result.mem.offchipReads, b.result.mem.offchipReads);
+    EXPECT_EQ(a.result.traffic.totalBytes(),
+              b.result.traffic.totalBytes());
+    EXPECT_EQ(a.stms.consumed, b.stms.consumed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StmsConfigMatrix,
+    ::testing::Combine(::testing::Values(0.0, 0.125, 1.0),
+                       ::testing::Values(1u, 4u),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ConfigPoint> &info) {
+        const double p = std::get<0>(info.param);
+        const std::uint32_t slots = std::get<1>(info.param);
+        const bool marks = std::get<2>(info.param);
+        std::string name = "p";
+        name += p == 0.0 ? "0" : (p == 1.0 ? "100" : "12");
+        name += "_slots" + std::to_string(slots);
+        name += marks ? "_marks" : "_nomarks";
+        return name;
+    });
+
+} // namespace
+} // namespace stms

@@ -1,0 +1,175 @@
+/** @file Integration tests of coverage properties across the suite. */
+
+#include <gtest/gtest.h>
+
+#include "core/stms.hh"
+#include "prefetch/stride.hh"
+#include "sim/system.hh"
+#include "workload/workloads.hh"
+
+namespace stms
+{
+namespace
+{
+
+double
+coverageOf(const Trace &trace, const StmsConfig &stms_config)
+{
+    SimConfig config;
+    config.warmupRecords = trace.totalRecords() / 4;
+    config.memory.mem.functional = true;
+    config.memory.l1Latency = 0;
+    config.memory.l2Latency = 0;
+    config.memory.prefetchBufLatency = 0;
+    CmpSystem system(config, trace);
+    StridePrefetcher stride;
+    system.addPrefetcher(&stride);
+    StmsPrefetcher stms(stms_config);
+    system.addPrefetcher(&stms);
+    SimResult result = system.run();
+    const auto &pf = result.prefetchers.at(1);
+    const double covered = static_cast<double>(pf.useful + pf.partial);
+    const double denom =
+        covered + static_cast<double>(result.mem.offchipReads);
+    return denom > 0 ? covered / denom : 0.0;
+}
+
+Trace
+makeTrace(const char *name, std::uint64_t records = 96 * 1024)
+{
+    return WorkloadGenerator(makeWorkload(name, records)).generate();
+}
+
+TEST(Coverage, ScientificBeatsCommercialBeatsDss)
+{
+    const StmsConfig ideal = makeIdealTmsConfig();
+    const double sci = coverageOf(makeTrace("sci-ocean", 128 * 1024),
+                                  ideal);
+    const double oltp =
+        coverageOf(makeTrace("oltp-db2", 160 * 1024), ideal);
+    const double dss = coverageOf(makeTrace("dss-db2"), ideal);
+    EXPECT_GT(sci, 0.6);
+    EXPECT_GT(oltp, 0.25);
+    EXPECT_GT(sci, oltp);
+    EXPECT_GT(oltp, dss);
+    EXPECT_LT(dss, 0.35);
+}
+
+TEST(Coverage, GrowsWithHistorySize)
+{
+    Trace trace = makeTrace("web-apache");
+    double previous = -1.0;
+    for (std::uint64_t entries :
+         {8ULL << 10, 64ULL << 10, 512ULL << 10}) {
+        StmsConfig config = makeIdealTmsConfig();
+        config.historyEntriesPerCore = entries;
+        const double coverage = coverageOf(trace, config);
+        EXPECT_GE(coverage, previous - 0.02)
+            << "coverage must not fall as history grows";
+        previous = coverage;
+    }
+}
+
+TEST(Coverage, ScientificBimodalInHistorySize)
+{
+    Trace trace = makeTrace("sci-ocean", 128 * 1024);
+    StmsConfig small = makeIdealTmsConfig();
+    small.historyEntriesPerCore = 4096;  // << iteration length.
+    StmsConfig large = makeIdealTmsConfig();
+    large.historyEntriesPerCore = 256 * 1024;  // Holds iterations.
+    const double low = coverageOf(trace, small);
+    const double high = coverageOf(trace, large);
+    EXPECT_LT(low, 0.25);
+    EXPECT_GT(high, 0.6);
+}
+
+TEST(Coverage, FallsOnlySlowlyWithSampling)
+{
+    Trace trace = makeTrace("oltp-db2", 128 * 1024);
+    StmsConfig full;
+    full.samplingProbability = 1.0;
+    StmsConfig eighth;
+    eighth.samplingProbability = 0.125;
+    const double at_full = coverageOf(trace, full);
+    const double at_eighth = coverageOf(trace, eighth);
+    // Paper: small loss; we require retaining >= 2/3 of coverage
+    // while cutting update traffic 8x.
+    EXPECT_GT(at_eighth, at_full * 0.66);
+    EXPECT_GT(at_full, 0.3);
+}
+
+TEST(Coverage, DepthRestrictionLosesCoverage)
+{
+    Trace trace = makeTrace("web-zeus");
+    StmsConfig unbounded = makeIdealTmsConfig();
+    StmsConfig shallow = makeIdealTmsConfig();
+    shallow.maxStreamDepth = 3;
+    const double full = coverageOf(trace, unbounded);
+    const double capped = coverageOf(trace, shallow);
+    EXPECT_LT(capped, full);
+    EXPECT_GT(full - capped, 0.05)
+        << "fixed depth 3 should cost real coverage (Fig. 6 right)";
+}
+
+TEST(Coverage, EndMarksReduceErroneousPrefetches)
+{
+    Trace trace = makeTrace("oltp-db2");
+    auto erroneous = [&](bool marks) {
+        SimConfig config;
+        config.warmupRecords = trace.totalRecords() / 4;
+        config.memory.mem.functional = true;
+        CmpSystem system(config, trace);
+        StridePrefetcher stride;
+        system.addPrefetcher(&stride);
+        StmsConfig sc = makeIdealTmsConfig();
+        sc.useEndMarks = marks;
+        StmsPrefetcher stms(sc);
+        system.addPrefetcher(&stms);
+        SimResult result = system.run();
+        return result.prefetchers.at(1).erroneous;
+    };
+    EXPECT_LT(erroneous(true), erroneous(false));
+}
+
+TEST(Coverage, SharedIndexEnablesCrossCoreStreams)
+{
+    // Build a trace where core 1 replays core 0's sequence; only a
+    // shared index table can cover those misses from core 0's log.
+    Trace trace;
+    trace.name = "cross-core";
+    trace.perCore.resize(2);
+    Rng rng(404);
+    std::vector<Addr> body;
+    for (int i = 0; i < 4000; ++i)
+        body.push_back(blockAddress(0x500000 + rng.below(1u << 20)));
+    auto pad = [&](CoreId c, int n) {
+        for (int i = 0; i < n; ++i) {
+            trace.perCore[c].push_back(TraceRecord{
+                blockAddress((0x900000ULL << c) + rng.below(1u << 22)),
+                40, 0});
+        }
+    };
+    for (Addr a : body)
+        trace.perCore[0].push_back(TraceRecord{a, 40, 0});
+    pad(0, 8000);
+    pad(1, 6000);  // Keep core 1 busy while core 0 records.
+    for (Addr a : body)
+        trace.perCore[1].push_back(TraceRecord{a, 40, 0});
+
+    SimConfig config;
+    // Shrink the L2 so core 0's body is evicted before core 1 replays
+    // it: coverage must come from the history, not cache residency.
+    config.memory.l2.sizeBytes = 512 * 1024;
+    CmpSystem system(config, trace);
+    StmsConfig sc = makeIdealTmsConfig();
+    StmsPrefetcher stms(sc);
+    system.addPrefetcher(&stms);
+    SimResult result = system.run();
+    // Core 1's replay must be covered from core 0's history buffer.
+    EXPECT_GT(result.prefetchers.at(0).useful +
+                  result.prefetchers.at(0).partial,
+              body.size() / 4);
+}
+
+} // namespace
+} // namespace stms

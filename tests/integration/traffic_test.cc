@@ -1,0 +1,158 @@
+/** @file Integration tests of meta-data traffic properties. */
+
+#include <gtest/gtest.h>
+
+#include "core/stms.hh"
+#include "prefetch/stride.hh"
+#include "sim/system.hh"
+#include "workload/workloads.hh"
+
+namespace stms
+{
+namespace
+{
+
+struct TrafficRun
+{
+    SimResult result;
+    StmsStats stms;
+};
+
+TrafficRun
+run(const Trace &trace, const StmsConfig &stms_config,
+    bool functional = true)
+{
+    SimConfig config;
+    config.warmupRecords = trace.totalRecords() / 4;
+    config.memory.mem.functional = functional;
+    CmpSystem system(config, trace);
+    StridePrefetcher stride;
+    system.addPrefetcher(&stride);
+    StmsPrefetcher stms(stms_config);
+    system.addPrefetcher(&stms);
+    TrafficRun out;
+    out.result = system.run();
+    out.stms = stms.stats();
+    return out;
+}
+
+Trace
+makeTrace(const char *name, std::uint64_t records = 96 * 1024)
+{
+    return WorkloadGenerator(makeWorkload(name, records)).generate();
+}
+
+TEST(Traffic, UpdateBytesProportionalToSampling)
+{
+    Trace trace = makeTrace("oltp-db2");
+    StmsConfig full;
+    full.samplingProbability = 1.0;
+    StmsConfig eighth;
+    eighth.samplingProbability = 0.125;
+    TrafficRun at_full = run(trace, full);
+    TrafficRun at_eighth = run(trace, eighth);
+
+    const double full_update = static_cast<double>(
+        at_full.result.traffic.bytesFor(TrafficClass::MetaUpdate));
+    const double eighth_update = static_cast<double>(
+        at_eighth.result.traffic.bytesFor(TrafficClass::MetaUpdate));
+    ASSERT_GT(full_update, 0.0);
+    // Paper: update bandwidth directly proportional to p (Sec. 4.4).
+    EXPECT_NEAR(eighth_update / full_update, 0.125, 0.07);
+}
+
+TEST(Traffic, RecordWritesAreBlockPacked)
+{
+    Trace trace = makeTrace("web-apache");
+    StmsConfig config;
+    config.useEndMarks = false;  // Isolate append traffic.
+    TrafficRun out = run(trace, config);
+    const std::uint64_t appends = out.stms.logged;
+    const std::uint64_t writes =
+        out.result.traffic.bytesFor(TrafficClass::MetaRecord) /
+        kBlockBytes;
+    // One block write per 12 appends (Sec. 5.5), modulo rounding.
+    EXPECT_NEAR(static_cast<double>(writes),
+                static_cast<double>(appends) / 12.0,
+                static_cast<double>(appends) * 0.01 + 8);
+}
+
+TEST(Traffic, IdealModeHasZeroMetaBytes)
+{
+    Trace trace = makeTrace("oltp-db2");
+    TrafficRun out = run(trace, makeIdealTmsConfig());
+    EXPECT_EQ(out.result.traffic.bytesFor(TrafficClass::MetaLookup),
+              0u);
+    EXPECT_EQ(out.result.traffic.bytesFor(TrafficClass::MetaUpdate),
+              0u);
+    EXPECT_EQ(out.result.traffic.bytesFor(TrafficClass::MetaRecord),
+              0u);
+    // Data prefetches still move blocks.
+    EXPECT_GT(out.result.traffic.bytesFor(TrafficClass::Prefetch), 0u);
+}
+
+TEST(Traffic, LookupTrafficScalesWithMisses)
+{
+    Trace trace = makeTrace("oltp-db2");
+    StmsConfig config;
+    TrafficRun out = run(trace, config);
+    const std::uint64_t lookup_blocks =
+        out.result.traffic.bytesFor(TrafficClass::MetaLookup) /
+        kBlockBytes;
+    // At least one block per performed lookup that missed the bucket
+    // buffer; bounded by lookups + history fetches.
+    EXPECT_GT(lookup_blocks, out.stms.lookups / 2);
+    EXPECT_LT(lookup_blocks,
+              out.stms.lookups + out.stms.followed / 4 + 1000);
+}
+
+TEST(Traffic, BucketBufferAbsorbsSomeUpdateReads)
+{
+    Trace trace = makeTrace("oltp-db2");
+    StmsConfig with_buffer;
+    with_buffer.bucketBufferBuckets = 4096;  // Generous.
+    StmsConfig tiny_buffer;
+    tiny_buffer.bucketBufferBuckets = 1;
+    TrafficRun buffered = run(trace, with_buffer);
+    TrafficRun unbuffered = run(trace, tiny_buffer);
+    EXPECT_LT(
+        buffered.result.traffic.bytesFor(TrafficClass::MetaUpdate),
+        unbuffered.result.traffic.bytesFor(TrafficClass::MetaUpdate));
+}
+
+TEST(Traffic, OverheadPerDataByteSaneAtDefaultSampling)
+{
+    Trace trace = makeTrace("web-apache");
+    StmsConfig config;  // 12.5%.
+    TrafficRun out = run(trace, config);
+    EXPECT_GT(out.result.overheadPerDataByte, 0.0);
+    EXPECT_LT(out.result.overheadPerDataByte, 4.0);
+}
+
+TEST(Traffic, DemandPriorityUnaffectedByMetaFlood)
+{
+    // With timing on, a demand-only run and a run with heavy meta
+    // traffic must both finish; demand IPC should not collapse.
+    Trace trace = makeTrace("oltp-db2", 48 * 1024);
+    SimConfig config;
+    config.warmupRecords = trace.totalRecords() / 4;
+    CmpSystem base_system(config, trace);
+    StridePrefetcher stride1;
+    base_system.addPrefetcher(&stride1);
+    SimResult base = base_system.run();
+
+    CmpSystem heavy_system(config, trace);
+    StridePrefetcher stride2;
+    heavy_system.addPrefetcher(&stride2);
+    StmsConfig heavy;
+    heavy.samplingProbability = 1.0;  // Max meta traffic.
+    StmsPrefetcher stms(heavy);
+    heavy_system.addPrefetcher(&stms);
+    SimResult with_meta = heavy_system.run();
+
+    EXPECT_GT(with_meta.ipc, base.ipc * 0.8)
+        << "low-priority meta traffic must not crush demand IPC";
+}
+
+} // namespace
+} // namespace stms

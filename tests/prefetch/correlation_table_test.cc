@@ -1,0 +1,151 @@
+/** @file Unit tests for the fixed-depth correlation prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/correlation_table.hh"
+
+namespace stms
+{
+namespace
+{
+
+class RecordingPort : public PrefetchPort
+{
+  public:
+    IssueResult
+    issuePrefetch(Prefetcher &, CoreId, Addr block) override
+    {
+        issued.push_back(block);
+        return IssueResult::Issued;
+    }
+    void
+    metaRequest(TrafficClass cls, std::uint32_t blocks,
+                std::function<void(Cycle)> done) override
+    {
+        metaBlocks[static_cast<std::size_t>(cls)] += blocks;
+        if (done)
+            done(now_);
+    }
+    Cycle now() const override { return now_; }
+    std::uint32_t prefetchRoom(const Prefetcher &,
+                               CoreId) const override
+    {
+        return 16;
+    }
+
+    std::vector<Addr> issued;
+    std::array<std::uint64_t, kNumTrafficClasses> metaBlocks{};
+    Cycle now_ = 0;
+};
+
+CorrelationConfig
+onchipDepth(std::uint32_t depth)
+{
+    CorrelationConfig config;
+    config.depth = depth;
+    config.offchipMeta = false;
+    return config;
+}
+
+TEST(Correlation, LearnsFixedDepthSuccessorSequence)
+{
+    RecordingPort port;
+    CorrelationPrefetcher corr(onchipDepth(3));
+    corr.attach(port, 1, 0);
+    // Miss sequence A B C D: entry for A = {B, C, D}.
+    for (Addr block : {10, 20, 30, 40})
+        corr.onOffchipRead(0, blockAddress(static_cast<Addr>(block)));
+    port.issued.clear();
+    corr.onOffchipRead(0, blockAddress(10));
+    ASSERT_EQ(port.issued.size(), 3u);
+    EXPECT_EQ(port.issued[0], blockAddress(20));
+    EXPECT_EQ(port.issued[1], blockAddress(30));
+    EXPECT_EQ(port.issued[2], blockAddress(40));
+}
+
+TEST(Correlation, DepthBoundsPrefetchCount)
+{
+    for (std::uint32_t depth : {1u, 2u, 6u}) {
+        RecordingPort port;
+        CorrelationPrefetcher corr(onchipDepth(depth));
+        corr.attach(port, 1, 0);
+        for (Addr i = 0; i < 20; ++i)
+            corr.onOffchipRead(0, blockAddress(100 + i));
+        port.issued.clear();
+        corr.onOffchipRead(0, blockAddress(100));
+        EXPECT_EQ(port.issued.size(), depth);
+    }
+}
+
+TEST(Correlation, OffchipMetaChargesLookupAndRmwUpdate)
+{
+    RecordingPort port;
+    CorrelationConfig config;
+    config.depth = 2;
+    config.offchipMeta = true;
+    CorrelationPrefetcher corr(config);
+    corr.attach(port, 1, 0);
+    for (Addr i = 0; i < 10; ++i)
+        corr.onOffchipRead(0, blockAddress(500 + i));
+    // Every miss does one lookup block read...
+    EXPECT_EQ(port.metaBlocks[static_cast<std::size_t>(
+                  TrafficClass::MetaLookup)],
+              10u);
+    // ...and each completed window (misses 3..10 = 8 windows for
+    // depth 2) a read + write update.
+    EXPECT_EQ(port.metaBlocks[static_cast<std::size_t>(
+                  TrafficClass::MetaUpdate)],
+              2u * corr.updates());
+    EXPECT_GT(corr.updates(), 0u);
+}
+
+TEST(Correlation, EpochModeSuppressesBackToBackLookups)
+{
+    RecordingPort port;
+    CorrelationConfig config;
+    config.depth = 2;
+    config.offchipMeta = true;
+    config.epochMode = true;
+    config.epochGap = 100;
+    CorrelationPrefetcher corr(config);
+    corr.attach(port, 1, 0);
+
+    port.now_ = 1;  // Nonzero so the first lookup fires.
+    corr.onOffchipRead(0, blockAddress(1));
+    corr.onOffchipRead(0, blockAddress(2));  // Same epoch: no lookup.
+    corr.onOffchipRead(0, blockAddress(3));
+    EXPECT_EQ(corr.lookups(), 1u);
+    port.now_ = 200;  // New epoch.
+    corr.onOffchipRead(0, blockAddress(4));
+    EXPECT_EQ(corr.lookups(), 2u);
+}
+
+TEST(Correlation, NonEpochLooksUpEveryMiss)
+{
+    RecordingPort port;
+    CorrelationPrefetcher corr(onchipDepth(2));
+    corr.attach(port, 1, 0);
+    for (Addr i = 0; i < 7; ++i)
+        corr.onOffchipRead(0, blockAddress(i));
+    EXPECT_EQ(corr.lookups(), 7u);
+}
+
+TEST(Correlation, SequenceUpdatesOverwriteStale)
+{
+    RecordingPort port;
+    CorrelationPrefetcher corr(onchipDepth(2));
+    corr.attach(port, 1, 0);
+    // First A -> {B, C}; later A -> {X, Y}.
+    for (Addr block : {1, 2, 3})
+        corr.onOffchipRead(0, blockAddress(static_cast<Addr>(block)));
+    for (Addr block : {1, 8, 9})
+        corr.onOffchipRead(0, blockAddress(static_cast<Addr>(block)));
+    port.issued.clear();
+    corr.onOffchipRead(0, blockAddress(1));
+    ASSERT_EQ(port.issued.size(), 2u);
+    EXPECT_EQ(port.issued[0], blockAddress(8));
+    EXPECT_EQ(port.issued[1], blockAddress(9));
+}
+
+} // namespace
+} // namespace stms

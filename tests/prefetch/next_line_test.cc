@@ -1,0 +1,83 @@
+/** @file Unit tests for the next-line prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/next_line.hh"
+
+namespace stms
+{
+namespace
+{
+
+class RecordingPort : public PrefetchPort
+{
+  public:
+    IssueResult
+    issuePrefetch(Prefetcher &, CoreId, Addr block) override
+    {
+        issued.push_back(block);
+        return IssueResult::Issued;
+    }
+    void metaRequest(TrafficClass, std::uint32_t,
+                     std::function<void(Cycle)> done) override
+    {
+        if (done)
+            done(0);
+    }
+    Cycle now() const override { return 0; }
+    std::uint32_t prefetchRoom(const Prefetcher &,
+                               CoreId) const override
+    {
+        return 16;
+    }
+
+    std::vector<Addr> issued;
+};
+
+TEST(NextLine, FetchesSuccessorBlock)
+{
+    RecordingPort port;
+    NextLinePrefetcher pf;
+    pf.attach(port, 1, 0);
+    pf.onOffchipRead(0, 0x1000);
+    ASSERT_EQ(port.issued.size(), 1u);
+    EXPECT_EQ(port.issued[0], 0x1000u + kBlockBytes);
+}
+
+TEST(NextLine, DegreeControlsRunAhead)
+{
+    RecordingPort port;
+    NextLineConfig config;
+    config.degree = 4;
+    NextLinePrefetcher pf(config);
+    pf.attach(port, 1, 0);
+    pf.onOffchipRead(0, blockAddress(100));
+    ASSERT_EQ(port.issued.size(), 4u);
+    for (std::uint32_t d = 0; d < 4; ++d)
+        EXPECT_EQ(port.issued[d], blockAddress(101 + d));
+}
+
+TEST(NextLine, SubBlockAddressesAlignFirst)
+{
+    RecordingPort port;
+    NextLinePrefetcher pf;
+    pf.attach(port, 1, 0);
+    pf.onOffchipRead(0, 0x1038);  // Mid-block.
+    ASSERT_EQ(port.issued.size(), 1u);
+    EXPECT_EQ(port.issued[0], 0x1040u);
+}
+
+TEST(NextLine, CountsTriggers)
+{
+    RecordingPort port;
+    NextLinePrefetcher pf;
+    pf.attach(port, 1, 0);
+    for (int i = 0; i < 5; ++i)
+        pf.onOffchipRead(0, blockAddress(static_cast<Addr>(i * 10)));
+    EXPECT_EQ(pf.triggered(), 5u);
+    pf.resetStats();
+    EXPECT_EQ(pf.triggered(), 0u);
+}
+
+} // namespace
+} // namespace stms

@@ -1,0 +1,76 @@
+/** @file Unit tests for the fully-associative prefetch buffer. */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/prefetch_buffer.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(PrefetchBuffer, InsertConsumeCycle)
+{
+    PrefetchBuffer buffer(4);
+    EXPECT_FALSE(buffer.contains(0x1000));
+    EXPECT_FALSE(buffer.insert(0x1000).has_value());
+    EXPECT_TRUE(buffer.contains(0x1000));
+    EXPECT_TRUE(buffer.consume(0x1000));
+    EXPECT_FALSE(buffer.contains(0x1000));
+    EXPECT_FALSE(buffer.consume(0x1000));
+}
+
+TEST(PrefetchBuffer, LruEvictionOnOverflow)
+{
+    PrefetchBuffer buffer(2);
+    buffer.insert(blockAddress(1));
+    buffer.insert(blockAddress(2));
+    auto evicted = buffer.insert(blockAddress(3));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, blockAddress(1));
+    EXPECT_TRUE(buffer.contains(blockAddress(2)));
+    EXPECT_TRUE(buffer.contains(blockAddress(3)));
+}
+
+TEST(PrefetchBuffer, DuplicateInsertRefreshesRecency)
+{
+    PrefetchBuffer buffer(2);
+    buffer.insert(blockAddress(1));
+    buffer.insert(blockAddress(2));
+    EXPECT_FALSE(buffer.insert(blockAddress(1)).has_value());
+    auto evicted = buffer.insert(blockAddress(3));
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, blockAddress(2));  // 1 was refreshed.
+}
+
+TEST(PrefetchBuffer, SubBlockAddressesAlias)
+{
+    PrefetchBuffer buffer(4);
+    buffer.insert(0x1008);
+    EXPECT_TRUE(buffer.contains(0x1000));
+    EXPECT_TRUE(buffer.consume(0x103F));
+}
+
+TEST(PrefetchBuffer, SizeAndRoomTrackOccupancy)
+{
+    PrefetchBuffer buffer(3);
+    EXPECT_EQ(buffer.size(), 0u);
+    EXPECT_EQ(buffer.room(), 3u);
+    buffer.insert(blockAddress(1));
+    buffer.insert(blockAddress(2));
+    EXPECT_EQ(buffer.size(), 2u);
+    EXPECT_EQ(buffer.room(), 1u);
+    buffer.consume(blockAddress(1));
+    EXPECT_EQ(buffer.room(), 2u);
+}
+
+TEST(PrefetchBuffer, InvalidateDropsSilently)
+{
+    PrefetchBuffer buffer(2);
+    buffer.insert(blockAddress(9));
+    EXPECT_TRUE(buffer.invalidate(blockAddress(9)));
+    EXPECT_FALSE(buffer.invalidate(blockAddress(9)));
+}
+
+} // namespace
+} // namespace stms

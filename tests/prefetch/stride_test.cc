@@ -1,0 +1,109 @@
+/** @file Unit tests for the stride prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/stride.hh"
+
+namespace stms
+{
+namespace
+{
+
+/** Records issued prefetches without any timing. */
+class RecordingPort : public PrefetchPort
+{
+  public:
+    IssueResult
+    issuePrefetch(Prefetcher &, CoreId, Addr block) override
+    {
+        issued.push_back(block);
+        return IssueResult::Issued;
+    }
+    void
+    metaRequest(TrafficClass cls, std::uint32_t blocks,
+                std::function<void(Cycle)> done) override
+    {
+        metaBlocks[static_cast<std::size_t>(cls)] += blocks;
+        if (done)
+            done(now_);
+    }
+    Cycle now() const override { return now_; }
+    std::uint32_t
+    prefetchRoom(const Prefetcher &, CoreId) const override
+    {
+        return 16;
+    }
+
+    std::vector<Addr> issued;
+    std::array<std::uint64_t, kNumTrafficClasses> metaBlocks{};
+    Cycle now_ = 0;
+};
+
+TEST(Stride, DetectsUnitStrideAndRunsAhead)
+{
+    RecordingPort port;
+    StridePrefetcher stride;
+    stride.attach(port, 1, 0);
+    for (int i = 0; i < 4; ++i)
+        stride.onOffchipRead(0, blockAddress(100 + i));
+    EXPECT_GT(stride.launches(), 0u);
+    ASSERT_FALSE(port.issued.empty());
+    // Prefetches run ahead of the last miss.
+    for (Addr addr : port.issued)
+        EXPECT_GT(addr, blockAddress(103 - 4));
+    EXPECT_EQ(port.issued[0], blockAddress(103));  // 102 + stride 1... first launch from miss 102.
+}
+
+TEST(Stride, DetectsLargerStrides)
+{
+    RecordingPort port;
+    StridePrefetcher stride;
+    stride.attach(port, 1, 0);
+    for (int i = 0; i < 5; ++i)
+        stride.onOffchipRead(0, blockAddress(1000 + 7 * i));
+    ASSERT_FALSE(port.issued.empty());
+    // Issued addresses continue the 7-block stride.
+    EXPECT_EQ(blockNumber(port.issued.back()) % 7, 1000u % 7);
+}
+
+TEST(Stride, IgnoresRandomMisses)
+{
+    RecordingPort port;
+    StridePrefetcher stride;
+    stride.attach(port, 1, 0);
+    // Far-apart random addresses never match a region.
+    Addr addrs[] = {blockAddress(10), blockAddress(5000),
+                    blockAddress(90000), blockAddress(1234567),
+                    blockAddress(777777)};
+    for (Addr addr : addrs)
+        stride.onOffchipRead(0, addr);
+    EXPECT_TRUE(port.issued.empty());
+}
+
+TEST(Stride, CoresAreIndependent)
+{
+    RecordingPort port;
+    StridePrefetcher stride;
+    stride.attach(port, 2, 0);
+    // Interleave: core 0 streams, core 1 wanders.
+    for (int i = 0; i < 6; ++i) {
+        stride.onOffchipRead(0, blockAddress(100 + i));
+        stride.onOffchipRead(1, blockAddress(100000 + 997 * i));
+    }
+    EXPECT_GT(stride.launches(), 0u);
+}
+
+TEST(Stride, ResetStatsClearsLaunches)
+{
+    RecordingPort port;
+    StridePrefetcher stride;
+    stride.attach(port, 1, 0);
+    for (int i = 0; i < 6; ++i)
+        stride.onOffchipRead(0, blockAddress(200 + i));
+    EXPECT_GT(stride.launches(), 0u);
+    stride.resetStats();
+    EXPECT_EQ(stride.launches(), 0u);
+}
+
+} // namespace
+} // namespace stms

@@ -1,0 +1,164 @@
+/** @file Unit tests for the trace-driven core model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/core.hh"
+
+namespace stms
+{
+namespace
+{
+
+struct Fixture
+{
+    explicit Fixture(std::vector<TraceRecord> records)
+        : trace(std::move(records))
+    {
+        config.numCores = 1;
+        config.l1.sizeBytes = 4 * 1024;
+        config.l2.sizeBytes = 64 * 1024;
+        memory = std::make_unique<MemorySystem>(events, config);
+        core = std::make_unique<TraceCore>(events, *memory, 0,
+                                           core_config, trace);
+    }
+
+    Cycle
+    run()
+    {
+        core->start();
+        return events.run();
+    }
+
+    std::vector<TraceRecord> trace;
+    EventQueue events;
+    MemorySystemConfig config;
+    CoreConfig core_config;
+    std::unique_ptr<MemorySystem> memory;
+    std::unique_ptr<TraceCore> core;
+};
+
+TraceRecord
+rec(Addr addr, std::uint16_t think, bool write = false,
+    bool dependent = false)
+{
+    TraceRecord record;
+    record.addr = addr;
+    record.think = think;
+    record.flags = static_cast<std::uint8_t>(
+        (write ? TraceRecord::kWrite : 0) |
+        (dependent ? TraceRecord::kDependent : 0));
+    return record;
+}
+
+TEST(TraceCore, EmptyTraceFinishesImmediately)
+{
+    Fixture f({});
+    bool finished = false;
+    f.core->onFinished([&]() { finished = true; });
+    f.run();
+    EXPECT_TRUE(finished);
+    EXPECT_TRUE(f.core->done());
+    EXPECT_EQ(f.core->stats().records, 0u);
+}
+
+TEST(TraceCore, CountsInstructionsAndRecords)
+{
+    Fixture f({rec(0x1000, 10), rec(0x1000, 20), rec(0x1000, 5)});
+    f.run();
+    EXPECT_EQ(f.core->stats().records, 3u);
+    // think + 1 per record.
+    EXPECT_EQ(f.core->stats().instructions, 10u + 20u + 5u + 3u);
+}
+
+TEST(TraceCore, IndependentMissesOverlap)
+{
+    // Two independent misses to distinct blocks: total time should be
+    // far less than two serial memory latencies.
+    Fixture f({rec(0x100000, 1), rec(0x200000, 1)});
+    f.run();
+    EXPECT_LT(f.core->stats().finishTick, 2 * 189u);
+    EXPECT_GE(f.core->stats().finishTick, 189u);
+}
+
+TEST(TraceCore, DependentMissSerializes)
+{
+    Fixture f({rec(0x100000, 1),
+               rec(0x200000, 1, false, /*dependent=*/true)});
+    f.run();
+    // The second access waits for the first's data (~189) plus its own
+    // latency.
+    EXPECT_GE(f.core->stats().finishTick, 2 * 189u);
+    EXPECT_GE(f.core->stats().depStalls, 1u);
+}
+
+TEST(TraceCore, WindowLimitsOutstandingMisses)
+{
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 64; ++i)
+        records.push_back(rec(0x100000 + static_cast<Addr>(i) * 4096,
+                              0));
+    Fixture f(std::move(records));
+    f.core_config.window = 4;
+    f.core = std::make_unique<TraceCore>(f.events, *f.memory, 0,
+                                         f.core_config, f.trace);
+    f.run();
+    EXPECT_GT(f.core->stats().windowStalls, 0u);
+    EXPECT_TRUE(f.core->done());
+}
+
+TEST(TraceCore, L1HitsDoNotStall)
+{
+    // Same block over and over: first access misses, the rest hit L1.
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 100; ++i)
+        records.push_back(rec(0x1000, 10));
+    Fixture f(std::move(records));
+    f.run();
+    // ~100 * 10 think cycles + one memory latency.
+    EXPECT_LT(f.core->stats().finishTick, 100 * 10 + 400u);
+    // Records issued while the first fill is outstanding merge into
+    // its MSHR; everything after the fill hits the L1.
+    EXPECT_GE(f.memory->stats().l1Hits, 75u);
+}
+
+TEST(TraceCore, WritesDoNotBlockProgress)
+{
+    Fixture f({rec(0x100000, 1, /*write=*/true), rec(0x1000, 1)});
+    f.run();
+    // The write retires through the write buffer; the following L1
+    // access completes long before the write's fill returns.
+    EXPECT_TRUE(f.core->done());
+    EXPECT_EQ(f.memory->stats().offchipWrites, 1u);
+}
+
+TEST(TraceCore, ThinkTimeSetsPace)
+{
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 50; ++i)
+        records.push_back(rec(0x1000, 100));
+    Fixture f(std::move(records));
+    f.run();
+    EXPECT_GE(f.core->stats().finishTick, 50 * 100u);
+}
+
+TEST(TraceCore, FinishCallbackFiresOnce)
+{
+    Fixture f({rec(0x100000, 1)});
+    int calls = 0;
+    f.core->onFinished([&]() { ++calls; });
+    f.run();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(TraceCore, IssueCallbackPerRecord)
+{
+    Fixture f({rec(0x1000, 1), rec(0x1040, 1), rec(0x1080, 1)});
+    std::uint64_t issues = 0;
+    f.core->onIssue([&]() { ++issues; });
+    f.run();
+    EXPECT_EQ(issues, 3u);
+    EXPECT_EQ(f.core->issued(), 3u);
+}
+
+} // namespace
+} // namespace stms

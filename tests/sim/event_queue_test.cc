@@ -1,0 +1,91 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.scheduleAt(30, [&]() { order.push_back(3); });
+    queue.scheduleAt(10, [&]() { order.push_back(1); });
+    queue.scheduleAt(20, [&]() { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        queue.scheduleAt(5, [&order, i]() { order.push_back(i); });
+    queue.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesWithExecution)
+{
+    EventQueue queue;
+    Cycle seen = 0;
+    queue.scheduleAt(42, [&]() { seen = queue.now(); });
+    queue.run();
+    EXPECT_EQ(seen, 42u);
+    EXPECT_EQ(queue.now(), 42u);
+}
+
+TEST(EventQueue, ScheduleRelativeDelay)
+{
+    EventQueue queue;
+    Cycle seen = 0;
+    queue.scheduleAt(10, [&]() {
+        queue.schedule(5, [&]() { seen = queue.now(); });
+    });
+    queue.run();
+    EXPECT_EQ(seen, 15u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue queue;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 100)
+            queue.schedule(1, chain);
+    };
+    queue.schedule(0, chain);
+    queue.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(queue.executed(), 100u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue queue;
+    int ran = 0;
+    queue.scheduleAt(10, [&]() { ++ran; });
+    queue.scheduleAt(100, [&]() { ++ran; });
+    queue.runUntil(50);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(queue.pending(), 1u);
+    queue.run();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue queue;
+    queue.scheduleAt(100, []() {});
+    queue.run();
+    EXPECT_DEATH(queue.scheduleAt(50, []() {}), "past");
+}
+
+} // namespace
+} // namespace stms

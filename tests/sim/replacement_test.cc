@@ -1,0 +1,100 @@
+/** @file Unit tests for replacement policies, incl. TEST_P sweeps. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/replacement.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(Lru, VictimIsLeastRecentlyTouched)
+{
+    ReplacementState state(ReplPolicy::Lru, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        state.touch(w);
+    state.touch(0);  // 1 is now LRU.
+    EXPECT_EQ(state.victim(), 1u);
+    state.touch(1);
+    EXPECT_EQ(state.victim(), 2u);
+}
+
+TEST(Lru, RecencyRankOrdersWays)
+{
+    ReplacementState state(ReplPolicy::Lru, 4);
+    state.touch(2);
+    state.touch(0);
+    state.touch(3);
+    state.touch(1);
+    EXPECT_EQ(state.recencyRank(1), 0u);  // MRU.
+    EXPECT_EQ(state.recencyRank(3), 1u);
+    EXPECT_EQ(state.recencyRank(0), 2u);
+    EXPECT_EQ(state.recencyRank(2), 3u);  // LRU.
+}
+
+TEST(TreePlru, VictimIsUntouchedWay)
+{
+    ReplacementState state(ReplPolicy::TreePlru, 4);
+    // Touch ways 1, 2, 3: the root ends up pointing at the left
+    // subtree and node1 at way 0 — the never-touched way.
+    state.touch(1);
+    state.touch(2);
+    state.touch(3);
+    EXPECT_EQ(state.victim(), 0u);
+}
+
+TEST(TreePlru, TouchedWayNotImmediateVictim)
+{
+    ReplacementState state(ReplPolicy::TreePlru, 8);
+    for (int round = 0; round < 32; ++round) {
+        const std::uint32_t way = static_cast<std::uint32_t>(round) % 8;
+        state.touch(way);
+        EXPECT_NE(state.victim(), way);
+    }
+}
+
+TEST(Random, VictimsCoverAllWays)
+{
+    ReplacementState state(ReplPolicy::Random, 4, 99);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(state.victim());
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+class AllPolicies : public ::testing::TestWithParam<ReplPolicy>
+{
+};
+
+TEST_P(AllPolicies, VictimAlwaysInRange)
+{
+    ReplacementState state(GetParam(), 8, 7);
+    for (int i = 0; i < 500; ++i) {
+        state.touch(static_cast<std::uint32_t>(i * 7) % 8);
+        EXPECT_LT(state.victim(), 8u);
+    }
+}
+
+TEST_P(AllPolicies, SingleWayAlwaysVictim)
+{
+    ReplacementState state(GetParam(), 1);
+    state.touch(0);
+    EXPECT_EQ(state.victim(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllPolicies,
+                         ::testing::Values(ReplPolicy::Lru,
+                                           ReplPolicy::Random,
+                                           ReplPolicy::TreePlru));
+
+TEST(TreePlruDeath, RequiresPowerOfTwoWays)
+{
+    EXPECT_DEATH(ReplacementState(ReplPolicy::TreePlru, 3),
+                 "power-of-two");
+}
+
+} // namespace
+} // namespace stms

@@ -1,0 +1,115 @@
+/** @file Tests of the CmpSystem harness and SimResult aggregation. */
+
+#include <gtest/gtest.h>
+
+#include "core/stms.hh"
+#include "prefetch/stride.hh"
+#include "sim/system.hh"
+#include "workload/workloads.hh"
+
+namespace stms
+{
+namespace
+{
+
+Trace
+tinyTrace(std::uint32_t cores = 2, std::uint64_t records = 4096)
+{
+    WorkloadSpec spec;
+    spec.name = "sys-test";
+    spec.numCores = cores;
+    spec.recordsPerCore = records;
+    spec.seed = 321;
+    spec.minReuseRecords = 256;
+    spec.maxReuseRecords = 1024;
+    return WorkloadGenerator(spec).generate();
+}
+
+TEST(CmpSystem, AdoptsTraceCoreCount)
+{
+    Trace trace = tinyTrace(3);
+    SimConfig config;
+    config.memory.numCores = 7;  // Overridden by the trace.
+    CmpSystem system(config, trace);
+    EXPECT_EQ(system.memory().numCores(), 3u);
+    SimResult result = system.run();
+    EXPECT_EQ(result.mlpPerCore.size(), 3u);
+}
+
+TEST(CmpSystem, InstructionAndCycleAccounting)
+{
+    Trace trace = tinyTrace();
+    SimConfig config;
+    CmpSystem system(config, trace);
+    SimResult result = system.run();
+    EXPECT_GT(result.instructions, trace.totalRecords());
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_NEAR(result.ipc,
+                static_cast<double>(result.instructions) /
+                    static_cast<double>(result.cycles),
+                1e-9);
+}
+
+TEST(CmpSystem, PrefetcherStatsExposedPerRegistration)
+{
+    Trace trace = tinyTrace();
+    SimConfig config;
+    CmpSystem system(config, trace);
+    StridePrefetcher stride;
+    StmsPrefetcher stms;
+    system.addPrefetcher(&stride);
+    system.addPrefetcher(&stms);
+    SimResult result = system.run();
+    ASSERT_EQ(result.prefetchers.size(), 2u);
+}
+
+TEST(CmpSystem, OverheadZeroWithoutPrefetchers)
+{
+    Trace trace = tinyTrace();
+    SimConfig config;
+    CmpSystem system(config, trace);
+    SimResult result = system.run();
+    EXPECT_DOUBLE_EQ(result.overheadPerDataByte, 0.0);
+    EXPECT_EQ(result.traffic.overheadBytes(), 0u);
+}
+
+TEST(CmpSystem, MaxCyclesBoundsRuntime)
+{
+    Trace trace = tinyTrace(1, 64 * 1024);
+    SimConfig config;
+    config.maxCycles = 10000;
+    CmpSystem system(config, trace);
+    SimResult result = system.run();  // Warns but terminates.
+    EXPECT_FALSE(system.core(0).done());
+}
+
+TEST(CmpSystem, CoverageFieldsConsistent)
+{
+    Trace trace = tinyTrace(2, 16 * 1024);
+    SimConfig config;
+    CmpSystem system(config, trace);
+    StridePrefetcher stride;
+    system.addPrefetcher(&stride);
+    StmsPrefetcher stms;
+    system.addPrefetcher(&stms);
+    SimResult result = system.run();
+    EXPECT_GE(result.coverage, result.fullCoverage);
+    EXPECT_LE(result.coverage, 1.0);
+    const auto &mem = result.mem;
+    EXPECT_EQ(mem.totalOffchipDemand(),
+              mem.prefetchHits + mem.partialMisses + mem.offchipReads);
+}
+
+TEST(CmpSystem, WarmupLongerThanTraceStillFinishes)
+{
+    Trace trace = tinyTrace();
+    SimConfig config;
+    config.warmupRecords = trace.totalRecords() * 10;
+    CmpSystem system(config, trace);
+    SimResult result = system.run();
+    // Never reaches the barrier: stats cover the whole run.
+    EXPECT_GT(result.mem.accesses, 0u);
+}
+
+} // namespace
+} // namespace stms

@@ -1,0 +1,109 @@
+/** @file Unit tests for linear and log2 histograms. */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(LinearHistogram, BucketsAndMean)
+{
+    LinearHistogram hist(10, 5);
+    hist.sample(0);
+    hist.sample(9);
+    hist.sample(10);
+    hist.sample(49);
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_EQ(hist.bucketCount(0), 2u);
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(4), 1u);
+    EXPECT_DOUBLE_EQ(hist.mean(), (0 + 9 + 10 + 49) / 4.0);
+}
+
+TEST(LinearHistogram, OverflowGoesToLastBucket)
+{
+    LinearHistogram hist(10, 3);
+    hist.sample(1000);
+    EXPECT_EQ(hist.bucketCount(3), 1u);
+}
+
+TEST(LinearHistogram, WeightedSamples)
+{
+    LinearHistogram hist(4, 4);
+    hist.sample(2, 10);
+    EXPECT_EQ(hist.count(), 10u);
+    EXPECT_EQ(hist.bucketCount(0), 10u);
+}
+
+TEST(LinearHistogram, Percentile)
+{
+    LinearHistogram hist(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        hist.sample(v);
+    EXPECT_NEAR(static_cast<double>(hist.percentile(0.5)), 49.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(hist.percentile(0.9)), 89.0, 1.0);
+}
+
+TEST(LinearHistogram, ResetClears)
+{
+    LinearHistogram hist(10, 3);
+    hist.sample(5);
+    hist.reset();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    Log2Histogram hist(16);
+    hist.sample(0);
+    hist.sample(1);
+    hist.sample(2);
+    hist.sample(3);
+    hist.sample(4);
+    hist.sample(1023);
+    hist.sample(1024);
+    EXPECT_EQ(hist.bucketCount(0), 2u);  // {0, 1}
+    EXPECT_EQ(hist.bucketCount(1), 2u);  // [2, 4)
+    EXPECT_EQ(hist.bucketCount(2), 1u);  // [4, 8)
+    EXPECT_EQ(hist.bucketCount(9), 1u);  // [512, 1024)
+    EXPECT_EQ(hist.bucketCount(10), 1u); // [1024, 2048)
+}
+
+TEST(Log2Histogram, CumulativeFractionMonotone)
+{
+    Log2Histogram hist(16);
+    for (std::uint64_t v = 1; v < 2000; v += 7)
+        hist.sample(v);
+    double prev = 0.0;
+    for (std::size_t b = 0; b < hist.numBuckets(); ++b) {
+        const double cum = hist.cumulativeFraction(b);
+        EXPECT_GE(cum, prev);
+        prev = cum;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(Log2Histogram, WeightedMean)
+{
+    Log2Histogram hist(8);
+    hist.sample(10, 5);
+    hist.sample(20, 5);
+    EXPECT_DOUBLE_EQ(hist.mean(), 15.0);
+    EXPECT_EQ(hist.count(), 10u);
+}
+
+TEST(Log2Histogram, ToStringListsOccupiedBuckets)
+{
+    Log2Histogram hist(8);
+    hist.sample(5);
+    const std::string text = hist.toString("lengths");
+    EXPECT_NE(text.find("lengths"), std::string::npos);
+    EXPECT_NE(text.find("4"), std::string::npos);
+}
+
+} // namespace
+} // namespace stms

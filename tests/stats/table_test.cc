@@ -1,0 +1,48 @@
+/** @file Unit tests for the table formatter. */
+
+#include <gtest/gtest.h>
+
+#include "stats/table.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table table({"a", "long-header"});
+    table.addRow({"wide-cell", "x"});
+    const std::string text = table.toString();
+    // Header, rule, one row.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+    EXPECT_NE(text.find("long-header"), std::string::npos);
+    EXPECT_NE(text.find("wide-cell"), std::string::npos);
+}
+
+TEST(Table, CsvRendering)
+{
+    Table table({"x", "y"});
+    table.addRow({"1", "2"});
+    table.addRow({"3", "4"});
+    EXPECT_EQ(table.toCsv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456), "1.23");
+    EXPECT_EQ(Table::num(1.23456, 4), "1.2346");
+    EXPECT_EQ(Table::pct(0.5), "50.0%");
+    EXPECT_EQ(Table::pct(0.123, 0), "12%");
+}
+
+TEST(Table, RowCount)
+{
+    Table table({"only"});
+    EXPECT_EQ(table.numRows(), 0u);
+    table.addRow({"r"});
+    EXPECT_EQ(table.numRows(), 1u);
+}
+
+} // namespace
+} // namespace stms

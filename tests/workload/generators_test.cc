@@ -1,0 +1,189 @@
+/** @file Unit tests for the synthetic workload generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/workloads.hh"
+
+namespace stms
+{
+namespace
+{
+
+WorkloadSpec
+tinySpec()
+{
+    WorkloadSpec spec;
+    spec.name = "tiny";
+    spec.numCores = 2;
+    spec.recordsPerCore = 20000;
+    spec.seed = 77;
+    spec.minReuseRecords = 500;
+    spec.maxReuseRecords = 5000;
+    spec.noiseFraction = 0.2;
+    spec.hotFraction = 0.2;
+    spec.scanFraction = 0.1;
+    spec.writeFraction = 0.1;
+    spec.dependentProb = 0.5;
+    return spec;
+}
+
+TEST(Generator, ProducesRequestedShape)
+{
+    WorkloadGenerator generator(tinySpec());
+    Trace trace = generator.generate();
+    EXPECT_EQ(trace.numCores(), 2u);
+    for (const auto &records : trace.perCore)
+        EXPECT_EQ(records.size(), 20000u);
+}
+
+TEST(Generator, DeterministicForSameSpec)
+{
+    WorkloadGenerator a(tinySpec()), b(tinySpec());
+    Trace ta = a.generate();
+    Trace tb = b.generate();
+    ASSERT_EQ(ta.totalRecords(), tb.totalRecords());
+    for (CoreId c = 0; c < ta.numCores(); ++c) {
+        for (std::size_t i = 0; i < ta.perCore[c].size(); ++i) {
+            ASSERT_EQ(ta.perCore[c][i].addr, tb.perCore[c][i].addr);
+            ASSERT_EQ(ta.perCore[c][i].flags, tb.perCore[c][i].flags);
+        }
+    }
+}
+
+TEST(Generator, SeedsChangeTheTrace)
+{
+    WorkloadSpec other = tinySpec();
+    other.seed = 78;
+    Trace ta = WorkloadGenerator(tinySpec()).generate();
+    Trace tb = WorkloadGenerator(other).generate();
+    std::size_t same = 0;
+    for (std::size_t i = 0; i < 1000; ++i)
+        same += ta.perCore[0][i].addr == tb.perCore[0][i].addr ? 1 : 0;
+    EXPECT_LT(same, 100u);
+}
+
+TEST(Generator, CoresUseDisjointAddressSpaces)
+{
+    Trace trace = WorkloadGenerator(tinySpec()).generate();
+    std::unordered_set<Addr> core0;
+    for (const auto &record : trace.perCore[0])
+        core0.insert(blockNumber(record.addr));
+    for (const auto &record : trace.perCore[1])
+        EXPECT_EQ(core0.count(blockNumber(record.addr)), 0u);
+}
+
+TEST(Generator, MixFractionsApproximatelyRespected)
+{
+    Trace trace = WorkloadGenerator(tinySpec()).generate();
+    std::map<std::uint64_t, std::uint64_t> region_counts;
+    for (const auto &record : trace.perCore[0])
+        ++region_counts[(record.addr >> 36) & 0xF];
+    const double n = static_cast<double>(trace.perCore[0].size());
+    // Region tags: 1=stream 2=noise 3=hot 4=scan.
+    EXPECT_NEAR(region_counts[2] / n, 0.2, 0.03);
+    EXPECT_NEAR(region_counts[3] / n, 0.2, 0.03);
+    EXPECT_NEAR(region_counts[4] / n, 0.1, 0.03);
+    EXPECT_NEAR(region_counts[1] / n, 0.5, 0.03);
+}
+
+TEST(Generator, WriteAndDependenceFractions)
+{
+    Trace trace = WorkloadGenerator(tinySpec()).generate();
+    double writes = 0, dependent = 0;
+    const auto &records = trace.perCore[0];
+    for (const auto &record : records) {
+        writes += record.isWrite() ? 1 : 0;
+        dependent += record.isDependent() ? 1 : 0;
+    }
+    EXPECT_NEAR(writes / records.size(), 0.1, 0.02);
+    EXPECT_NEAR(dependent / records.size(), 0.5, 0.03);
+}
+
+TEST(Generator, StreamsActuallyRecur)
+{
+    WorkloadSpec spec = tinySpec();
+    spec.noiseFraction = 0;
+    spec.hotFraction = 0;
+    spec.scanFraction = 0;
+    spec.meanVisits = 6.0;
+    Trace trace = WorkloadGenerator(spec).generate();
+    std::unordered_map<Addr, int> visits;
+    for (const auto &record : trace.perCore[0])
+        ++visits[record.addr];
+    std::uint64_t recurring = 0;
+    for (const auto &[addr, count] : visits)
+        recurring += count > 1 ? 1 : 0;
+    // With meanVisits 6, most blocks are visited more than once.
+    EXPECT_GT(static_cast<double>(recurring) /
+                  static_cast<double>(visits.size()),
+              0.4);
+}
+
+TEST(Generator, OnceFractionSuppressesRecurrence)
+{
+    WorkloadSpec spec = tinySpec();
+    spec.noiseFraction = 0;
+    spec.hotFraction = 0;
+    spec.scanFraction = 0;
+    spec.onceFraction = 1.0;  // Nothing recurs (DSS).
+    Trace trace = WorkloadGenerator(spec).generate();
+    std::unordered_map<Addr, int> visits;
+    for (const auto &record : trace.perCore[0])
+        ++visits[record.addr];
+    for (const auto &[addr, count] : visits)
+        EXPECT_EQ(count, 1) << "visit-once stream recurred";
+}
+
+TEST(Generator, LoopSingleStreamRepeatsIteration)
+{
+    WorkloadSpec spec = tinySpec();
+    spec.loopSingleStream = true;
+    spec.minStreamLen = 500;
+    spec.maxStreamLen = 500;
+    spec.noiseFraction = 0;
+    spec.hotFraction = 0;
+    spec.scanFraction = 0;
+    spec.recordsPerCore = 2000;
+    Trace trace = WorkloadGenerator(spec).generate();
+    const auto &records = trace.perCore[0];
+    // Iterations replay the identical sequence.
+    for (std::size_t i = 0; i + 500 < records.size(); ++i)
+        EXPECT_EQ(records[i].addr, records[i + 500].addr);
+    // Footprint equals one iteration.
+    std::unordered_set<Addr> blocks;
+    for (const auto &record : records)
+        blocks.insert(record.addr);
+    EXPECT_EQ(blocks.size(), 500u);
+}
+
+TEST(Generator, BurstsEmitBackToBackStreamRecords)
+{
+    WorkloadSpec spec = tinySpec();
+    spec.missBurstMax = 3;
+    spec.thinkMin = 100;
+    spec.thinkMax = 200;
+    Trace trace = WorkloadGenerator(spec).generate();
+    std::uint64_t tiny_think = 0;
+    for (const auto &record : trace.perCore[0])
+        tiny_think += record.think < 100 ? 1 : 0;
+    EXPECT_GT(tiny_think, 0u);  // Burst members use think 2..10.
+}
+
+TEST(StandardSuite, AllWorkloadsBuildAndAreKnown)
+{
+    for (const auto &info : standardSuite()) {
+        EXPECT_TRUE(isKnownWorkload(info.name));
+        WorkloadSpec spec = makeWorkload(info.name, 4096);
+        EXPECT_EQ(spec.recordsPerCore, 4096u);
+        Trace trace = WorkloadGenerator(spec).generate();
+        EXPECT_EQ(trace.totalRecords(), 4u * 4096u);
+    }
+    EXPECT_FALSE(isKnownWorkload("no-such-workload"));
+}
+
+} // namespace
+} // namespace stms

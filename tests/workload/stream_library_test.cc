@@ -1,0 +1,121 @@
+/** @file Unit tests for the temporal-stream library. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/stream_library.hh"
+
+namespace stms
+{
+namespace
+{
+
+LibraryConfig
+smallConfig()
+{
+    LibraryConfig config;
+    config.numStreams = 64;
+    config.minLength = 2;
+    config.maxLength = 100;
+    config.baseAddr = 0x40000000;
+    return config;
+}
+
+TEST(StreamLibrary, LengthsWithinBounds)
+{
+    Rng rng(1);
+    StreamLibrary library(smallConfig(), rng);
+    for (std::size_t s = 0; s < library.numStreams(); ++s) {
+        EXPECT_GE(library.length(s), 2u);
+        EXPECT_LE(library.length(s), 100u);
+    }
+}
+
+TEST(StreamLibrary, StreamsAreDisjointAndBlockAligned)
+{
+    Rng rng(2);
+    StreamLibrary library(smallConfig(), rng);
+    std::set<Addr> seen;
+    for (std::size_t s = 0; s < library.numStreams(); ++s) {
+        for (Addr addr : library.stream(s)) {
+            EXPECT_EQ(addr, blockAlign(addr));
+            EXPECT_TRUE(seen.insert(addr).second)
+                << "duplicate address across streams";
+        }
+    }
+    EXPECT_EQ(seen.size(), library.totalBlocks());
+}
+
+TEST(StreamLibrary, DeterministicForSameSeed)
+{
+    Rng rng_a(3), rng_b(3);
+    StreamLibrary a(smallConfig(), rng_a);
+    StreamLibrary b(smallConfig(), rng_b);
+    ASSERT_EQ(a.numStreams(), b.numStreams());
+    for (std::size_t s = 0; s < a.numStreams(); ++s) {
+        ASSERT_EQ(a.length(s), b.length(s));
+        for (std::size_t i = 0; i < a.length(s); ++i)
+            EXPECT_EQ(a.stream(s)[i], b.stream(s)[i]);
+    }
+}
+
+TEST(StreamLibrary, ShuffleBreaksStride)
+{
+    // Within a stream, the fraction of +1-block deltas must be small:
+    // stride prefetchers should not be able to learn stream bodies.
+    Rng rng(4);
+    LibraryConfig config = smallConfig();
+    config.minLength = 64;
+    config.maxLength = 64;
+    StreamLibrary library(config, rng);
+    std::uint64_t unit_strides = 0;
+    std::uint64_t deltas = 0;
+    for (std::size_t s = 0; s < library.numStreams(); ++s) {
+        auto body = library.stream(s);
+        for (std::size_t i = 1; i < body.size(); ++i) {
+            ++deltas;
+            if (body[i] == body[i - 1] + kBlockBytes)
+                ++unit_strides;
+        }
+    }
+    EXPECT_LT(static_cast<double>(unit_strides) /
+                  static_cast<double>(deltas),
+              0.1);
+}
+
+TEST(StreamLibrary, SampleLengthRespectsClamp)
+{
+    Rng rng(5);
+    LibraryConfig config = smallConfig();
+    config.minLength = 7;
+    config.maxLength = 9;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint32_t length =
+            StreamLibrary::sampleLength(config, rng);
+        EXPECT_GE(length, 7u);
+        EXPECT_LE(length, 9u);
+    }
+}
+
+TEST(StreamLibrary, LognormalMedianNearExpMu)
+{
+    Rng rng(6);
+    LibraryConfig config;
+    config.minLength = 2;
+    config.maxLength = 100000;
+    config.lengthLogMean = 2.3;  // median ~10.
+    config.lengthLogSigma = 1.7;
+    std::vector<std::uint32_t> lengths;
+    for (int i = 0; i < 20000; ++i)
+        lengths.push_back(StreamLibrary::sampleLength(config, rng));
+    std::nth_element(lengths.begin(),
+                     lengths.begin() + lengths.size() / 2,
+                     lengths.end());
+    const std::uint32_t median = lengths[lengths.size() / 2];
+    EXPECT_GE(median, 8u);
+    EXPECT_LE(median, 13u);
+}
+
+} // namespace
+} // namespace stms

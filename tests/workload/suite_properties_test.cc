@@ -1,0 +1,156 @@
+/** @file Structural-signature tests for the standard workload suite:
+ *  each preset must exhibit the paper-derived property that makes its
+ *  experiment behave (Table 1 of the paper / workloads.cc). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/workloads.hh"
+
+namespace stms
+{
+namespace
+{
+
+Trace
+suiteTrace(const std::string &name, std::uint64_t records = 48 * 1024)
+{
+    return WorkloadGenerator(makeWorkload(name, records)).generate();
+}
+
+/** Fraction of stream-region blocks visited more than once. */
+double
+recurrenceFraction(const Trace &trace)
+{
+    std::unordered_map<Addr, int> visits;
+    for (const auto &record : trace.perCore[0]) {
+        const std::uint64_t region = (record.addr >> 36) & 0xF;
+        if (region == 1 || region == 5)  // Stream regions.
+            ++visits[record.addr];
+    }
+    if (visits.empty())
+        return 0.0;
+    std::uint64_t recurring = 0;
+    for (const auto &[addr, count] : visits)
+        recurring += count > 1 ? 1 : 0;
+    return static_cast<double>(recurring) /
+           static_cast<double>(visits.size());
+}
+
+double
+dependentFraction(const Trace &trace)
+{
+    std::uint64_t dependent = 0;
+    for (const auto &record : trace.perCore[0])
+        dependent += record.isDependent() ? 1 : 0;
+    return static_cast<double>(dependent) /
+           static_cast<double>(trace.perCore[0].size());
+}
+
+TEST(SuiteProperties, SuiteHasEightWorkloadsInPaperOrder)
+{
+    const auto &suite = standardSuite();
+    ASSERT_EQ(suite.size(), 8u);
+    EXPECT_EQ(suite[0].group, "Web");
+    EXPECT_EQ(suite[4].group, "DSS");
+    EXPECT_EQ(suite[5].group, "Sci");
+}
+
+TEST(SuiteProperties, MoldynIsFullySerial)
+{
+    Trace trace = suiteTrace("sci-moldyn");
+    EXPECT_DOUBLE_EQ(dependentFraction(trace), 1.0);
+}
+
+TEST(SuiteProperties, ScientificIterationsRepeatExactly)
+{
+    for (const char *name : {"sci-em3d", "sci-moldyn", "sci-ocean"}) {
+        WorkloadSpec spec = makeWorkload(name, 16 * 1024);
+        EXPECT_TRUE(spec.loopSingleStream) << name;
+        EXPECT_EQ(spec.minStreamLen, spec.maxStreamLen) << name;
+    }
+}
+
+TEST(SuiteProperties, OceanIterationExceedsL2Reach)
+{
+    // The single-loop model needs the iteration to spill the 8MB L2
+    // (128K blocks / 4 cores = 32K per core) or recurrences never
+    // reach the prefetcher (workloads.cc comment).
+    WorkloadSpec spec = makeWorkload("sci-ocean", 1);
+    EXPECT_GT(spec.minStreamLen, 32 * 1024u);
+}
+
+TEST(SuiteProperties, DssMostlyVisitOnce)
+{
+    WorkloadSpec spec = makeWorkload("dss-db2", 1);
+    EXPECT_GT(spec.onceFraction, 0.5);
+    EXPECT_GT(spec.scanFraction, 0.2);  // Scan-dominated.
+    // Far less stream recurrence than OLTP.
+    const double dss = recurrenceFraction(suiteTrace("dss-db2"));
+    const double oltp = recurrenceFraction(suiteTrace("oltp-db2"));
+    EXPECT_LT(dss, oltp);
+}
+
+TEST(SuiteProperties, CommercialWorkloadsRecur)
+{
+    for (const char *name :
+         {"web-apache", "web-zeus", "oltp-db2", "oltp-oracle"}) {
+        EXPECT_GT(recurrenceFraction(suiteTrace(name)), 0.10) << name;
+    }
+}
+
+TEST(SuiteProperties, OracleHasHighestOnChipFraction)
+{
+    // Sec. 5.2: Oracle's bottlenecks are on chip -> lowest speedup
+    // despite real coverage; modeled as the largest hot fraction.
+    const double oracle =
+        makeWorkload("oltp-oracle", 1).hotFraction;
+    for (const auto &info : standardSuite()) {
+        if (info.name == "oltp-oracle")
+            continue;
+        EXPECT_GE(oracle, makeWorkload(info.name, 1).hotFraction)
+            << info.name;
+    }
+}
+
+TEST(SuiteProperties, ScientificIsMostMemoryBound)
+{
+    // Sci codes carry the least non-memory work per access, which is
+    // what produces their large speedups (Fig. 4 right).
+    const auto think_mid = [](const std::string &name) {
+        WorkloadSpec spec = makeWorkload(name, 1);
+        return (spec.thinkMin + spec.thinkMax) / 2.0;
+    };
+    EXPECT_LT(think_mid("sci-em3d"), think_mid("oltp-oracle"));
+    EXPECT_LT(think_mid("sci-em3d"), think_mid("oltp-db2"));
+    EXPECT_LT(think_mid("sci-em3d"), think_mid("web-apache"));
+}
+
+TEST(SuiteProperties, StreamLengthMediansMatchPaper)
+{
+    // "Half of the temporal streams in commercial workloads are
+    // shorter than ten cache blocks" (Sec. 4.1): the length
+    // distributions' medians must sit near 10.
+    for (const char *name : {"web-apache", "oltp-db2"}) {
+        WorkloadSpec spec = makeWorkload(name, 1);
+        const double median = std::exp(spec.lengthLogMean);
+        EXPECT_GT(median, 5.0) << name;
+        EXPECT_LT(median, 15.0) << name;
+    }
+}
+
+TEST(SuiteProperties, PaperReferenceValuesPopulated)
+{
+    for (const auto &info : standardSuite()) {
+        EXPECT_GT(info.paperIdealCoverage, 0.0);
+        EXPECT_GT(info.paperIdealSpeedup, 0.0);
+        EXPECT_GE(info.paperMlp, 1.0);
+        EXPECT_LE(info.paperMlp, 2.0);
+    }
+}
+
+} // namespace
+} // namespace stms

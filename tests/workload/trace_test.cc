@@ -1,0 +1,115 @@
+/** @file Unit tests for trace representation and file I/O. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "workload/trace.hh"
+
+namespace stms
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace trace;
+    trace.name = "sample";
+    trace.perCore.resize(2);
+    for (CoreId c = 0; c < 2; ++c) {
+        for (int i = 0; i < 100; ++i) {
+            TraceRecord record;
+            record.addr = blockAddress(
+                static_cast<Addr>(c) * 1000 + static_cast<Addr>(i));
+            record.think = static_cast<std::uint16_t>(i);
+            record.flags = static_cast<std::uint8_t>(i % 4);
+            trace.perCore[c].push_back(record);
+        }
+    }
+    return trace;
+}
+
+TEST(TraceRecord, FlagAccessors)
+{
+    TraceRecord record;
+    EXPECT_FALSE(record.isWrite());
+    EXPECT_FALSE(record.isDependent());
+    record.flags = TraceRecord::kWrite;
+    EXPECT_TRUE(record.isWrite());
+    record.flags = TraceRecord::kWrite | TraceRecord::kDependent;
+    EXPECT_TRUE(record.isDependent());
+}
+
+TEST(Trace, TotalsAndFootprint)
+{
+    Trace trace = sampleTrace();
+    EXPECT_EQ(trace.numCores(), 2u);
+    EXPECT_EQ(trace.totalRecords(), 200u);
+    EXPECT_EQ(trace.footprintBlocks(), 200u);  // All distinct.
+}
+
+TEST(Trace, FootprintDeduplicatesBlocks)
+{
+    Trace trace;
+    trace.perCore.resize(1);
+    for (int i = 0; i < 10; ++i) {
+        TraceRecord record;
+        record.addr = 0x1000;  // Same block every time.
+        trace.perCore[0].push_back(record);
+    }
+    EXPECT_EQ(trace.footprintBlocks(), 1u);
+}
+
+TEST(TraceIo, SaveLoadRoundTrip)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "stms_trace_rt.bin")
+            .string();
+    Trace original = sampleTrace();
+    ASSERT_TRUE(trace_io::save(original, path));
+
+    Trace loaded;
+    ASSERT_TRUE(trace_io::load(loaded, path));
+    EXPECT_EQ(loaded.name, original.name);
+    ASSERT_EQ(loaded.numCores(), original.numCores());
+    for (CoreId c = 0; c < original.numCores(); ++c) {
+        ASSERT_EQ(loaded.perCore[c].size(), original.perCore[c].size());
+        for (std::size_t i = 0; i < original.perCore[c].size(); ++i) {
+            EXPECT_EQ(loaded.perCore[c][i].addr,
+                      original.perCore[c][i].addr);
+            EXPECT_EQ(loaded.perCore[c][i].think,
+                      original.perCore[c][i].think);
+            EXPECT_EQ(loaded.perCore[c][i].flags,
+                      original.perCore[c][i].flags);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsMissingFile)
+{
+    Trace trace;
+    EXPECT_FALSE(trace_io::load(trace, "/nonexistent/path/t.bin"));
+}
+
+TEST(TraceIo, LoadRejectsGarbage)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "stms_garbage.bin")
+            .string();
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    const char junk[] = "this is not a trace file at all";
+    std::fwrite(junk, 1, sizeof(junk), file);
+    std::fclose(file);
+
+    Trace trace;
+    EXPECT_FALSE(trace_io::load(trace, path));
+    EXPECT_EQ(trace.totalRecords(), 0u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace stms
