@@ -1,63 +1,15 @@
 /**
  * @file
- * Ablation — index-table bucket organization (Sec. 5.4).
+ * Back-compat stub: this bench is now the "ablate-bucket" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * The paper packs 12 {address, pointer} pairs into one 64-byte bucket
- * so a lookup costs exactly one memory access, relying on in-bucket
- * LRU to retain useful pointers. This bench sweeps entries-per-bucket
- * at fixed table size: fewer entries per bucket means more buckets
- * but less associativity (more conflict churn); more would not fit a
- * block.
+ *   driver --experiment ablate-bucket [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "common/config.hh"
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(256 * 1024);
-    const std::vector<std::string> workloads = {"web-apache",
-                                                "oltp-db2"};
-    const std::vector<std::uint32_t> entries = {1, 2, 4, 8, 12};
-    const std::vector<std::uint64_t> sizes = {512ULL << 10, 2ULL << 20,
-                                              8ULL << 20};
-
-    Table table({"workload", "index-size", "entries/bucket",
-                 "coverage", "index-hit-rate"});
-    for (const auto &name : workloads) {
-        const Trace &trace = cachedTrace(name, records);
-        for (std::uint64_t size : sizes) {
-            for (std::uint32_t epb : entries) {
-                StmsConfig config = makeIdealTmsConfig();
-                config.indexBytes = size;
-                config.entriesPerBucket = epb;
-                RunOutput out =
-                    runTrace(trace, defaultSimConfig(true), config);
-                const auto &idx = out.stmsInternal;
-                const double hit_rate =
-                    idx.lookups == 0
-                        ? 0.0
-                        : static_cast<double>(idx.lookupHits) /
-                              static_cast<double>(idx.lookups);
-                table.addRow({name, formatSize(size),
-                              std::to_string(epb),
-                              Table::pct(out.stmsCoverage),
-                              Table::pct(hit_rate)});
-            }
-        }
-    }
-
-    std::printf("Ablation: entries per 64B index bucket\n\n%s",
-                table.toString().c_str());
-    std::printf("\nShape check: low associativity (1-2 entries/bucket) "
-                "churns useful pointers\nat small table sizes; 12/bucket "
-                "recovers most of the loss without extra accesses.\n");
-    return 0;
+    return stms::driver::experimentMain("ablate-bucket", argc, argv);
 }

@@ -1,52 +1,15 @@
 /**
  * @file
- * Ablation — arbitration priority of predictor meta-data traffic.
+ * Back-compat stub: this bench is now the "ablate-priority" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * The paper: "We find that assigning a low priority to predictor
- * memory traffic is essential to minimize queueing-related stalls"
- * (Sec. 4.3). This bench runs STMS with meta-data traffic at low
- * (default) and demand priority and compares IPC and coverage under
- * full timing.
+ *   driver --experiment ablate-priority [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(192 * 1024);
-    const std::vector<std::string> workloads = {
-        "web-apache", "oltp-db2", "sci-em3d", "sci-ocean"};
-
-    Table table({"workload", "meta-priority", "ipc", "speedup-vs-base",
-                 "coverage", "mem-utilization"});
-    for (const auto &name : workloads) {
-        const Trace &trace = cachedTrace(name, records);
-        RunOutput base =
-            runTrace(trace, defaultSimConfig(), std::nullopt);
-        for (bool high : {false, true}) {
-            SimConfig sim = defaultSimConfig();
-            sim.memory.metaHighPriority = high;
-            StmsConfig config;  // Off-chip, 12.5% sampling.
-            RunOutput out = runTrace(trace, sim, config);
-            table.addRow({name, high ? "demand" : "low",
-                          Table::num(out.sim.ipc, 3),
-                          Table::pct(speedup(base.sim, out.sim)),
-                          Table::pct(out.stmsCoverage),
-                          Table::pct(out.sim.memUtilization)});
-        }
-    }
-
-    std::printf("Ablation: meta-data traffic priority (Sec. 4.3)\n\n%s",
-                table.toString().c_str());
-    std::printf("\nShape check: demand-priority meta-data steals "
-                "channel slots from demand\nfetches; low priority wins "
-                "on IPC especially when bandwidth is tight.\n");
-    return 0;
+    return stms::driver::experimentMain("ablate-priority", argc, argv);
 }

@@ -1,68 +1,15 @@
 /**
  * @file
- * Ablation — history-buffer organization and stream-slot count.
+ * Back-compat stub: this bench is now the "ablate-sharing" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * Per-core vs shared history: the paper keeps one history buffer per
- * core because "when accesses from multiple cores are interleaved,
- * repetitive sequences are obscured" (Sec. 4.2). The shared index
- * table is kept in both configurations.
- *
- * Stream slots per core: the engine's ability to track several
- * concurrent streams (TSE-style) vs a single stream.
+ *   driver --experiment ablate-sharing [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(256 * 1024);
-    const std::vector<std::string> workloads = {
-        "web-apache", "oltp-db2", "sci-em3d"};
-
-    Table history({"workload", "history", "coverage", "accuracy"});
-    for (const auto &name : workloads) {
-        const Trace &trace = cachedTrace(name, records);
-        for (bool shared : {false, true}) {
-            StmsConfig config = makeIdealTmsConfig();
-            config.sharedHistory = shared;
-            // Shared mode needs a bounded HB to be meaningful; use the
-            // same aggregate capacity in both arms.
-            config.historyEntriesPerCore =
-                shared ? 4ULL << 20 : 1ULL << 20;
-            RunOutput out =
-                runTrace(trace, defaultSimConfig(true), config);
-            history.addRow({name, shared ? "shared" : "per-core",
-                            Table::pct(out.stmsCoverage),
-                            Table::pct(out.stms.accuracy())});
-        }
-    }
-    std::printf("Ablation: per-core vs shared history buffer "
-                "(Sec. 4.2)\n\n%s\n", history.toString().c_str());
-
-    Table slots({"workload", "slots/core", "coverage", "accuracy"});
-    for (const auto &name : workloads) {
-        const Trace &trace = cachedTrace(name, records);
-        for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
-            StmsConfig config = makeIdealTmsConfig();
-            config.streamsPerCore = n;
-            RunOutput out =
-                runTrace(trace, defaultSimConfig(true), config);
-            slots.addRow({name, std::to_string(n),
-                          Table::pct(out.stmsCoverage),
-                          Table::pct(out.stms.accuracy())});
-        }
-    }
-    std::printf("Ablation: stream slots per core engine\n\n%s",
-                slots.toString().c_str());
-    std::printf("\nShape check: interleaving cores into one shared "
-                "history obscures recurrence\n(coverage drops); a few "
-                "stream slots per core beat a single slot.\n");
-    return 0;
+    return stms::driver::experimentMain("ablate-sharing", argc, argv);
 }

@@ -1,130 +1,15 @@
 /**
  * @file
- * Figure 1 (right) — memory traffic overheads of prior off-chip
- * meta-data designs (EBCP, ULMT, TSE), re-measured mechanically in
- * our simulator rather than copied from their papers.
+ * Back-compat stub: this bench is now the "fig1-overhead" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * EBCP: fixed-depth single table, epoch-gated lookups, RMW updates.
- * ULMT: fixed-depth single table, lookup + RMW update on every miss.
- * TSE-like: split-table streaming with always-on (100%) index update
- * and no bucket buffer — the un-sampled traffic structure STMS fixes.
- *
- * Paper shape: overhead traffic around 3x the baseline read traffic,
- * dominated by meta-data updates and lookups.
+ *   driver --experiment fig1-overhead [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "harness.hh"
-#include "prefetch/correlation_table.hh"
-#include "prefetch/stride.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
-
-namespace
-{
-
-struct Breakdown
-{
-    double lookup = 0.0;
-    double update = 0.0;
-    double erroneous = 0.0;
-
-    double total() const { return lookup + update + erroneous; }
-};
-
-/** Overhead per baseline read byte, from the traffic counters. */
-Breakdown
-breakdownOf(const SimResult &result)
-{
-    const double reads = static_cast<double>(
-        result.traffic.bytesFor(TrafficClass::DemandRead));
-    Breakdown b;
-    if (reads <= 0)
-        return b;
-    b.lookup = static_cast<double>(
-                   result.traffic.bytesFor(TrafficClass::MetaLookup)) /
-               reads;
-    b.update =
-        static_cast<double>(
-            result.traffic.bytesFor(TrafficClass::MetaUpdate) +
-            result.traffic.bytesFor(TrafficClass::MetaRecord)) /
-        reads;
-    // Erroneous = prefetched bytes never consumed.
-    double issued_bytes = 0.0;
-    for (const auto &pf : result.prefetchers)
-        issued_bytes += static_cast<double>(pf.erroneous) * kBlockBytes;
-    b.erroneous = issued_bytes / reads;
-    return b;
-}
-
-SimResult
-runCorrelation(const Trace &trace, bool epoch_mode)
-{
-    SimConfig config = defaultSimConfig(true);
-    config.warmupRecords = trace.totalRecords() / 4;
-    CmpSystem system(config, trace);
-    StridePrefetcher stride;
-    system.addPrefetcher(&stride);
-    CorrelationConfig cc;
-    cc.offchipMeta = true;
-    cc.epochMode = epoch_mode;
-    CorrelationPrefetcher corr(cc);
-    system.addPrefetcher(&corr);
-    return system.run();
-}
-
-} // namespace
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(256 * 1024);
-    const std::vector<std::string> commercial = {
-        "web-apache", "web-zeus", "oltp-db2", "oltp-oracle"};
-
-    Breakdown ebcp, ulmt, tse;
-    for (const auto &name : commercial) {
-        const Trace &trace = cachedTrace(name, records);
-
-        SimResult r_ebcp = runCorrelation(trace, /*epoch=*/true);
-        SimResult r_ulmt = runCorrelation(trace, /*epoch=*/false);
-
-        // TSE-like: STMS machinery, 100% updates, no bucket buffer.
-        StmsConfig tse_config;
-        tse_config.samplingProbability = 1.0;
-        tse_config.bucketBufferBuckets = 1;
-        RunOutput r_tse =
-            runTrace(trace, defaultSimConfig(true), tse_config);
-
-        auto add = [](Breakdown &acc, const Breakdown &b) {
-            acc.lookup += b.lookup;
-            acc.update += b.update;
-            acc.erroneous += b.erroneous;
-        };
-        add(ebcp, breakdownOf(r_ebcp));
-        add(ulmt, breakdownOf(r_ulmt));
-        add(tse, breakdownOf(r_tse.sim));
-    }
-    const double n = static_cast<double>(commercial.size());
-
-    Table table({"design", "lookup", "update", "erroneous", "total"});
-    auto row = [&](const char *name, Breakdown b) {
-        table.addRow({name, Table::num(b.lookup / n),
-                      Table::num(b.update / n),
-                      Table::num(b.erroneous / n),
-                      Table::num(b.total() / n)});
-    };
-    row("EBCP-like (epoch, fixed depth)", ebcp);
-    row("ULMT-like (per-miss, fixed depth)", ulmt);
-    row("TSE-like (split table, unsampled)", tse);
-
-    std::printf("Figure 1 (right): overhead accesses per baseline read "
-                "(commercial mean)\n\n%s", table.toString().c_str());
-    std::printf("\nShape check: prior designs cost on the order of the "
-                "baseline read traffic\nagain (or more), dominated by "
-                "meta-data updates/lookups (Sec. 3).\n");
-    return 0;
+    return stms::driver::experimentMain("fig1-overhead", argc, argv);
 }

@@ -1,60 +1,15 @@
 /**
  * @file
- * Figure 1 (left) — correlation-table entries required for a given
- * coverage in commercial server workloads.
+ * Back-compat stub: this bench is now the "fig1-storage" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * An idealized (zero-latency, on-chip) prefetcher is swept over
- * bounded index-table sizes. Paper shape: coverage keeps growing past
- * 10^6 entries (which at the paper's packing is ~64MB — impractical
- * on chip, the whole motivation for off-chip meta-data).
+ *   driver --experiment fig1-storage [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "common/config.hh"
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(256 * 1024);
-    const std::vector<std::string> commercial = {
-        "web-apache", "web-zeus", "oltp-db2", "oltp-oracle"};
-    const std::vector<std::uint64_t> entry_counts = {
-        1ULL << 14, 1ULL << 15, 1ULL << 16, 1ULL << 17, 1ULL << 18,
-        1ULL << 19, 1ULL << 20, 1ULL << 21};
-
-    Table table({"entries", "bytes", "mean-coverage", "per-workload"});
-    for (std::uint64_t entries : entry_counts) {
-        StmsConfig config = makeIdealTmsConfig();
-        // Bounded index, everything else idealized.
-        config.indexBytes = divCeil(entries, config.entriesPerBucket) *
-                            kBlockBytes;
-
-        double sum = 0.0;
-        std::string detail;
-        for (const auto &name : commercial) {
-            const Trace &trace = cachedTrace(name, records);
-            RunOutput out =
-                runTrace(trace, defaultSimConfig(true), config);
-            sum += out.stmsCoverage;
-            detail += Table::pct(out.stmsCoverage, 0) + " ";
-        }
-        table.addRow({std::to_string(entries),
-                      formatSize(config.indexBytes),
-                      Table::pct(sum / commercial.size()), detail});
-    }
-
-    std::printf("Figure 1 (left): coverage vs correlation-table "
-                "entries\n(idealized lookup, commercial workloads: "
-                "apache zeus oltp-db2 oltp-oracle)\n\n%s",
-                table.toString().c_str());
-    std::printf("\nShape check: coverage should rise smoothly and only "
-                "saturate at >10^6-entry\ntables, which is megabytes of "
-                "storage -- impractical on chip (Sec. 3).\n");
-    return 0;
+    return stms::driver::experimentMain("fig1-storage", argc, argv);
 }

@@ -1,49 +1,15 @@
 /**
  * @file
- * Figure 4 — Prefetching potential of idealized temporal memory
- * streaming.
+ * Back-compat stub: this bench is now the "fig4" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * Left graph: prefetch coverage (fraction of off-chip read misses
- * eliminated, in excess of the stride prefetcher) of an idealized
- * prefetcher with magic on-chip meta-data. Right graph: speedup over
- * the stride-only base system.
- *
- * Paper shape: Web/OLTP 40-60% coverage, Sci up to 99%, DSS ~20%;
- * speedups 5-18% for OLTP/Web and up to ~80% for scientific codes.
+ *   driver --experiment fig4 [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(384 * 1024);
-    Table table({"group", "workload", "coverage", "speedup",
-                 "base-ipc", "ideal-ipc", "mlp"});
-
-    for (const auto &info : standardSuite()) {
-        const Trace &trace = cachedTrace(info.name, records);
-        const SimConfig sim = defaultSimConfig();
-
-        RunOutput base = runTrace(trace, sim, std::nullopt);
-        RunOutput ideal = runTrace(trace, sim, makeIdealTmsConfig());
-
-        table.addRow({info.group, info.label,
-                      Table::pct(ideal.stmsCoverage),
-                      Table::pct(speedup(base.sim, ideal.sim)),
-                      Table::num(base.sim.ipc),
-                      Table::num(ideal.sim.ipc),
-                      Table::num(base.sim.meanMlp)});
-    }
-
-    std::printf("Figure 4: potential of idealized temporal streaming\n");
-    std::printf("(coverage in excess of stride; speedup vs stride-only "
-                "base)\n\n%s", table.toString().c_str());
-    return 0;
+    return stms::driver::experimentMain("fig4", argc, argv);
 }

@@ -1,90 +1,15 @@
 /**
  * @file
- * Figure 5 — off-chip meta-data storage requirements.
+ * Back-compat stub: this bench is now the "fig5" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * Left: coverage vs history-buffer size. Paper shape: commercial
- * workloads improve smoothly with history size (a spectrum of reuse
- * distances); scientific workloads are bimodal — negligible coverage
- * until the buffer holds a full iteration, near-perfect after.
- *
- * Right: coverage vs index-table size with an unbounded history.
- * Paper shape: saturation at a fraction of the idealized prefetcher's
- * entry count, because in-bucket LRU retains the useful pointers.
- *
- * Axes are in MB at the paper's packing density (12 entries / 64B);
- * absolute saturation points are ~5x below the paper's because traces
- * are scaled down (see EXPERIMENTS.md).
+ *   driver --experiment fig5 [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "common/config.hh"
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(256 * 1024);
-
-    // --- Left: history-buffer sweep -------------------------------
-    const std::vector<std::uint64_t> history_entries = {
-        1ULL << 13, 1ULL << 14, 1ULL << 15, 1ULL << 16, 1ULL << 17,
-        1ULL << 18, 1ULL << 19, 1ULL << 20};
-
-    std::vector<std::string> headers = {"hb-size(total)"};
-    for (const auto &info : standardSuite())
-        headers.push_back(info.label);
-    Table left(headers);
-
-    for (std::uint64_t entries : history_entries) {
-        StmsConfig config = makeIdealTmsConfig();
-        config.historyEntriesPerCore = entries;
-        std::vector<std::string> row;
-        // 4 cores x entries, packed 12/block.
-        row.push_back(formatSize(4 * divCeil(entries, 12) * kBlockBytes));
-        for (const auto &info : standardSuite()) {
-            const Trace &trace = cachedTrace(info.name, records);
-            RunOutput out =
-                runTrace(trace, defaultSimConfig(true), config);
-            row.push_back(Table::pct(out.stmsCoverage, 0));
-        }
-        left.addRow(row);
-    }
-
-    std::printf("Figure 5 (left): coverage vs aggregate history-buffer "
-                "size\n\n%s\n", left.toString().c_str());
-
-    // --- Right: index-table sweep ---------------------------------
-    const std::vector<std::uint64_t> index_bytes = {
-        256ULL << 10, 512ULL << 10, 1ULL << 20, 2ULL << 20, 4ULL << 20,
-        8ULL << 20, 16ULL << 20, 32ULL << 20};
-
-    std::vector<std::string> right_headers = headers;
-    right_headers[0] = "index-size";
-    Table right(right_headers);
-    for (std::uint64_t bytes : index_bytes) {
-        StmsConfig config = makeIdealTmsConfig();
-        config.indexBytes = bytes;  // History stays unbounded.
-        std::vector<std::string> row;
-        row.push_back(formatSize(bytes));
-        for (const auto &info : standardSuite()) {
-            const Trace &trace = cachedTrace(info.name, records);
-            RunOutput out =
-                runTrace(trace, defaultSimConfig(true), config);
-            row.push_back(Table::pct(out.stmsCoverage, 0));
-        }
-        right.addRow(row);
-    }
-    std::printf("Figure 5 (right): coverage vs index-table size "
-                "(unbounded history)\n\n%s", right.toString().c_str());
-    std::printf("\nShape check: commercial curves grow smoothly with "
-                "history size; scientific\ncurves are bimodal (nothing "
-                "until one iteration fits, then near-max). The index\n"
-                "table saturates at a few MB thanks to in-bucket LRU "
-                "(Sec. 5.3).\n");
-    return 0;
+    return stms::driver::experimentMain("fig5", argc, argv);
 }

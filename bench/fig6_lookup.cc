@@ -1,87 +1,15 @@
 /**
  * @file
- * Figure 6 — amortizing off-chip lookups.
+ * Back-compat stub: this bench is now the "fig6" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * Left: cumulative distribution of streamed blocks vs the length of
- * the stream they came from (commercial workloads). Paper shape: half
- * of all streamed blocks come from streams longer than ~10 blocks,
- * with a tail reaching hundreds — fixed-depth tables fragment these.
- *
- * Right: coverage loss vs restricted prefetch depth (the single-table
- * designs' fixed depth), relative to unbounded depth. Paper shape:
- * small depths lose tens of percent of coverage; the loss shrinks as
- * depth grows but is still visible at depth 15.
+ *   driver --experiment fig6 [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(256 * 1024);
-    const std::vector<std::string> commercial = {
-        "web-apache", "web-zeus", "oltp-db2", "oltp-oracle", "dss-db2"};
-
-    // --- Left: stream-length CDF ----------------------------------
-    std::vector<std::string> headers = {"stream-length<="};
-    for (const auto &name : commercial)
-        headers.push_back(name);
-    Table left(headers);
-
-    std::vector<Log2Histogram> hists;
-    for (const auto &name : commercial) {
-        const Trace &trace = cachedTrace(name, records);
-        RunOutput out = runTrace(trace, defaultSimConfig(true),
-                                 makeIdealTmsConfig());
-        hists.push_back(out.stmsInternal.streamLengths);
-    }
-    for (std::size_t bucket = 0; bucket < 14; ++bucket) {
-        std::vector<std::string> row;
-        row.push_back(std::to_string((2ULL << bucket) - 1));
-        for (const auto &hist : hists)
-            row.push_back(Table::pct(hist.cumulativeFraction(bucket), 0));
-        left.addRow(row);
-    }
-    std::printf("Figure 6 (left): cumulative %% of streamed blocks by "
-                "temporal-stream length\n(idealized prefetcher, "
-                "commercial workloads)\n\n%s\n", left.toString().c_str());
-
-    // --- Right: coverage loss vs fixed prefetch depth --------------
-    const std::vector<std::uint64_t> depths = {1, 2, 3, 4, 6, 8, 12, 15};
-    Table right(headers);
-    std::vector<double> unbounded;
-    for (const auto &name : commercial) {
-        const Trace &trace = cachedTrace(name, records);
-        RunOutput out = runTrace(trace, defaultSimConfig(true),
-                                 makeIdealTmsConfig());
-        unbounded.push_back(out.stmsCoverage);
-    }
-    for (std::uint64_t depth : depths) {
-        std::vector<std::string> row;
-        row.push_back(std::to_string(depth));
-        for (std::size_t w = 0; w < commercial.size(); ++w) {
-            StmsConfig config = makeIdealTmsConfig();
-            config.maxStreamDepth = depth;
-            const Trace &trace = cachedTrace(commercial[w], records);
-            RunOutput out =
-                runTrace(trace, defaultSimConfig(true), config);
-            const double loss = unbounded[w] - out.stmsCoverage;
-            row.push_back(Table::pct(loss, 0));
-        }
-        right.addRow(row);
-    }
-    // Rename first header for the second table's semantics.
-    std::printf("Figure 6 (right): coverage LOSS vs fixed prefetch "
-                "depth (vs unbounded)\n\n%s", right.toString().c_str());
-    std::printf("\nShape check: half the streamed blocks come from "
-                "streams >10 long; restricting\ndepth to the 3-6 of "
-                "single-table designs forfeits a large coverage slice "
-                "(Sec. 5.4).\n");
-    return 0;
+    return stms::driver::experimentMain("fig6", argc, argv);
 }

@@ -1,78 +1,15 @@
 /**
  * @file
- * Figure 7 — off-chip traffic overhead breakdown, without (100%) and
- * with (12.5%) probabilistic index update.
+ * Back-compat stub: this bench is now the "fig7" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * Overhead bytes per useful data byte (demand fetches + writebacks),
- * split into: recording streams (history appends + end marks), index
- * updates, stream lookups (index + history reads), and incorrect
- * prefetches. Paper shape: at 100% sampling, index updates dominate
- * and exceed the useful traffic for many workloads; 12.5% sampling
- * removes most of it.
+ *   driver --experiment fig7 [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(256 * 1024);
-    Table table({"workload", "sampling", "record", "update", "lookup",
-                 "incorrect", "total"});
-
-    for (const auto &info : standardSuite()) {
-        const Trace &trace = cachedTrace(info.name, records);
-        for (double p : {1.0, 0.125}) {
-            StmsConfig config;
-            config.samplingProbability = p;
-            RunOutput out =
-                runTrace(trace, defaultSimConfig(true), config);
-
-            // Fig. 7 normalization: base-system data traffic, i.e.
-            // demand fetches + writebacks + consumed prefetches (the
-            // base system would fetch those blocks on demand).
-            double useful = static_cast<double>(
-                out.sim.traffic.bytesFor(TrafficClass::DemandRead) +
-                out.sim.traffic.bytesFor(
-                    TrafficClass::DemandWriteback));
-            for (const auto &pf : out.sim.prefetchers) {
-                useful += static_cast<double>(pf.useful + pf.partial) *
-                          kBlockBytes;
-            }
-            auto share = [&](TrafficClass cls) {
-                return useful == 0
-                           ? 0.0
-                           : static_cast<double>(
-                                 out.sim.traffic.bytesFor(cls)) /
-                                 useful;
-            };
-            const double record = share(TrafficClass::MetaRecord);
-            const double update = share(TrafficClass::MetaUpdate);
-            const double lookup = share(TrafficClass::MetaLookup);
-            const double incorrect =
-                useful == 0 ? 0.0
-                            : static_cast<double>(out.stms.erroneous) *
-                                  kBlockBytes / useful;
-            table.addRow({info.label, Table::pct(p, 1),
-                          Table::num(record), Table::num(update),
-                          Table::num(lookup), Table::num(incorrect),
-                          Table::num(record + update + lookup +
-                                     incorrect)});
-        }
-    }
-
-    std::printf("Figure 7: overhead bytes per useful data byte, "
-                "100%% vs 12.5%% sampling\n\n%s",
-                table.toString().c_str());
-    std::printf("\nShape check: at 100%% sampling index updates "
-                "dominate; 12.5%% cuts update\ntraffic ~8x while "
-                "record traffic stays negligible (1 write per 12 "
-                "misses).\n");
-    return 0;
+    return stms::driver::experimentMain("fig7", argc, argv);
 }

@@ -1,61 +1,15 @@
 /**
  * @file
- * Figure 8 — sensitivity to the probabilistic-update sampling
- * probability.
+ * Back-compat stub: this bench is now the "fig8" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * Left: traffic overhead (bytes per useful data byte) vs sampling
- * probability — proportional to p until other sources dominate.
- * Right: coverage vs sampling probability — decreases only
- * logarithmically as updates are dropped, because streams are either
- * long (a later address still gets indexed) or recur frequently (an
- * older occurrence's entry still points at valid history).
+ *   driver --experiment fig8 [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(256 * 1024);
-    const std::vector<double> probabilities = {0.01, 0.03125, 0.0625,
-                                               0.125, 0.25, 0.5, 1.0};
-
-    std::vector<std::string> headers = {"sampling"};
-    for (const auto &info : standardSuite())
-        headers.push_back(info.label);
-
-    Table traffic(headers);
-    Table coverage(headers);
-
-    for (double p : probabilities) {
-        std::vector<std::string> t_row = {Table::pct(p, 1)};
-        std::vector<std::string> c_row = {Table::pct(p, 1)};
-        for (const auto &info : standardSuite()) {
-            const Trace &trace = cachedTrace(info.name, records);
-            StmsConfig config;
-            config.samplingProbability = p;
-            RunOutput out =
-                runTrace(trace, defaultSimConfig(true), config);
-            t_row.push_back(Table::num(overheadPerBaseByte(out)));
-            c_row.push_back(Table::pct(out.stmsCoverage, 0));
-        }
-        traffic.addRow(t_row);
-        coverage.addRow(c_row);
-    }
-
-    std::printf("Figure 8 (left): traffic overhead (bytes/useful byte) "
-                "vs sampling probability\n\n%s\n",
-                traffic.toString().c_str());
-    std::printf("Figure 8 (right): coverage vs sampling probability\n\n"
-                "%s", coverage.toString().c_str());
-    std::printf("\nShape check: traffic falls roughly linearly in p; "
-                "coverage falls only\nlogarithmically (Sec. 5.5), so "
-                "12.5%% is the sweet spot the paper picks.\n");
-    return 0;
+    return stms::driver::experimentMain("fig8", argc, argv);
 }

@@ -1,71 +1,15 @@
 /**
  * @file
- * Figure 9 — the headline result: practical STMS with off-chip
- * meta-data vs idealized on-chip lookup.
+ * Back-compat stub: this bench is now the "fig9" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * Left: coverage of idealized TMS vs off-chip STMS (12.5% sampling),
- * with STMS coverage split into fully- and partially-covered misses.
- * Right: speedup of both over the stride-only base system.
- *
- * Paper shape: STMS achieves ~90% of the idealized design's coverage
- * and performance while keeping all predictor meta-data in main
- * memory.
+ *   driver --experiment fig9 [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(384 * 1024);
-    Table table({"group", "workload", "ideal-cov", "stms-cov",
-                 "stms-full", "stms-partial", "ideal-speedup",
-                 "stms-speedup", "stms/ideal"});
-
-    double ratio_sum = 0.0;
-    int ratio_count = 0;
-    for (const auto &info : standardSuite()) {
-        const Trace &trace = cachedTrace(info.name, records);
-        const SimConfig sim = defaultSimConfig();
-
-        RunOutput base = runTrace(trace, sim, std::nullopt);
-        RunOutput ideal = runTrace(trace, sim, makeIdealTmsConfig());
-        StmsConfig practical;  // Defaults: off-chip, 12.5% sampling.
-        RunOutput stms = runTrace(trace, sim, practical);
-
-        const double ideal_speedup = speedup(base.sim, ideal.sim);
-        const double stms_speedup = speedup(base.sim, stms.sim);
-        double ratio = 0.0;
-        if (ideal_speedup > 0.005) {
-            ratio = stms_speedup / ideal_speedup;
-            ratio_sum += ratio;
-            ++ratio_count;
-        }
-
-        table.addRow({info.group, info.label,
-                      Table::pct(ideal.stmsCoverage),
-                      Table::pct(stms.stmsCoverage),
-                      Table::pct(stms.stmsFullCoverage),
-                      Table::pct(stms.stmsPartialCoverage),
-                      Table::pct(ideal_speedup),
-                      Table::pct(stms_speedup),
-                      ideal_speedup > 0.005 ? Table::pct(ratio, 0)
-                                            : "-"});
-    }
-
-    std::printf("Figure 9: idealized TMS vs practical STMS "
-                "(off-chip meta-data, 12.5%% sampling)\n\n%s",
-                table.toString().c_str());
-    if (ratio_count > 0) {
-        std::printf("\nMean STMS/ideal speedup ratio: %.0f%%  "
-                    "(paper: ~90%%)\n",
-                    100.0 * ratio_sum / ratio_count);
-    }
-    return 0;
+    return stms::driver::experimentMain("fig9", argc, argv);
 }

@@ -110,6 +110,44 @@ BM_EventQueue(benchmark::State &state)
 }
 BENCHMARK(BM_EventQueue);
 
+/**
+ * Steady-state event throughput: a fixed population of self-
+ * rescheduling events, the pattern a running simulation puts on the
+ * queue (cores and the memory controller keep a bounded number of
+ * events in flight and every pop schedules a successor). This is the
+ * bench that shows heap regrowth and per-event allocation churn —
+ * the reserved vector heap holds capacity across the whole run.
+ */
+void
+BM_EventQueueSteadyState(benchmark::State &state)
+{
+    const std::int64_t population = state.range(0);
+    EventQueue queue;
+    std::uint64_t executed = 0;
+    // Self-rescheduling closure: each firing schedules the next, with
+    // a varying delay so heap order actually gets exercised.
+    std::function<void()> tick;
+    Cycle delay = 1;
+    tick = [&]() {
+        ++executed;
+        delay = delay % 41 + 1;
+        queue.schedule(delay, tick);
+    };
+    for (std::int64_t i = 0; i < population; ++i)
+        queue.schedule(static_cast<Cycle>(i % 13), tick);
+
+    static constexpr std::uint64_t kBatch = 1024;
+    for (auto _ : state) {
+        const std::uint64_t target = executed + kBatch;
+        while (executed < target)
+            queue.runUntil(queue.now() + 8);
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_EventQueueSteadyState)->Arg(64)->Arg(1024)->Arg(16384);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -1,45 +1,15 @@
 /**
  * @file
- * Table 2 — memory-level parallelism of off-chip reads in the base
- * system (stride prefetcher only, no STMS).
+ * Back-compat stub: this bench is now the "table2" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
  *
- * MLP is the time-weighted average number of outstanding off-chip
- * reads while at least one is outstanding. Paper values: Web 1.5,
- * OLTP 1.3, DSS 1.6, em3d 1.7, moldyn 1.0, ocean 1.2 — low MLP is
- * what makes lookup round-trips cheap relative to fragmentation
- * losses (Sec. 5.4).
+ *   driver --experiment table2 [--threads N] [--json out.json]
  */
 
-#include <cstdio>
-
-#include "harness.hh"
-#include "stats/table.hh"
-
-using namespace stms;
-using namespace stms::bench;
+#include "driver/cli.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::uint64_t records = benchRecords(384 * 1024);
-    Table table({"group", "workload", "mlp", "paper-mlp", "per-core"});
-
-    for (const auto &info : standardSuite()) {
-        const Trace &trace = cachedTrace(info.name, records);
-        RunOutput base = runTrace(trace, defaultSimConfig(),
-                                  std::nullopt);
-        std::string per_core;
-        for (double mlp : base.sim.mlpPerCore)
-            per_core += Table::num(mlp) + " ";
-        table.addRow({info.group, info.label,
-                      Table::num(base.sim.meanMlp),
-                      Table::num(info.paperMlp, 1), per_core});
-    }
-
-    std::printf("Table 2: MLP of off-chip reads (base system)\n\n%s",
-                table.toString().c_str());
-    std::printf("\nShape check: moldyn is fully serial (1.0); "
-                "commercial workloads sit in the\n1.2-1.8 band; no "
-                "workload is deeply parallel (pointer chasing).\n");
-    return 0;
+    return stms::driver::experimentMain("table2", argc, argv);
 }

@@ -6,9 +6,9 @@
  * traffic is directly proportional to the sampling probability, while
  * coverage decays only logarithmically as updates are dropped
  * (Sec. 4.4, Fig. 8). This example sweeps the probability on one
- * workload under full timing so the bandwidth interaction (meta-data
- * competing with demand fetches) is visible in IPC, and reports the
- * knee.
+ * workload under full timing — one runTrace() point per probability —
+ * so the bandwidth interaction (meta-data competing with demand
+ * fetches) is visible in IPC, and reports the knee.
  *
  * Usage: bandwidth_tuning [workload=web-apache] [records=262144]
  */
@@ -17,9 +17,8 @@
 #include <vector>
 
 #include "common/config.hh"
-#include "core/stms.hh"
-#include "prefetch/stride.hh"
-#include "sim/system.hh"
+#include "driver/trace_cache.hh"
+#include "sim/run.hh"
 #include "workload/workloads.hh"
 
 using namespace stms;
@@ -34,26 +33,12 @@ main(int argc, char **argv)
         return 1;
     }
     const auto records = options.getUint("records", 256 * 1024);
-    WorkloadGenerator generator(makeWorkload(name, records));
-    const Trace trace = generator.generate();
+    const Trace &trace = driver::globalTraceCache().get(name, records);
 
-    auto run = [&](const StmsConfig *config) {
-        SimConfig sim;
-        sim.warmupRecords = trace.totalRecords() / 4;
-        CmpSystem system(sim, trace);
-        StridePrefetcher stride;
-        system.addPrefetcher(&stride);
-        std::optional<StmsPrefetcher> stms;
-        if (config) {
-            stms.emplace(*config);
-            system.addPrefetcher(&*stms);
-        }
-        return system.run();
-    };
-
-    SimResult base = run(nullptr);
+    RunOutput base = runTrace(trace, RunConfig{});
     std::printf("%s, base IPC %.3f, memory utilization %.0f%%\n\n",
-                name.c_str(), base.ipc, 100.0 * base.memUtilization);
+                name.c_str(), base.sim.ipc,
+                100.0 * base.sim.memUtilization);
     std::printf("%-10s %-8s %-10s %-10s %-10s %s\n", "sampling",
                 "ipc", "speedup", "coverage", "overhead", "mem-util");
 
@@ -63,20 +48,15 @@ main(int argc, char **argv)
                                         0.03125}) {
         StmsConfig config;
         config.samplingProbability = p;
-        SimResult result = run(&config);
-        const auto &pf = result.prefetchers.at(1);
-        const double covered =
-            static_cast<double>(pf.useful + pf.partial);
-        const double denom =
-            covered + static_cast<double>(result.mem.offchipReads);
+        RunOutput out = runTrace(trace, defaultSimConfig(), config);
         std::printf("%-10.4f %-8.3f %-10.1f %-10.1f %-10.2f %.0f%%\n",
-                    p, result.ipc,
-                    100.0 * (result.ipc / base.ipc - 1.0),
-                    denom > 0 ? 100.0 * covered / denom : 0.0,
-                    result.overheadPerDataByte,
-                    100.0 * result.memUtilization);
-        if (result.ipc > best_ipc) {
-            best_ipc = result.ipc;
+                    p, out.sim.ipc,
+                    100.0 * speedup(base.sim, out.sim),
+                    100.0 * out.stmsCoverage,
+                    out.sim.overheadPerDataByte,
+                    100.0 * out.sim.memUtilization);
+        if (out.sim.ipc > best_ipc) {
+            best_ipc = out.sim.ipc;
             best_p = p;
         }
     }

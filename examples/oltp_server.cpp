@@ -4,9 +4,10 @@
  * streaming (pointer-chasing transaction processing, Sec. 1).
  *
  * Runs the two OLTP workloads through base / idealized / practical
- * STMS configurations and prints a capacity-planning style summary:
- * how much main-memory meta-data buys how much transaction
- * throughput, and what it costs in memory bandwidth.
+ * STMS configurations — three runTrace() points per workload on the
+ * shared engine — and prints a capacity-planning style summary: how
+ * much main-memory meta-data buys how much transaction throughput,
+ * and what it costs in memory bandwidth.
  *
  * Usage: oltp_server [records=262144] [sampling=0.125] [history=1M]
  *        [index=16M]
@@ -15,50 +16,11 @@
 #include <cstdio>
 
 #include "common/config.hh"
-#include "core/stms.hh"
-#include "prefetch/stride.hh"
-#include "sim/system.hh"
+#include "driver/trace_cache.hh"
+#include "sim/run.hh"
 #include "workload/workloads.hh"
 
 using namespace stms;
-
-namespace
-{
-
-struct Outcome
-{
-    SimResult result;
-    double coverage = 0.0;
-    std::uint64_t metaBytes = 0;
-};
-
-Outcome
-run(const Trace &trace, const StmsConfig *config)
-{
-    SimConfig sim;
-    sim.warmupRecords = trace.totalRecords() / 4;
-    CmpSystem system(sim, trace);
-    StridePrefetcher stride;
-    system.addPrefetcher(&stride);
-
-    Outcome out;
-    if (!config) {
-        out.result = system.run();
-        return out;
-    }
-    StmsPrefetcher stms(*config);
-    system.addPrefetcher(&stms);
-    out.result = system.run();
-    const auto &pf = out.result.prefetchers.at(1);
-    const double covered = static_cast<double>(pf.useful + pf.partial);
-    const double denom =
-        covered + static_cast<double>(out.result.mem.offchipReads);
-    out.coverage = denom > 0 ? covered / denom : 0.0;
-    out.metaBytes = stms.metaFootprintBytes();
-    return out;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -73,37 +35,37 @@ main(int argc, char **argv)
     practical.indexBytes = options.getUint("index", 16ULL << 20);
 
     for (const char *name : {"oltp-db2", "oltp-oracle"}) {
-        WorkloadGenerator generator(makeWorkload(name, records));
-        const Trace trace = generator.generate();
+        const Trace &trace =
+            driver::globalTraceCache().get(name, records);
 
-        Outcome base = run(trace, nullptr);
-        StmsConfig ideal = makeIdealTmsConfig();
-        Outcome magic = run(trace, &ideal);
-        Outcome stms = run(trace, &practical);
+        RunOutput base = runTrace(trace, RunConfig{});
+        RunOutput magic =
+            runTrace(trace, defaultSimConfig(), makeIdealTmsConfig());
+        RunOutput stms =
+            runTrace(trace, defaultSimConfig(), practical);
 
         std::printf("== %s (%llu accesses)\n", name,
                     static_cast<unsigned long long>(
                         trace.totalRecords()));
         std::printf("   base IPC %.3f (stride prefetcher only)\n",
-                    base.result.ipc);
+                    base.sim.ipc);
         std::printf("   idealized TMS: IPC %.3f (%+.1f%%), coverage "
                     "%.1f%% -- needs impossible on-chip tables\n",
-                    magic.result.ipc,
-                    100.0 * (magic.result.ipc / base.result.ipc - 1.0),
-                    100.0 * magic.coverage);
+                    magic.sim.ipc,
+                    100.0 * speedup(base.sim, magic.sim),
+                    100.0 * magic.stmsCoverage);
         std::printf("   practical STMS: IPC %.3f (%+.1f%%), coverage "
                     "%.1f%%\n",
-                    stms.result.ipc,
-                    100.0 * (stms.result.ipc / base.result.ipc - 1.0),
-                    100.0 * stms.coverage);
+                    stms.sim.ipc, 100.0 * speedup(base.sim, stms.sim),
+                    100.0 * stms.stmsCoverage);
         std::printf("   STMS meta-data: %s of main memory; traffic "
                     "overhead %.2f bytes/useful byte\n",
-                    formatSize(stms.metaBytes).c_str(),
-                    stms.result.overheadPerDataByte);
+                    formatSize(stms.stmsMetaBytes).c_str(),
+                    stms.sim.overheadPerDataByte);
         const double fraction =
-            magic.result.ipc > base.result.ipc
-                ? (stms.result.ipc - base.result.ipc) /
-                      (magic.result.ipc - base.result.ipc)
+            magic.sim.ipc > base.sim.ipc
+                ? (stms.sim.ipc - base.sim.ipc) /
+                      (magic.sim.ipc - base.sim.ipc)
                 : 0.0;
         std::printf("   -> STMS delivers %.0f%% of the idealized "
                     "speedup with zero on-chip tables\n\n",

@@ -1,7 +1,9 @@
 /**
  * @file
  * Quickstart: simulate one workload on the Table-1 CMP with the STMS
- * prefetcher and print coverage, traffic, and speedup.
+ * prefetcher and print coverage, traffic, and speedup. Uses the
+ * shared runTrace() entry point (src/sim/run.hh) — the same engine
+ * the unified experiment driver runs on.
  *
  * Usage:
  *   quickstart [workload=oltp-db2] [records=131072] [sampling=0.125]
@@ -11,32 +13,11 @@
 #include <cstdio>
 
 #include "common/config.hh"
-#include "core/stms.hh"
-#include "prefetch/stride.hh"
-#include "sim/system.hh"
+#include "driver/trace_cache.hh"
+#include "sim/run.hh"
 #include "workload/workloads.hh"
 
 using namespace stms;
-
-namespace
-{
-
-/** Run one configuration of the CMP over @p trace. */
-SimResult
-runOnce(const Trace &trace, StmsPrefetcher *stms)
-{
-    SimConfig config;  // Defaults are the paper's Table 1 system.
-    config.warmupRecords = trace.totalRecords() / 4;
-
-    CmpSystem system(config, trace);
-    StridePrefetcher stride;  // The base system includes one.
-    system.addPrefetcher(&stride);
-    if (stms)
-        system.addPrefetcher(stms);
-    return system.run();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -53,57 +34,48 @@ main(int argc, char **argv)
     }
 
     const auto records = options.getUint("records", 128 * 1024);
-    WorkloadGenerator generator(makeWorkload(workload, records));
-    const Trace trace = generator.generate();
+    const Trace &trace =
+        driver::globalTraceCache().get(workload, records);
     std::printf("workload %s: %llu records, %llu distinct blocks\n",
                 workload.c_str(),
                 static_cast<unsigned long long>(trace.totalRecords()),
                 static_cast<unsigned long long>(trace.footprintBlocks()));
 
     // Base system: stride prefetcher only.
-    SimResult base = runOnce(trace, nullptr);
+    RunOutput base = runTrace(trace, RunConfig{});
 
     // STMS on top of the base system.
-    StmsConfig stms_config;
-    stms_config.samplingProbability =
+    RunConfig config;
+    config.stms.emplace();
+    config.stms->samplingProbability =
         options.getDouble("sampling", 0.125);
-    stms_config.ideal = options.getBool("ideal", false);
-    if (stms_config.ideal) {
-        stms_config = makeIdealTmsConfig();
-    }
-    StmsPrefetcher stms(stms_config);
-    SimResult with_stms = runOnce(trace, &stms);
-
-    const auto &pf = with_stms.prefetchers.at(1);
-    const double covered =
-        static_cast<double>(pf.useful + pf.partial);
-    const double denom =
-        covered + static_cast<double>(with_stms.mem.offchipReads);
-    const double coverage = denom > 0 ? covered / denom : 0.0;
+    if (options.getBool("ideal", false))
+        config.stms = makeIdealTmsConfig();
+    RunOutput with_stms = runTrace(trace, config);
 
     std::printf("\n-- base system (stride only) --\n");
-    std::printf("ipc           %.3f\n", base.ipc);
+    std::printf("ipc           %.3f\n", base.sim.ipc);
     std::printf("offchip reads %llu\n",
-                static_cast<unsigned long long>(base.mem.offchipReads));
+                static_cast<unsigned long long>(
+                    base.sim.mem.offchipReads));
     std::printf("\n-- with STMS (%s meta-data) --\n",
-                stms_config.ideal ? "ideal on-chip" : "off-chip");
-    std::printf("ipc           %.3f  (%+.1f%%)\n", with_stms.ipc,
-                100.0 * (with_stms.ipc / base.ipc - 1.0));
+                config.stms->ideal ? "ideal on-chip" : "off-chip");
+    std::printf("ipc           %.3f  (%+.1f%%)\n", with_stms.sim.ipc,
+                100.0 * speedup(base.sim, with_stms.sim));
     std::printf("coverage      %.1f%%  (full %.1f%%, partial %.1f%%)\n",
-                100.0 * coverage,
-                100.0 * static_cast<double>(pf.useful) /
-                    (denom > 0 ? denom : 1.0),
-                100.0 * static_cast<double>(pf.partial) /
-                    (denom > 0 ? denom : 1.0));
-    std::printf("accuracy      %.1f%%\n", 100.0 * pf.accuracy());
+                100.0 * with_stms.stmsCoverage,
+                100.0 * with_stms.stmsFullCoverage,
+                100.0 * with_stms.stmsPartialCoverage);
+    std::printf("accuracy      %.1f%%\n",
+                100.0 * with_stms.stms.accuracy());
     std::printf("overhead      %.2f bytes/useful byte\n",
-                with_stms.overheadPerDataByte);
+                with_stms.sim.overheadPerDataByte);
     std::printf("meta footprint %llu bytes in main memory\n",
                 static_cast<unsigned long long>(
-                    stms.metaFootprintBytes()));
+                    with_stms.stmsMetaBytes));
     std::printf("streams: %llu started, mean mlp %.2f\n",
                 static_cast<unsigned long long>(
-                    stms.stats().streamsStarted),
-                with_stms.meanMlp);
+                    with_stms.stmsInternal.streamsStarted),
+                with_stms.sim.meanMlp);
     return 0;
 }

@@ -7,7 +7,7 @@
  * exactly. The history buffer either holds a full iteration (coverage
  * near-perfect) or it does not (coverage negligible) — this example
  * makes that cliff visible by sweeping the history size around the
- * iteration length.
+ * iteration length, one functional-mode runTrace() point per size.
  *
  * Usage: scientific_iteration [workload=sci-ocean] [records=262144]
  */
@@ -15,9 +15,8 @@
 #include <cstdio>
 
 #include "common/config.hh"
-#include "core/stms.hh"
-#include "prefetch/stride.hh"
-#include "sim/system.hh"
+#include "driver/trace_cache.hh"
+#include "sim/run.hh"
 #include "workload/workloads.hh"
 
 using namespace stms;
@@ -32,9 +31,8 @@ main(int argc, char **argv)
         return 1;
     }
     const auto records = options.getUint("records", 256 * 1024);
-    WorkloadSpec spec = makeWorkload(name, records);
-    WorkloadGenerator generator(spec);
-    const Trace trace = generator.generate();
+    const WorkloadSpec spec = makeWorkload(name, records);
+    const Trace &trace = driver::globalTraceCache().get(name, records);
 
     std::printf("%s: iteration stream of %u blocks per core "
                 "(plus %0.f%% noise/on-chip work)\n\n",
@@ -51,27 +49,14 @@ main(int argc, char **argv)
         iteration * 2, iteration * 4};
 
     for (std::uint64_t entries : points) {
-        SimConfig sim;
-        sim.warmupRecords = trace.totalRecords() / 4;
-        sim.memory.mem.functional = true;  // Trace-based coverage run.
-        CmpSystem system(sim, trace);
-        StridePrefetcher stride;
-        system.addPrefetcher(&stride);
         StmsConfig config = makeIdealTmsConfig();
         config.historyEntriesPerCore = entries;
-        StmsPrefetcher stms(config);
-        system.addPrefetcher(&stms);
-        SimResult result = system.run();
-
-        const auto &pf = result.prefetchers.at(1);
-        const double covered =
-            static_cast<double>(pf.useful + pf.partial);
-        const double denom =
-            covered + static_cast<double>(result.mem.offchipReads);
-        const double coverage = denom > 0 ? covered / denom : 0.0;
+        // Trace-based coverage run: functional memory timing.
+        RunOutput out =
+            runTrace(trace, defaultSimConfig(true), config);
         std::printf("%-18llu %-12.1f %s\n",
                     static_cast<unsigned long long>(entries),
-                    100.0 * coverage,
+                    100.0 * out.stmsCoverage,
                     entries > iteration
                         ? "holds a full iteration -> streams"
                         : "iteration does not fit -> blind");

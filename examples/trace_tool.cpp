@@ -4,7 +4,8 @@
  *
  * The binary trace format lets experiments run against identical
  * inputs across configurations and machines, standing in for the
- * public trace files ChampSim-style studies distribute.
+ * public trace files ChampSim-style studies distribute. Replay runs
+ * through the shared runTrace() engine.
  *
  * Usage:
  *   trace_tool mode=gen workload=oltp-db2 records=65536 out=t.trace
@@ -15,9 +16,7 @@
 #include <cstdio>
 
 #include "common/config.hh"
-#include "core/stms.hh"
-#include "prefetch/stride.hh"
-#include "sim/system.hh"
+#include "sim/run.hh"
 #include "workload/trace.hh"
 #include "workload/workloads.hh"
 
@@ -97,26 +96,15 @@ replay(const Options &options)
         std::fprintf(stderr, "failed to read '%s'\n", in.c_str());
         return 1;
     }
-    SimConfig sim;
-    sim.warmupRecords = trace.totalRecords() / 4;
-    CmpSystem system(sim, trace);
-    StridePrefetcher stride;
-    system.addPrefetcher(&stride);
-    StmsConfig config;
+    RunConfig config;
+    config.stms.emplace();
     if (options.getBool("ideal", false))
-        config = makeIdealTmsConfig();
-    StmsPrefetcher stms(config);
-    system.addPrefetcher(&stms);
-    SimResult result = system.run();
-    const auto &pf = result.prefetchers.at(1);
-    const double covered = static_cast<double>(pf.useful + pf.partial);
-    const double denom =
-        covered + static_cast<double>(result.mem.offchipReads);
+        config.stms = makeIdealTmsConfig();
+    RunOutput out = runTrace(trace, config);
     std::printf("replayed %s: ipc %.3f, STMS coverage %.1f%%, "
                 "overhead %.2f bytes/useful byte\n",
-                in.c_str(), result.ipc,
-                denom > 0 ? 100.0 * covered / denom : 0.0,
-                result.overheadPerDataByte);
+                in.c_str(), out.sim.ipc, 100.0 * out.stmsCoverage,
+                out.sim.overheadPerDataByte);
     return 0;
 }
 

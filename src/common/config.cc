@@ -24,10 +24,13 @@ Options::fromArgs(int argc, char **argv)
 bool
 Options::parseToken(const std::string &token)
 {
-    const auto eq = token.find('=');
-    if (eq == std::string::npos || eq == 0)
+    std::size_t start = 0;
+    while (start < token.size() && start < 2 && token[start] == '-')
+        ++start;
+    const auto eq = token.find('=', start);
+    if (eq == std::string::npos || eq == start)
         return false;
-    values_[token.substr(0, eq)] = token.substr(eq + 1);
+    values_[token.substr(start, eq - start)] = token.substr(eq + 1);
     return true;
 }
 

@@ -28,7 +28,8 @@ class Options
     /** Parse argv-style arguments of the form key=value. */
     static Options fromArgs(int argc, char **argv);
 
-    /** Parse a single key=value token; returns false on bad syntax. */
+    /** Parse a single key=value token (leading "--" or "-" dashes are
+     *  accepted and stripped); returns false on bad syntax. */
     bool parseToken(const std::string &token);
 
     bool has(const std::string &key) const;

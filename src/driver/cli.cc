@@ -1,0 +1,285 @@
+#include "driver/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/registry.hh"
+#include "driver/runner.hh"
+
+namespace stms::driver
+{
+
+namespace
+{
+
+const char kUsage[] =
+    "usage: driver [--list] [--experiment NAME]... [--threads N]\n"
+    "              [--json PATH|-] [--csv] [--verbose] [key=value]...\n"
+    "\n"
+    "  --list            list registered experiments and exit\n"
+    "  --experiment NAME run NAME (repeatable; 'all' runs everything)\n"
+    "  --threads N       worker threads for independent runs "
+    "(default 1;\n"
+    "                    results are bit-identical to serial)\n"
+    "  --json PATH       write structured results to PATH "
+    "('-' = JSON only\n"
+    "                    on stdout, suppressing the text report)\n"
+    "  --csv             print tables as CSV instead of aligned text\n"
+    "  --verbose         per-run progress on stderr\n"
+    "  key=value         experiment options (e.g. records=65536)\n";
+
+void
+printList(const ExperimentRegistry &registry)
+{
+    std::printf("registered experiments:\n");
+    for (const Experiment *experiment : registry.all()) {
+        std::printf("  %-16s %s\n", experiment->name().c_str(),
+                    experiment->description().c_str());
+    }
+}
+
+/** Render one report in the selected human format. */
+void
+printReport(const Report &report, bool csv)
+{
+    if (!csv) {
+        std::fputs(report.toText().c_str(), stdout);
+        return;
+    }
+    for (const auto &entry : report.tables()) {
+        if (!entry.title.empty())
+            std::printf("# %s\n", entry.title.c_str());
+        std::fputs(entry.table.toCsv().c_str(), stdout);
+    }
+}
+
+bool
+writeJson(const std::string &path, const std::string &payload)
+{
+    if (path == "-") {
+        std::fputs(payload.c_str(), stdout);
+        return true;
+    }
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    const bool ok =
+        std::fwrite(payload.data(), 1, payload.size(), file) ==
+        payload.size();
+    return std::fclose(file) == 0 && ok;
+}
+
+int
+runExperiments(const DriverArgs &args)
+{
+    const ExperimentRegistry &registry = ExperimentRegistry::global();
+
+    std::vector<const Experiment *> selected;
+    for (const std::string &name : args.experiments) {
+        if (name == "all") {
+            selected = registry.all();
+            break;
+        }
+        const Experiment *experiment = registry.find(name);
+        if (!experiment) {
+            std::fprintf(stderr, "unknown experiment '%s'\n\n",
+                         name.c_str());
+            printList(registry);
+            return 1;
+        }
+        selected.push_back(experiment);
+    }
+
+    RunnerConfig runner_config;
+    runner_config.threads = args.threads;
+    runner_config.verbose = args.verbose;
+    ExperimentRunner runner(globalTraceCache(), runner_config);
+
+    // With --json -, stdout carries the JSON payload alone; the
+    // human rendering would interleave and break json.load().
+    const bool json_on_stdout = args.jsonPath == "-";
+
+    std::vector<std::string> json_reports;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const Experiment &experiment = *selected[i];
+        const Report report = runner.run(experiment, args.options);
+        if (!json_on_stdout) {
+            if (i > 0)
+                std::printf("\n");
+            printReport(report, args.csv);
+        }
+        if (!args.jsonPath.empty())
+            json_reports.push_back(report.toJson());
+    }
+
+    if (!args.jsonPath.empty()) {
+        // A single experiment writes a bare object; several write an
+        // array. Downstream json.load() handles either shape.
+        std::string payload;
+        if (json_reports.size() == 1) {
+            payload = json_reports[0];
+        } else {
+            payload = "[\n";
+            for (std::size_t i = 0; i < json_reports.size(); ++i) {
+                if (i > 0)
+                    payload += ",\n";
+                payload += json_reports[i];
+            }
+            payload += "]\n";
+        }
+        if (!writeJson(args.jsonPath, payload)) {
+            std::fprintf(stderr, "failed to write '%s'\n",
+                         args.jsonPath.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+bool
+parseDriverArgs(int argc, char **argv, DriverArgs &args,
+                std::string &error)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        auto nextValue = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                error = std::string(flag) + " needs a value";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+
+        // GNU-style --flag=value spellings of the driver's own flags
+        // must not fall through to the key=value option store (where
+        // "--threads=8" would silently become the experiment option
+        // threads=8 and never change the worker count).
+        if (token.size() > 2 && token[0] == '-') {
+            const auto eq = token.find('=');
+            if (eq != std::string::npos) {
+                std::size_t start = token[1] == '-' ? 2 : 1;
+                const std::string key = token.substr(start, eq - start);
+                const std::string value = token.substr(eq + 1);
+                if (key == "experiment" || key == "e") {
+                    args.experiments.push_back(value);
+                    continue;
+                }
+                if (key == "threads" || key == "j") {
+                    const long parsed =
+                        std::strtol(value.c_str(), nullptr, 0);
+                    if (parsed < 1) {
+                        error = "--threads needs a positive integer";
+                        return false;
+                    }
+                    args.threads = static_cast<std::uint32_t>(parsed);
+                    continue;
+                }
+                if (key == "json") {
+                    args.jsonPath = value;
+                    continue;
+                }
+                // The boolean flags take no value; swallowing
+                // "--csv=1" as the experiment option csv=1 would be
+                // the same silent fallthrough this block prevents.
+                if (key == "list" || key == "csv" || key == "help" ||
+                    key == "h" || key == "verbose" || key == "v") {
+                    error = "--" + key + " does not take a value";
+                    return false;
+                }
+            }
+        }
+
+        if (token == "--help" || token == "-h") {
+            args.help = true;
+        } else if (token == "--list") {
+            args.list = true;
+        } else if (token == "--csv") {
+            args.csv = true;
+        } else if (token == "--verbose" || token == "-v") {
+            args.verbose = true;
+        } else if (token == "--experiment" || token == "-e") {
+            const char *value = nextValue("--experiment");
+            if (!value)
+                return false;
+            args.experiments.push_back(value);
+        } else if (token == "--threads" || token == "-j") {
+            const char *value = nextValue("--threads");
+            if (!value)
+                return false;
+            const long parsed = std::strtol(value, nullptr, 0);
+            if (parsed < 1) {
+                error = "--threads needs a positive integer";
+                return false;
+            }
+            args.threads = static_cast<std::uint32_t>(parsed);
+        } else if (token == "--json") {
+            const char *value = nextValue("--json");
+            if (!value)
+                return false;
+            args.jsonPath = value;
+        } else if (args.options.parseToken(token)) {
+            // key=value (or --key=value) passthrough.
+        } else {
+            error = "unrecognized argument '" + token + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+driverMain(int argc, char **argv)
+{
+    DriverArgs args;
+    std::string error;
+    if (!parseDriverArgs(argc, argv, args, error)) {
+        std::fprintf(stderr, "%s\n%s", error.c_str(), kUsage);
+        return 1;
+    }
+    if (args.help) {
+        std::fputs(kUsage, stdout);
+        return 0;
+    }
+    if (args.list) {
+        printList(ExperimentRegistry::global());
+        return 0;
+    }
+    if (args.experiments.empty()) {
+        std::fprintf(stderr, "no experiment selected\n\n%s", kUsage);
+        printList(ExperimentRegistry::global());
+        return 1;
+    }
+    return runExperiments(args);
+}
+
+int
+experimentMain(const std::string &name, int argc, char **argv)
+{
+    DriverArgs args;
+    std::string error;
+    if (!parseDriverArgs(argc, argv, args, error)) {
+        std::fprintf(stderr, "%s\n%s", error.c_str(), kUsage);
+        return 1;
+    }
+    if (args.help) {
+        std::fputs(kUsage, stdout);
+        return 0;
+    }
+    if (args.list) {
+        printList(ExperimentRegistry::global());
+        return 0;
+    }
+    if (!args.experiments.empty()) {
+        std::fprintf(stderr,
+                     "this binary always runs '%s'; use the driver "
+                     "binary to select experiments\n",
+                     name.c_str());
+        return 1;
+    }
+    args.experiments.assign(1, name);
+    return runExperiments(args);
+}
+
+} // namespace stms::driver

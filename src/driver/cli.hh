@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The unified experiment CLI.
+ *
+ * One binary replaces the old per-bench mains:
+ *
+ *   driver --list
+ *   driver --experiment fig7
+ *   driver --experiment fig9 --threads 8 --json fig9.json
+ *   driver --experiment all records=65536
+ *
+ * Flags select and steer the engine; bare key=value tokens (records,
+ * sampling, ...) flow into the experiment's Options unchanged, the
+ * same syntax the examples always used. The old bench binaries still
+ * exist as two-line stubs calling experimentMain().
+ */
+
+#ifndef STMS_DRIVER_CLI_HH
+#define STMS_DRIVER_CLI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace stms::driver
+{
+
+/** Parsed driver command line. */
+struct DriverArgs
+{
+    std::vector<std::string> experiments;  ///< Names, or {"all"}.
+    std::uint32_t threads = 1;
+    std::string jsonPath;  ///< Empty = no JSON; "-" = stdout.
+    bool csv = false;      ///< Emit tables as CSV instead of aligned.
+    bool list = false;
+    bool help = false;
+    bool verbose = false;
+    Options options;       ///< key=value passthrough.
+};
+
+/**
+ * Parse @p argv. On failure, fills @p error and returns false.
+ */
+bool parseDriverArgs(int argc, char **argv, DriverArgs &args,
+                     std::string &error);
+
+/** Full CLI entry point (the driver binary's main). */
+int driverMain(int argc, char **argv);
+
+/**
+ * Run a single named experiment with a bench-stub command line
+ * (flags + key=value, no --experiment). Exit code 0 on success.
+ */
+int experimentMain(const std::string &name, int argc, char **argv);
+
+} // namespace stms::driver
+
+#endif // STMS_DRIVER_CLI_HH

@@ -1,0 +1,47 @@
+#include "driver/experiment.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace stms::driver
+{
+
+void
+RunSet::add(const std::string &id, RunOutput output)
+{
+    const bool inserted =
+        outputs_.emplace(id, std::move(output)).second;
+    stms_assert(inserted, "duplicate run id '%s'", id.c_str());
+}
+
+bool
+RunSet::has(const std::string &id) const
+{
+    return outputs_.count(id) != 0;
+}
+
+const RunOutput &
+RunSet::at(const std::string &id) const
+{
+    auto it = outputs_.find(id);
+    if (it == outputs_.end())
+        stms_fatal("experiment requested unknown run id '%s'",
+                   id.c_str());
+    return it->second;
+}
+
+std::uint64_t
+plannedRecords(const Options &options, std::uint64_t fallback)
+{
+    if (options.has("records"))
+        return options.getUint("records", fallback);
+    if (const char *env = std::getenv("STMS_BENCH_RECORDS")) {
+        const std::uint64_t value = std::strtoull(env, nullptr, 0);
+        if (value > 0)
+            return value;
+    }
+    return fallback;
+}
+
+} // namespace stms::driver

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Experiment "ablate-bucket" — index-table bucket organization
+ * (Sec. 5.4). The paper packs 12 {address, pointer} pairs into one
+ * 64-byte bucket so a lookup costs exactly one memory access, relying
+ * on in-bucket LRU to retain useful pointers. Sweeps entries-per-
+ * bucket at fixed table size: fewer entries per bucket means more
+ * buckets but less associativity (more conflict churn); more would
+ * not fit a block.
+ */
+
+#include "driver/experiments/builtins.hh"
+
+#include "workload/workloads.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+const std::vector<std::string> kWorkloads = {"web-apache", "oltp-db2"};
+const std::vector<std::uint32_t> kEntries = {1, 2, 4, 8, 12};
+const std::vector<std::uint64_t> kSizes = {512ULL << 10, 2ULL << 20,
+                                           8ULL << 20};
+
+std::string
+pointId(const std::string &workload, std::uint64_t size,
+        std::uint32_t epb)
+{
+    return workload + "/" + std::to_string(size) + "/" +
+           std::to_string(epb);
+}
+
+class AblateBucket final : public ExperimentBase
+{
+  public:
+    AblateBucket()
+        : ExperimentBase("ablate-bucket",
+                         "entries per 64B index bucket vs coverage "
+                         "at fixed table sizes")
+    {}
+
+    std::vector<RunSpec>
+    plan(const Options &options) const override
+    {
+        const std::uint64_t records =
+            plannedRecords(options, 256 * 1024);
+        std::vector<RunSpec> specs;
+        for (const auto &workload : kWorkloads) {
+            for (std::uint64_t size : kSizes) {
+                for (std::uint32_t epb : kEntries) {
+                    RunSpec spec;
+                    spec.id = pointId(workload, size, epb);
+                    spec.workload = workload;
+                    spec.records = records;
+                    spec.config.sim = defaultSimConfig(true);
+                    StmsConfig config = makeIdealTmsConfig();
+                    config.indexBytes = size;
+                    config.entriesPerBucket = epb;
+                    spec.config.stms = config;
+                    specs.push_back(spec);
+                }
+            }
+        }
+        return specs;
+    }
+
+    Report
+    report(const Options &, const RunSet &runs) const override
+    {
+        Report out(name());
+        Table table({"workload", "index-size", "entries/bucket",
+                     "coverage", "index-hit-rate"});
+        for (const auto &workload : kWorkloads) {
+            for (std::uint64_t size : kSizes) {
+                for (std::uint32_t epb : kEntries) {
+                    const RunOutput &run =
+                        runs.at(pointId(workload, size, epb));
+                    const auto &idx = run.stmsInternal;
+                    const double hit_rate =
+                        idx.lookups == 0
+                            ? 0.0
+                            : static_cast<double>(idx.lookupHits) /
+                                  static_cast<double>(idx.lookups);
+                    table.addRow({workload, formatSize(size),
+                                  std::to_string(epb),
+                                  Table::pct(run.stmsCoverage),
+                                  Table::pct(hit_rate)});
+                    out.addMetric(pointId(workload, size, epb) +
+                                      ".coverage",
+                                  run.stmsCoverage);
+                }
+            }
+        }
+        out.addTable("Ablation: entries per 64B index bucket",
+                     std::move(table));
+        out.addNote("Shape check: low associativity (1-2 "
+                    "entries/bucket) churns useful pointers\nat small "
+                    "table sizes; 12/bucket recovers most of the loss "
+                    "without extra accesses.");
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Experiment>
+makeAblateBucket()
+{
+    return std::make_unique<AblateBucket>();
+}
+
+} // namespace stms::driver

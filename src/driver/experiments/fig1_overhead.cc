@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Experiment "fig1-overhead" — memory traffic overheads of prior
+ * off-chip meta-data designs (EBCP, ULMT, TSE-like), re-measured
+ * mechanically in our simulator rather than copied from their papers.
+ *
+ * EBCP: fixed-depth single table, epoch-gated lookups, RMW updates.
+ * ULMT: fixed-depth single table, lookup + RMW update on every miss.
+ * TSE-like: split-table streaming with always-on (100%) index update
+ * and no bucket buffer — the un-sampled traffic structure STMS fixes.
+ *
+ * Paper shape: overhead traffic around 3x the baseline read traffic,
+ * dominated by meta-data updates and lookups.
+ */
+
+#include "driver/experiments/builtins.hh"
+
+#include "workload/workloads.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+const std::vector<std::string> kCommercial = {
+    "web-apache", "web-zeus", "oltp-db2", "oltp-oracle"};
+
+struct Breakdown
+{
+    double lookup = 0.0;
+    double update = 0.0;
+    double erroneous = 0.0;
+
+    double total() const { return lookup + update + erroneous; }
+};
+
+/** Overhead per baseline read byte, from the traffic counters. */
+Breakdown
+breakdownOf(const SimResult &result)
+{
+    const double reads = static_cast<double>(
+        result.traffic.bytesFor(TrafficClass::DemandRead));
+    Breakdown b;
+    if (reads <= 0)
+        return b;
+    b.lookup = static_cast<double>(
+                   result.traffic.bytesFor(TrafficClass::MetaLookup)) /
+               reads;
+    b.update =
+        static_cast<double>(
+            result.traffic.bytesFor(TrafficClass::MetaUpdate) +
+            result.traffic.bytesFor(TrafficClass::MetaRecord)) /
+        reads;
+    // Erroneous = prefetched bytes never consumed.
+    double issued_bytes = 0.0;
+    for (const auto &pf : result.prefetchers)
+        issued_bytes += static_cast<double>(pf.erroneous) * kBlockBytes;
+    b.erroneous = issued_bytes / reads;
+    return b;
+}
+
+class Fig1Overhead final : public ExperimentBase
+{
+  public:
+    Fig1Overhead()
+        : ExperimentBase("fig1-overhead",
+                         "traffic overheads of prior off-chip "
+                         "meta-data designs (EBCP/ULMT/TSE-like)")
+    {}
+
+    std::vector<RunSpec>
+    plan(const Options &options) const override
+    {
+        const std::uint64_t records =
+            plannedRecords(options, 256 * 1024);
+        std::vector<RunSpec> specs;
+        for (const auto &name : kCommercial) {
+            RunSpec ebcp;
+            ebcp.id = name + "/ebcp";
+            ebcp.workload = name;
+            ebcp.records = records;
+            ebcp.config.sim = defaultSimConfig(true);
+            CorrelationConfig cc;
+            cc.offchipMeta = true;
+            cc.epochMode = true;
+            ebcp.config.correlation = cc;
+            specs.push_back(ebcp);
+
+            RunSpec ulmt = ebcp;
+            ulmt.id = name + "/ulmt";
+            ulmt.config.correlation->epochMode = false;
+            specs.push_back(ulmt);
+
+            // TSE-like: STMS machinery, 100% updates, no bucket
+            // buffer.
+            RunSpec tse;
+            tse.id = name + "/tse";
+            tse.workload = name;
+            tse.records = records;
+            tse.config.sim = defaultSimConfig(true);
+            StmsConfig tse_config;
+            tse_config.samplingProbability = 1.0;
+            tse_config.bucketBufferBuckets = 1;
+            tse.config.stms = tse_config;
+            specs.push_back(tse);
+        }
+        return specs;
+    }
+
+    Report
+    report(const Options &, const RunSet &runs) const override
+    {
+        Breakdown ebcp, ulmt, tse;
+        auto add = [](Breakdown &acc, const Breakdown &b) {
+            acc.lookup += b.lookup;
+            acc.update += b.update;
+            acc.erroneous += b.erroneous;
+        };
+        for (const auto &name : kCommercial) {
+            add(ebcp, breakdownOf(runs.at(name + "/ebcp").sim));
+            add(ulmt, breakdownOf(runs.at(name + "/ulmt").sim));
+            add(tse, breakdownOf(runs.at(name + "/tse").sim));
+        }
+        const double n = static_cast<double>(kCommercial.size());
+
+        Report out(name());
+        Table table(
+            {"design", "lookup", "update", "erroneous", "total"});
+        auto row = [&](const char *label, const char *key,
+                       const Breakdown &b) {
+            table.addRow({label, Table::num(b.lookup / n),
+                          Table::num(b.update / n),
+                          Table::num(b.erroneous / n),
+                          Table::num(b.total() / n)});
+            out.addMetric(std::string(key) + ".total", b.total() / n);
+        };
+        row("EBCP-like (epoch, fixed depth)", "ebcp", ebcp);
+        row("ULMT-like (per-miss, fixed depth)", "ulmt", ulmt);
+        row("TSE-like (split table, unsampled)", "tse", tse);
+
+        out.addTable("Figure 1 (right): overhead accesses per "
+                     "baseline read (commercial mean)",
+                     std::move(table));
+        out.addNote("Shape check: prior designs cost on the order of "
+                    "the baseline read traffic\nagain (or more), "
+                    "dominated by meta-data updates/lookups (Sec. 3).");
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Experiment>
+makeFig1Overhead()
+{
+    return std::make_unique<Fig1Overhead>();
+}
+
+} // namespace stms::driver

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment "fig4" — prefetching potential of idealized temporal
+ * memory streaming: coverage (in excess of the stride prefetcher)
+ * and speedup over the stride-only base system. Paper shape: Web/OLTP
+ * 40-60% coverage, Sci up to 99%, DSS ~20%; speedups 5-18% for
+ * OLTP/Web and up to ~80% for scientific codes.
+ */
+
+#include "driver/experiments/builtins.hh"
+
+#include "workload/workloads.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+class Fig4Potential final : public ExperimentBase
+{
+  public:
+    Fig4Potential()
+        : ExperimentBase("fig4",
+                         "potential of idealized temporal streaming: "
+                         "coverage and speedup vs the stride-only base")
+    {}
+
+    std::vector<RunSpec>
+    plan(const Options &options) const override
+    {
+        const std::uint64_t records =
+            plannedRecords(options, 384 * 1024);
+        std::vector<RunSpec> specs;
+        for (const auto &info : standardSuite()) {
+            RunSpec base;
+            base.id = info.name + "/base";
+            base.workload = info.name;
+            base.records = records;
+            base.config.sim = defaultSimConfig();
+            specs.push_back(base);
+
+            RunSpec ideal = base;
+            ideal.id = info.name + "/ideal";
+            ideal.config.stms = makeIdealTmsConfig();
+            specs.push_back(ideal);
+        }
+        return specs;
+    }
+
+    Report
+    report(const Options &, const RunSet &runs) const override
+    {
+        Report out(name());
+        Table table({"group", "workload", "coverage", "speedup",
+                     "base-ipc", "ideal-ipc", "mlp"});
+        for (const auto &info : standardSuite()) {
+            const RunOutput &base = runs.at(info.name + "/base");
+            const RunOutput &ideal = runs.at(info.name + "/ideal");
+            const double gain = speedup(base.sim, ideal.sim);
+            table.addRow({info.group, info.label,
+                          Table::pct(ideal.stmsCoverage),
+                          Table::pct(gain), Table::num(base.sim.ipc),
+                          Table::num(ideal.sim.ipc),
+                          Table::num(base.sim.meanMlp)});
+            out.addMetric(info.name + ".coverage",
+                          ideal.stmsCoverage);
+            out.addMetric(info.name + ".speedup", gain);
+        }
+        out.addTable("Figure 4: potential of idealized temporal "
+                     "streaming\n(coverage in excess of stride; "
+                     "speedup vs stride-only base)",
+                     std::move(table));
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Experiment>
+makeFig4Potential()
+{
+    return std::make_unique<Fig4Potential>();
+}
+
+} // namespace stms::driver

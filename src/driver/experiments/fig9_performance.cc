@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Experiment "fig9" — the headline result: practical STMS with
+ * off-chip meta-data vs idealized on-chip lookup.
+ *
+ * Left: coverage of idealized TMS vs off-chip STMS (12.5% sampling),
+ * with STMS coverage split into fully- and partially-covered misses.
+ * Right: speedup of both over the stride-only base system.
+ *
+ * Paper shape: STMS achieves ~90% of the idealized design's coverage
+ * and performance while keeping all predictor meta-data in main
+ * memory.
+ */
+
+#include "driver/experiments/builtins.hh"
+
+#include "workload/workloads.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+class Fig9Performance final : public ExperimentBase
+{
+  public:
+    Fig9Performance()
+        : ExperimentBase("fig9",
+                         "headline result: practical off-chip STMS "
+                         "vs idealized on-chip TMS")
+    {}
+
+    std::vector<RunSpec>
+    plan(const Options &options) const override
+    {
+        const std::uint64_t records =
+            plannedRecords(options, 384 * 1024);
+        std::vector<RunSpec> specs;
+        for (const auto &info : standardSuite()) {
+            RunSpec base;
+            base.id = info.name + "/base";
+            base.workload = info.name;
+            base.records = records;
+            base.config.sim = defaultSimConfig();
+            specs.push_back(base);
+
+            RunSpec ideal = base;
+            ideal.id = info.name + "/ideal";
+            ideal.config.stms = makeIdealTmsConfig();
+            specs.push_back(ideal);
+
+            RunSpec stms = base;
+            stms.id = info.name + "/stms";
+            // Defaults: off-chip, 12.5% sampling.
+            stms.config.stms = StmsConfig{};
+            specs.push_back(stms);
+        }
+        return specs;
+    }
+
+    Report
+    report(const Options &, const RunSet &runs) const override
+    {
+        Report out(name());
+        Table table({"group", "workload", "ideal-cov", "stms-cov",
+                     "stms-full", "stms-partial", "ideal-speedup",
+                     "stms-speedup", "stms/ideal"});
+
+        double ratio_sum = 0.0;
+        int ratio_count = 0;
+        for (const auto &info : standardSuite()) {
+            const RunOutput &base = runs.at(info.name + "/base");
+            const RunOutput &ideal = runs.at(info.name + "/ideal");
+            const RunOutput &stms = runs.at(info.name + "/stms");
+
+            const double ideal_speedup = speedup(base.sim, ideal.sim);
+            const double stms_speedup = speedup(base.sim, stms.sim);
+            double ratio = 0.0;
+            if (ideal_speedup > 0.005) {
+                ratio = stms_speedup / ideal_speedup;
+                ratio_sum += ratio;
+                ++ratio_count;
+            }
+
+            table.addRow({info.group, info.label,
+                          Table::pct(ideal.stmsCoverage),
+                          Table::pct(stms.stmsCoverage),
+                          Table::pct(stms.stmsFullCoverage),
+                          Table::pct(stms.stmsPartialCoverage),
+                          Table::pct(ideal_speedup),
+                          Table::pct(stms_speedup),
+                          ideal_speedup > 0.005 ? Table::pct(ratio, 0)
+                                                : "-"});
+            out.addMetric(info.name + ".ideal_coverage",
+                          ideal.stmsCoverage);
+            out.addMetric(info.name + ".stms_coverage",
+                          stms.stmsCoverage);
+            out.addMetric(info.name + ".ideal_speedup", ideal_speedup);
+            out.addMetric(info.name + ".stms_speedup", stms_speedup);
+        }
+        out.addTable("Figure 9: idealized TMS vs practical STMS "
+                     "(off-chip meta-data, 12.5% sampling)",
+                     std::move(table));
+        if (ratio_count > 0) {
+            const double mean =
+                ratio_sum / static_cast<double>(ratio_count);
+            out.addMetric("mean_stms_ideal_ratio", mean);
+            out.addNote("Mean STMS/ideal speedup ratio: " +
+                        Table::pct(mean, 0) + "  (paper: ~90%)");
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Experiment>
+makeFig9Performance()
+{
+    return std::make_unique<Fig9Performance>();
+}
+
+} // namespace stms::driver

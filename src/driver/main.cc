@@ -1,0 +1,9 @@
+/** @file The unified experiment driver binary. */
+
+#include "driver/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return stms::driver::driverMain(argc, argv);
+}

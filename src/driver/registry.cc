@@ -1,0 +1,47 @@
+#include "driver/registry.hh"
+
+#include "common/log.hh"
+
+namespace stms::driver
+{
+
+void
+ExperimentRegistry::add(std::unique_ptr<Experiment> experiment)
+{
+    stms_assert(experiment != nullptr, "null experiment");
+    const std::string name = experiment->name();
+    const bool inserted =
+        experiments_.emplace(name, std::move(experiment)).second;
+    if (!inserted)
+        stms_fatal("duplicate experiment name '%s'", name.c_str());
+}
+
+const Experiment *
+ExperimentRegistry::find(const std::string &name) const
+{
+    auto it = experiments_.find(name);
+    return it == experiments_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Experiment *>
+ExperimentRegistry::all() const
+{
+    std::vector<const Experiment *> result;
+    result.reserve(experiments_.size());
+    for (const auto &[name, experiment] : experiments_)
+        result.push_back(experiment.get());
+    return result;  // std::map iteration is already name-sorted.
+}
+
+ExperimentRegistry &
+ExperimentRegistry::global()
+{
+    static ExperimentRegistry registry = [] {
+        ExperimentRegistry r;
+        registerBuiltinExperiments(r);
+        return r;
+    }();
+    return registry;
+}
+
+} // namespace stms::driver

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Name → Experiment registry.
+ *
+ * The global registry is populated with every built-in experiment on
+ * first use (explicit registration, not static initializers, so the
+ * definitions survive static-library linking). Tests construct their
+ * own registries to exercise lookup without the builtins.
+ */
+
+#ifndef STMS_DRIVER_REGISTRY_HH
+#define STMS_DRIVER_REGISTRY_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hh"
+
+namespace stms::driver
+{
+
+/** Owning map of registered experiments. */
+class ExperimentRegistry
+{
+  public:
+    /** Register @p experiment; fatal on duplicate names. */
+    void add(std::unique_ptr<Experiment> experiment);
+
+    /** The experiment named @p name, or nullptr. */
+    const Experiment *find(const std::string &name) const;
+
+    /** All experiments, sorted by name. */
+    std::vector<const Experiment *> all() const;
+
+    std::size_t size() const { return experiments_.size(); }
+
+    /** The process-wide registry, builtins included. */
+    static ExperimentRegistry &global();
+
+  private:
+    std::map<std::string, std::unique_ptr<Experiment>> experiments_;
+};
+
+/** Populate @p registry with every built-in experiment (the paper's
+ *  figures, tables, and ablations). Defined across
+ *  src/driver/experiments/. */
+void registerBuiltinExperiments(ExperimentRegistry &registry);
+
+} // namespace stms::driver
+
+#endif // STMS_DRIVER_REGISTRY_HH

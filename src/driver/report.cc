@@ -1,0 +1,127 @@
+#include "driver/report.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace stms::driver
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char ch : text) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";  // JSON has no inf/nan.
+    char buf[64];
+    if (value == std::floor(value) && std::fabs(value) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    // %.17g round-trips doubles exactly, which the determinism tests
+    // rely on (threads=1 vs threads=N must match to the last bit).
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+void
+Report::addMetric(const std::string &name, double value)
+{
+    metrics_.emplace_back(name, value);
+}
+
+void
+Report::addTable(std::string title, Table table)
+{
+    tables_.push_back(ReportTable{std::move(title), std::move(table)});
+}
+
+void
+Report::addNote(const std::string &note)
+{
+    notes_.push_back(note);
+}
+
+std::string
+Report::toText() const
+{
+    std::string out;
+    for (const auto &entry : tables_) {
+        if (!entry.title.empty())
+            out += entry.title + "\n\n";
+        out += entry.table.toString() + "\n";
+    }
+    for (const auto &note : notes_)
+        out += note + "\n";
+    return out;
+}
+
+std::string
+Report::toJson() const
+{
+    std::string out = "{\n  \"experiment\": \"" +
+                      jsonEscape(experiment_) + "\",\n";
+
+    out += "  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += "    \"" + jsonEscape(metrics_[i].first) +
+               "\": " + jsonNumber(metrics_[i].second);
+    }
+    out += metrics_.empty() ? "},\n" : "\n  },\n";
+
+    out += "  \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const auto &entry = tables_[t];
+        out += t == 0 ? "\n" : ",\n";
+        out += "    {\n      \"title\": \"" + jsonEscape(entry.title) +
+               "\",\n      \"columns\": [";
+        const auto &headers = entry.table.headers();
+        for (std::size_t c = 0; c < headers.size(); ++c) {
+            if (c)
+                out += ", ";
+            out += "\"" + jsonEscape(headers[c]) + "\"";
+        }
+        out += "],\n      \"rows\": [";
+        const auto &rows = entry.table.rows();
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            out += r == 0 ? "\n" : ",\n";
+            out += "        [";
+            for (std::size_t c = 0; c < rows[r].size(); ++c) {
+                if (c)
+                    out += ", ";
+                out += "\"" + jsonEscape(rows[r][c]) + "\"";
+            }
+            out += "]";
+        }
+        out += rows.empty() ? "]\n    }" : "\n      ]\n    }";
+    }
+    out += tables_.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace stms::driver

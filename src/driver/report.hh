@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Structured experiment results.
+ *
+ * An experiment's report() produces one Report: named scalar metrics
+ * (flat, ordered, machine-diffable — the determinism tests compare
+ * these), one or more titled tables (the human rendering of a paper
+ * figure), and free-form notes (the "shape check" commentary the old
+ * bench binaries printed). The report renders either as the familiar
+ * aligned-text output or as JSON for downstream plotting.
+ */
+
+#ifndef STMS_DRIVER_REPORT_HH
+#define STMS_DRIVER_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/table.hh"
+
+namespace stms::driver
+{
+
+/** Minimal JSON string escaping (control chars, quotes, backslash). */
+std::string jsonEscape(const std::string &text);
+
+/** Render a double the way the JSON report does (shortest
+ *  round-trippable form; integral values print without a point). */
+std::string jsonNumber(double value);
+
+/** One titled table of an experiment's output. */
+struct ReportTable
+{
+    std::string title;
+    Table table;
+};
+
+/** Everything one experiment reports. */
+class Report
+{
+  public:
+    explicit Report(std::string experiment)
+        : experiment_(std::move(experiment))
+    {}
+
+    /** Record a scalar metric; insertion order is preserved. */
+    void addMetric(const std::string &name, double value);
+
+    /** Append a titled table. */
+    void addTable(std::string title, Table table);
+
+    /** Append a line of commentary (rendered after the tables). */
+    void addNote(const std::string &note);
+
+    const std::string &experiment() const { return experiment_; }
+    const std::vector<std::pair<std::string, double>> &
+    metrics() const
+    {
+        return metrics_;
+    }
+    const std::vector<ReportTable> &tables() const { return tables_; }
+
+    /** Human rendering: tables, then notes. */
+    std::string toText() const;
+
+    /** Machine rendering: {experiment, metrics{}, tables[]}. The
+     *  output is byte-deterministic for identical inputs. */
+    std::string toJson() const;
+
+  private:
+    std::string experiment_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<ReportTable> tables_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace stms::driver
+
+#endif // STMS_DRIVER_REPORT_HH

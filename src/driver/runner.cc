@@ -1,0 +1,71 @@
+#include "driver/runner.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace stms::driver
+{
+
+ExperimentRunner::ExperimentRunner(TraceCache &traces,
+                                   RunnerConfig config)
+    : traces_(traces), config_(config)
+{}
+
+RunSet
+ExperimentRunner::execute(const Experiment &experiment,
+                          const Options &options) const
+{
+    const std::vector<RunSpec> plan = experiment.plan(options);
+    std::vector<RunOutput> outputs(plan.size());
+
+    auto executeOne = [&](std::size_t index) {
+        const RunSpec &spec = plan[index];
+        const Trace &trace = traces_.get(spec.workload, spec.records);
+        outputs[index] = runTrace(trace, spec.config);
+        if (config_.verbose) {
+            std::fprintf(stderr, "[%s] run %zu/%zu done: %s\n",
+                         experiment.name().c_str(), index + 1,
+                         plan.size(), spec.id.c_str());
+        }
+    };
+
+    const std::size_t workers =
+        std::min<std::size_t>(config_.threads > 0 ? config_.threads : 1,
+                              plan.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < plan.size(); ++i)
+            executeOne(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1);
+                     i < plan.size(); i = next.fetch_add(1)) {
+                    executeOne(i);
+                }
+            });
+        }
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    RunSet runs;
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        runs.add(plan[i].id, std::move(outputs[i]));
+    return runs;
+}
+
+Report
+ExperimentRunner::run(const Experiment &experiment,
+                      const Options &options) const
+{
+    return experiment.report(options, execute(experiment, options));
+}
+
+} // namespace stms::driver

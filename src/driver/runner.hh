@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ExperimentRunner — executes an experiment's plan.
+ *
+ * The runner turns a plan into completed outputs: it resolves each
+ * RunSpec's trace through the TraceCache (generated once, shared
+ * read-only), executes the independent runs on a pool of worker
+ * threads, and hands the assembled RunSet to report().
+ *
+ * Determinism: each run builds its own System/EventQueue from const
+ * inputs and all randomness is config-seeded, so a run's output is a
+ * pure function of its RunSpec. Outputs are stored by plan index and
+ * keyed by id, making `--threads N` bit-identical to `--threads 1`.
+ */
+
+#ifndef STMS_DRIVER_RUNNER_HH
+#define STMS_DRIVER_RUNNER_HH
+
+#include <cstdint>
+
+#include "driver/experiment.hh"
+#include "driver/trace_cache.hh"
+
+namespace stms::driver
+{
+
+/** Runner knobs (shared by the CLI and tests). */
+struct RunnerConfig
+{
+    /** Worker threads; 0 or 1 runs on the calling thread. */
+    std::uint32_t threads = 1;
+    /** Print one progress line per completed run to stderr. */
+    bool verbose = false;
+};
+
+/** Executes experiment plans over a shared trace cache. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(TraceCache &traces,
+                              RunnerConfig config = {});
+
+    /** Execute @p experiment's full plan and return its outputs. */
+    RunSet execute(const Experiment &experiment,
+                   const Options &options) const;
+
+    /** Plan, execute, and report in one call. */
+    Report run(const Experiment &experiment,
+               const Options &options) const;
+
+    const RunnerConfig &config() const { return config_; }
+
+  private:
+    TraceCache &traces_;
+    RunnerConfig config_;
+};
+
+} // namespace stms::driver
+
+#endif // STMS_DRIVER_RUNNER_HH

@@ -1,0 +1,45 @@
+#include "driver/trace_cache.hh"
+
+#include "workload/generators.hh"
+#include "workload/workloads.hh"
+
+namespace stms::driver
+{
+
+const Trace &
+TraceCache::get(const std::string &workload,
+                std::uint64_t records_per_core)
+{
+    Entry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &slot = entries_[Key{workload, records_per_core}];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+    // Generate outside the map lock so distinct traces synthesize
+    // concurrently; call_once serializes requests for the same key.
+    std::call_once(entry->once, [&] {
+        WorkloadGenerator generator(
+            makeWorkload(workload, records_per_core));
+        entry->trace = generator.generate();
+    });
+    return entry->trace;
+}
+
+std::size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+TraceCache &
+globalTraceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+} // namespace stms::driver

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Process-wide cache of generated workload traces.
+ *
+ * Trace synthesis is the most expensive part of a sweep after the
+ * simulation itself, and most experiments reuse the same (workload,
+ * records) traces across many configuration points. The cache
+ * generates each distinct trace exactly once — even when many runner
+ * threads request it concurrently — and hands out const references
+ * that stay valid for the cache's lifetime (entries are never
+ * evicted). Generation is deterministic (seeded per workload spec),
+ * so a cached trace is bit-identical to a freshly generated one.
+ */
+
+#ifndef STMS_DRIVER_TRACE_CACHE_HH
+#define STMS_DRIVER_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace stms::driver
+{
+
+/** Thread-safe, generate-once trace store. */
+class TraceCache
+{
+  public:
+    /**
+     * The trace for @p workload at @p records_per_core, generating it
+     * on first request. Blocks while another thread generates the
+     * same key; distinct keys generate concurrently.
+     */
+    const Trace &get(const std::string &workload,
+                     std::uint64_t records_per_core);
+
+    /** Number of distinct traces generated so far. */
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        Trace trace;
+    };
+
+    using Key = std::pair<std::string, std::uint64_t>;
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::unique_ptr<Entry>> entries_;
+};
+
+/** The shared cache used by the driver CLI and the bench stubs. */
+TraceCache &globalTraceCache();
+
+} // namespace stms::driver
+
+#endif // STMS_DRIVER_TRACE_CACHE_HH

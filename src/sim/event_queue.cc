@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace stms
@@ -12,7 +14,8 @@ EventQueue::scheduleAt(Cycle when, Callback fn)
                 "event scheduled in the past (%llu < %llu)",
                 static_cast<unsigned long long>(when),
                 static_cast<unsigned long long>(now_));
-    heap_.push(Event{when, nextSeq_++, std::move(fn)});
+    heap_.push_back(Event{when, nextSeq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 Cycle
@@ -24,10 +27,12 @@ EventQueue::run()
 Cycle
 EventQueue::runUntil(Cycle limit)
 {
-    while (!heap_.empty() && heap_.top().tick <= limit) {
-        // Move the callback out before popping so it survives the pop.
-        Event event = std::move(const_cast<Event &>(heap_.top()));
-        heap_.pop();
+    while (!heap_.empty() && heap_.front().tick <= limit) {
+        // pop_heap moves the minimum element to the back, where the
+        // callback can be moved out before the vector shrinks.
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Event event = std::move(heap_.back());
+        heap_.pop_back();
         now_ = event.tick;
         ++executed_;
         event.fn();

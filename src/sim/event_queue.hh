@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -25,6 +24,13 @@ class EventQueue
 {
   public:
     using Callback = std::function<void()>;
+
+    /** Initial heap capacity: big enough that steady-state simulation
+     *  never regrows the backing vector, small enough (~48KB) to be
+     *  irrelevant next to a System's other allocations. */
+    static constexpr std::size_t kInitialCapacity = 1024;
+
+    EventQueue() { heap_.reserve(kInitialCapacity); }
 
     /** Current simulated time in cycles. */
     Cycle now() const { return now_; }
@@ -68,7 +74,13 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /**
+     * Explicit binary heap (std::push_heap/pop_heap over a vector)
+     * rather than std::priority_queue: the vector can be reserved
+     * once instead of regrowing mid-simulation, and pop_heap lets the
+     * callback be moved out without const_cast-ing the queue's top.
+     */
+    std::vector<Event> heap_;
     Cycle now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -1,12 +1,8 @@
-#include "harness.hh"
+#include "sim/run.hh"
 
-#include <cstdlib>
-#include <map>
-
-#include "common/log.hh"
 #include "prefetch/stride.hh"
 
-namespace stms::bench
+namespace stms
 {
 
 SimConfig
@@ -23,36 +19,27 @@ defaultSimConfig(bool functional)
     return config;
 }
 
-const Trace &
-cachedTrace(const std::string &workload, std::uint64_t records_per_core)
-{
-    static std::map<std::pair<std::string, std::uint64_t>, Trace> cache;
-    const auto key = std::make_pair(workload, records_per_core);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        WorkloadGenerator generator(
-            makeWorkload(workload, records_per_core));
-        it = cache.emplace(key, generator.generate()).first;
-    }
-    return it->second;
-}
-
 RunOutput
-runTrace(const Trace &trace, const SimConfig &sim_config,
-         const std::optional<StmsConfig> &stms_config,
-         double warmup_fraction)
+runTrace(const Trace &trace, const RunConfig &run_config)
 {
-    SimConfig config = sim_config;
+    SimConfig config = run_config.sim;
     config.warmupRecords = static_cast<std::uint64_t>(
-        warmup_fraction * static_cast<double>(trace.totalRecords()));
+        run_config.warmupFraction *
+        static_cast<double>(trace.totalRecords()));
 
     CmpSystem system(config, trace);
     StridePrefetcher stride;
     system.addPrefetcher(&stride);
 
+    std::optional<CorrelationPrefetcher> correlation;
+    if (run_config.correlation) {
+        correlation.emplace(*run_config.correlation);
+        system.addPrefetcher(&*correlation);
+    }
+
     std::optional<StmsPrefetcher> stms;
-    if (stms_config) {
-        stms.emplace(*stms_config);
+    if (run_config.stms) {
+        stms.emplace(*run_config.stms);
         system.addPrefetcher(&*stms);
     }
 
@@ -60,7 +47,8 @@ runTrace(const Trace &trace, const SimConfig &sim_config,
     out.sim = system.run();
     out.stride = out.sim.prefetchers.at(0);
     if (stms) {
-        out.stms = out.sim.prefetchers.at(1);
+        // STMS is the last registered prefetcher.
+        out.stms = out.sim.prefetchers.back();
         out.stmsInternal = stms->stats();
         out.stmsMetaBytes = stms->metaFootprintBytes();
         const double full = static_cast<double>(out.stms.useful);
@@ -77,6 +65,18 @@ runTrace(const Trace &trace, const SimConfig &sim_config,
     return out;
 }
 
+RunOutput
+runTrace(const Trace &trace, const SimConfig &sim_config,
+         const std::optional<StmsConfig> &stms_config,
+         double warmup_fraction)
+{
+    RunConfig config;
+    config.sim = sim_config;
+    config.stms = stms_config;
+    config.warmupFraction = warmup_fraction;
+    return runTrace(trace, config);
+}
+
 double
 speedup(const SimResult &base, const SimResult &opt)
 {
@@ -86,33 +86,29 @@ speedup(const SimResult &base, const SimResult &opt)
 }
 
 double
+usefulBaseBytes(const SimResult &result)
+{
+    double useful = static_cast<double>(
+        result.traffic.bytesFor(TrafficClass::DemandRead) +
+        result.traffic.bytesFor(TrafficClass::DemandWriteback));
+    for (const auto &pf : result.prefetchers)
+        useful += static_cast<double>(pf.useful + pf.partial) *
+                  kBlockBytes;
+    return useful;
+}
+
+double
 overheadPerBaseByte(const RunOutput &out)
 {
     const auto &traffic = out.sim.traffic;
-    double useful = static_cast<double>(
-        traffic.bytesFor(TrafficClass::DemandRead) +
-        traffic.bytesFor(TrafficClass::DemandWriteback));
+    const double useful = usefulBaseBytes(out.sim);
     double overhead = static_cast<double>(
         traffic.bytesFor(TrafficClass::MetaLookup) +
         traffic.bytesFor(TrafficClass::MetaUpdate) +
         traffic.bytesFor(TrafficClass::MetaRecord));
-    for (const auto &pf : out.sim.prefetchers) {
-        useful += static_cast<double>(pf.useful + pf.partial) *
-                  kBlockBytes;
+    for (const auto &pf : out.sim.prefetchers)
         overhead += static_cast<double>(pf.erroneous) * kBlockBytes;
-    }
     return useful > 0.0 ? overhead / useful : 0.0;
 }
 
-std::uint64_t
-benchRecords(std::uint64_t fallback)
-{
-    if (const char *env = std::getenv("STMS_BENCH_RECORDS")) {
-        const std::uint64_t value = std::strtoull(env, nullptr, 0);
-        if (value > 0)
-            return value;
-    }
-    return fallback;
-}
-
-} // namespace stms::bench
+} // namespace stms

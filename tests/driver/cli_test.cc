@@ -1,0 +1,100 @@
+/** @file Tests of the driver command-line parser, including the
+ *  GNU-style --flag=value spellings and key=value passthrough. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "driver/cli.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+DriverArgs
+parse(std::vector<const char *> tokens, bool expect_ok = true)
+{
+    tokens.insert(tokens.begin(), "driver");
+    DriverArgs args;
+    std::string error;
+    const bool ok = parseDriverArgs(
+        static_cast<int>(tokens.size()),
+        const_cast<char **>(tokens.data()), args, error);
+    EXPECT_EQ(ok, expect_ok) << error;
+    return args;
+}
+
+TEST(DriverCli, SpaceSeparatedFlags)
+{
+    const DriverArgs args = parse(
+        {"--experiment", "fig7", "--threads", "8", "--json", "o.json"});
+    ASSERT_EQ(args.experiments.size(), 1u);
+    EXPECT_EQ(args.experiments[0], "fig7");
+    EXPECT_EQ(args.threads, 8u);
+    EXPECT_EQ(args.jsonPath, "o.json");
+}
+
+TEST(DriverCli, EqualsSpelledFlagsAreHonored)
+{
+    // Regression: these used to fall through into the experiment
+    // options, silently running serial with no JSON output.
+    const DriverArgs args =
+        parse({"--experiment=fig9", "--threads=4", "--json=out.json"});
+    ASSERT_EQ(args.experiments.size(), 1u);
+    EXPECT_EQ(args.experiments[0], "fig9");
+    EXPECT_EQ(args.threads, 4u);
+    EXPECT_EQ(args.jsonPath, "out.json");
+    EXPECT_FALSE(args.options.has("threads"));
+    EXPECT_FALSE(args.options.has("json"));
+    EXPECT_FALSE(args.options.has("experiment"));
+}
+
+TEST(DriverCli, KeyValuePassthroughReachesOptions)
+{
+    const DriverArgs args =
+        parse({"--experiment", "fig7", "records=65536", "--sampling=0.5"});
+    EXPECT_EQ(args.options.getUint("records", 0), 65536u);
+    EXPECT_EQ(args.options.getDouble("sampling", 0.0), 0.5);
+}
+
+TEST(DriverCli, RepeatedExperimentsAccumulate)
+{
+    const DriverArgs args =
+        parse({"-e", "fig7", "--experiment=table2"});
+    ASSERT_EQ(args.experiments.size(), 2u);
+    EXPECT_EQ(args.experiments[0], "fig7");
+    EXPECT_EQ(args.experiments[1], "table2");
+}
+
+TEST(DriverCli, EqualsOnBooleanFlagsRejected)
+{
+    // "--csv=1" must not silently become the experiment option csv=1.
+    parse({"--csv=1"}, /*expect_ok=*/false);
+    parse({"--list=yes"}, /*expect_ok=*/false);
+    parse({"--verbose=true"}, /*expect_ok=*/false);
+}
+
+TEST(DriverCli, BadThreadsRejected)
+{
+    parse({"--threads", "0"}, /*expect_ok=*/false);
+    parse({"--threads=0"}, /*expect_ok=*/false);
+    parse({"--threads"}, /*expect_ok=*/false);
+}
+
+TEST(DriverCli, UnknownTokensRejected)
+{
+    parse({"bogus"}, /*expect_ok=*/false);
+    parse({"--unknown-flag"}, /*expect_ok=*/false);
+}
+
+TEST(DriverCli, ModeFlags)
+{
+    EXPECT_TRUE(parse({"--list"}).list);
+    EXPECT_TRUE(parse({"--help"}).help);
+    EXPECT_TRUE(parse({"--csv", "--verbose"}).csv);
+    EXPECT_TRUE(parse({"--csv", "--verbose"}).verbose);
+}
+
+} // namespace
+} // namespace stms::driver

@@ -1,0 +1,109 @@
+/** @file Tests of the structured result sink: JSON escaping, number
+ *  rendering, and the report's JSON/text shape. */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "driver/report.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("fig7"), "fig7");
+    EXPECT_EQ(jsonEscape("web-apache.p0.125"), "web-apache.p0.125");
+}
+
+TEST(JsonEscape, EscapesSpecials)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("line1\nline2"), "line1\\nline2");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01")), "nul\\u0001");
+}
+
+TEST(JsonNumber, IntegralAndFractional)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(-3.0), "-3");
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+}
+
+TEST(JsonNumber, RoundTripsDoubles)
+{
+    const double values[] = {0.1, 1.0 / 3.0, 1.9155272670124155,
+                             -2.5e-7};
+    for (double value : values) {
+        const std::string text = jsonNumber(value);
+        EXPECT_EQ(std::stod(text), value) << text;
+    }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+}
+
+Report
+sampleReport()
+{
+    Report report("sample");
+    report.addMetric("alpha.coverage", 0.5);
+    report.addMetric("beta.coverage", 42.0);
+    Table table({"workload", "coverage"});
+    table.addRow({"alpha", "50.0%"});
+    report.addTable("Sample table", std::move(table));
+    report.addNote("shape check note");
+    return report;
+}
+
+TEST(Report, JsonShape)
+{
+    const std::string json = sampleReport().toJson();
+    EXPECT_NE(json.find("\"experiment\": \"sample\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"alpha.coverage\": 0.5"), std::string::npos);
+    EXPECT_NE(json.find("\"beta.coverage\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"tables\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"title\": \"Sample table\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"columns\": [\"workload\", \"coverage\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("[\"alpha\", \"50.0%\"]"), std::string::npos);
+    // Metric insertion order is preserved.
+    EXPECT_LT(json.find("alpha.coverage"), json.find("beta.coverage"));
+}
+
+TEST(Report, JsonIsByteDeterministic)
+{
+    EXPECT_EQ(sampleReport().toJson(), sampleReport().toJson());
+}
+
+TEST(Report, EmptyReportStillWellFormed)
+{
+    Report report("empty");
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"metrics\": {}"), std::string::npos);
+    EXPECT_NE(json.find("\"tables\": []"), std::string::npos);
+}
+
+TEST(Report, TextRendersTablesAndNotes)
+{
+    const std::string text = sampleReport().toText();
+    EXPECT_NE(text.find("Sample table"), std::string::npos);
+    EXPECT_NE(text.find("workload"), std::string::npos);
+    EXPECT_NE(text.find("shape check note"), std::string::npos);
+}
+
+} // namespace
+} // namespace stms::driver
