@@ -14,19 +14,37 @@ namespace
 
 const char kUsage[] =
     "usage: driver [--list] [--experiment NAME]... [--threads N]\n"
-    "              [--json PATH|-] [--csv] [--verbose] [key=value]...\n"
+    "              [--trace PATH[,format=...]]... [--json PATH|-]\n"
+    "              [--csv] [--verbose] [key=value]...\n"
     "\n"
     "  --list            list registered experiments and exit\n"
     "  --experiment NAME run NAME (repeatable; 'all' runs everything)\n"
     "  --threads N       worker threads for independent runs "
     "(default 1;\n"
     "                    results are bit-identical to serial)\n"
+    "  --trace SPEC      ingest an on-disk trace: "
+    "PATH[,format=native|champsim]\n"
+    "                    (repeatable: each ChampSim file is one "
+    "core's lane;\n"
+    "                    consumed by ingest_replay and friends, see "
+    "--list)\n"
     "  --json PATH       write structured results to PATH "
     "('-' = JSON only\n"
     "                    on stdout, suppressing the text report)\n"
     "  --csv             print tables as CSV instead of aligned text\n"
     "  --verbose         per-run progress on stderr\n"
-    "  key=value         experiment options (e.g. records=65536)\n";
+    "  key=value         experiment options (e.g. records=65536, "
+    "chunk=4096)\n";
+
+/** Append one --trace spec to the joined "trace" option the
+ *  experiments consume (';'-separated, see trace_io::parseIngestSpec). */
+void
+appendTraceSpec(Options &options, const std::string &spec)
+{
+    const std::string existing = options.get("trace", "");
+    options.set("trace",
+                existing.empty() ? spec : existing + ";" + spec);
+}
 
 void
 printList(const ExperimentRegistry &registry)
@@ -180,6 +198,10 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
                     args.jsonPath = value;
                     continue;
                 }
+                if (key == "trace") {
+                    appendTraceSpec(args.options, value);
+                    continue;
+                }
                 // The boolean flags take no value; swallowing
                 // "--csv=1" as the experiment option csv=1 would be
                 // the same silent fallthrough this block prevents.
@@ -219,6 +241,11 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
             if (!value)
                 return false;
             args.jsonPath = value;
+        } else if (token == "--trace") {
+            const char *value = nextValue("--trace");
+            if (!value)
+                return false;
+            appendTraceSpec(args.options, value);
         } else if (args.options.parseToken(token)) {
             // key=value (or --key=value) passthrough.
         } else {

@@ -22,12 +22,14 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "driver/report.hh"
 #include "sim/run.hh"
+#include "trace_io/format.hh"
 
 namespace stms::driver
 {
@@ -37,10 +39,17 @@ struct RunSpec
 {
     /** Unique id within the plan; report() fetches outputs by id. */
     std::string id;
-    /** standardSuite() workload name. */
+    /** standardSuite() workload name (unused for ingest runs). */
     std::string workload;
-    /** Trace length in records per core. */
+    /** Trace length in records per core (unused for ingest runs). */
     std::uint64_t records = 0;
+    /**
+     * When set, the run streams its records from these on-disk trace
+     * files instead of the synthetic (workload, records) pair. The
+     * runner opens a fresh source per run and bypasses the
+     * TraceCache, so ingested traces never become cache-resident.
+     */
+    std::optional<trace_io::IngestSpec> ingest;
     /** System + prefetcher configuration for this point. */
     RunConfig config;
 };

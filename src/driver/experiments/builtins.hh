@@ -17,6 +17,8 @@ namespace stms::driver
 {
 
 std::unique_ptr<Experiment> makeFig1Overhead();
+std::unique_ptr<Experiment> makeIngestReplay();
+std::unique_ptr<Experiment> makeSynthVsIngest();
 std::unique_ptr<Experiment> makeFig1Storage();
 std::unique_ptr<Experiment> makeFig4Potential();
 std::unique_ptr<Experiment> makeFig5Storage();

@@ -24,8 +24,22 @@ ExperimentRunner::execute(const Experiment &experiment,
 
     auto executeOne = [&](std::size_t index) {
         const RunSpec &spec = plan[index];
-        const Trace &trace = traces_.get(spec.workload, spec.records);
-        outputs[index] = runTrace(trace, spec.config);
+        if (spec.ingest) {
+            // Ingested traces stream per run — a fresh reader per
+            // RunSpec, one bounded chunk per lane resident — and
+            // never enter the TraceCache.
+            std::string error;
+            auto source = trace_io::openSource(*spec.ingest, error);
+            if (!source) {
+                stms_fatal("run '%s': %s", spec.id.c_str(),
+                           error.c_str());
+            }
+            outputs[index] = runTrace(*source, spec.config);
+        } else {
+            const Trace &trace =
+                traces_.get(spec.workload, spec.records);
+            outputs[index] = runTrace(trace, spec.config);
+        }
         if (config_.verbose) {
             std::fprintf(stderr, "[%s] run %zu/%zu done: %s\n",
                          experiment.name().c_str(), index + 1,

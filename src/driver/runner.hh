@@ -4,8 +4,10 @@
  *
  * The runner turns a plan into completed outputs: it resolves each
  * RunSpec's trace through the TraceCache (generated once, shared
- * read-only), executes the independent runs on a pool of worker
- * threads, and hands the assembled RunSet to report().
+ * read-only) — or, for specs carrying an IngestSpec, streams the
+ * records from disk in bounded chunks, bypassing the cache — then
+ * executes the independent runs on a pool of worker threads and
+ * hands the assembled RunSet to report().
  *
  * Determinism: each run builds its own System/EventQueue from const
  * inputs and all randomness is config-seeded, so a run's output is a

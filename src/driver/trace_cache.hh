@@ -10,6 +10,11 @@
  * that stay valid for the cache's lifetime (entries are never
  * evicted). Generation is deterministic (seeded per workload spec),
  * so a cached trace is bit-identical to a freshly generated one.
+ *
+ * Only synthetic traces live here. Ingested on-disk traces (RunSpecs
+ * with an IngestSpec) stream through trace_io per run in bounded
+ * chunks and never enter the cache, so resident memory stays capped
+ * no matter how large the replayed trace files are.
  */
 
 #ifndef STMS_DRIVER_TRACE_CACHE_HH

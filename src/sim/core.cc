@@ -9,14 +9,31 @@ namespace stms
 
 TraceCore::TraceCore(EventQueue &events, MemorySystem &memory, CoreId id,
                      const CoreConfig &config,
-                     const std::vector<TraceRecord> &trace)
+                     trace_io::RecordCursor &records)
     : events_(events), memory_(memory), id_(id), config_(config),
-      trace_(trace), completion_(kRingSize, kPending)
+      cursor_(records), completion_(kRingSize, kPending)
 {
     stms_assert(config.window > 0, "core window must be nonzero");
     stms_assert(config.window + 2 < kRingSize,
                 "core window %u too large for completion ring",
                 config.window);
+    // Priming the cursor here pre-loads a streaming lane's first
+    // chunk and makes done() correct for empty lanes before start().
+    atEnd_ = cursor_.peek() == nullptr;
+}
+
+TraceCore::TraceCore(EventQueue &events, MemorySystem &memory, CoreId id,
+                     const CoreConfig &config,
+                     const std::vector<TraceRecord> &trace)
+    : events_(events), memory_(memory), id_(id), config_(config),
+      ownedCursor_(std::make_unique<trace_io::VectorCursor>(trace)),
+      cursor_(*ownedCursor_), completion_(kRingSize, kPending)
+{
+    stms_assert(config.window > 0, "core window must be nonzero");
+    stms_assert(config.window + 2 < kRingSize,
+                "core window %u too large for completion ring",
+                config.window);
+    atEnd_ = cursor_.peek() == nullptr;
 }
 
 void
@@ -28,7 +45,7 @@ TraceCore::start()
 void
 TraceCore::advance()
 {
-    while (index_ < trace_.size()) {
+    while (!atEnd_) {
         // Keep synchronous bursts from running too far ahead of the
         // global clock; shared-resource ordering stays approximate
         // only within this quantum.
@@ -43,7 +60,10 @@ TraceCore::advance()
             return;
         }
 
-        const TraceRecord &rec = trace_[index_];
+        // Copy the record out: once the cursor advances, a streaming
+        // chunk buffer may be overwritten. Stall paths below return
+        // WITHOUT consuming, so the record is re-peeked on resume.
+        const TraceRecord rec = *cursor_.peek();
 
         // Pointer-chasing dependence: wait for the previous record.
         Cycle dep_ready = 0;
@@ -70,6 +90,8 @@ TraceCore::advance()
         ++index_;
         ++stats_.records;
         stats_.instructions += static_cast<std::uint64_t>(rec.think) + 1;
+        cursor_.next();
+        atEnd_ = cursor_.peek() == nullptr;
         localTime_ = issue_tick;
         if (issueCallback_)
             issueCallback_();
@@ -114,7 +136,7 @@ TraceCore::advance()
             });
     }
 
-    if (retired_ == trace_.size() && !finishedNotified_) {
+    if (done() && !finishedNotified_) {
         finishedNotified_ = true;
         if (finishedCallback_)
             finishedCallback_();
@@ -138,7 +160,7 @@ TraceCore::accessDone(std::uint64_t record_index, Cycle done_tick)
     }
     advance();
 
-    if (retired_ == trace_.size() && !finishedNotified_) {
+    if (done() && !finishedNotified_) {
         finishedNotified_ = true;
         if (finishedCallback_)
             finishedCallback_();

@@ -14,6 +14,11 @@
  * (L1s are core-private); anything deeper is funneled through the
  * event queue at its issue tick so that shared-resource arbitration
  * stays time-ordered.
+ *
+ * The core consumes its records through a trace_io::RecordCursor —
+ * strictly forward, one record at a time — so the same model runs
+ * in-memory synthetic traces and traces streamed from disk in
+ * bounded chunks without ever materializing the whole lane.
  */
 
 #ifndef STMS_SIM_CORE_HH
@@ -26,6 +31,7 @@
 #include "common/types.hh"
 #include "sim/event_queue.hh"
 #include "sim/memory_system.hh"
+#include "trace_io/trace_source.hh"
 #include "workload/trace.hh"
 
 namespace stms
@@ -54,6 +60,16 @@ struct CoreStats
 class TraceCore
 {
   public:
+    /**
+     * Drive the core from @p records, which the caller keeps alive
+     * for the core's lifetime. The cursor is consumed strictly
+     * forward; a streaming cursor therefore holds at most one chunk.
+     */
+    TraceCore(EventQueue &events, MemorySystem &memory, CoreId id,
+              const CoreConfig &config,
+              trace_io::RecordCursor &records);
+
+    /** Convenience: drive the core from an in-memory record vector. */
     TraceCore(EventQueue &events, MemorySystem &memory, CoreId id,
               const CoreConfig &config,
               const std::vector<TraceRecord> &trace);
@@ -61,7 +77,7 @@ class TraceCore
     /** Schedule the first issue; call once before EventQueue::run(). */
     void start();
 
-    bool done() const { return retired_ == trace_.size(); }
+    bool done() const { return atEnd_ && retired_ == index_; }
     const CoreStats &stats() const { return stats_; }
     CoreId id() const { return id_; }
 
@@ -98,7 +114,10 @@ class TraceCore
     MemorySystem &memory_;
     CoreId id_;
     CoreConfig config_;
-    const std::vector<TraceRecord> &trace_;
+    /** Owns the cursor only for the vector-convenience constructor. */
+    std::unique_ptr<trace_io::RecordCursor> ownedCursor_;
+    trace_io::RecordCursor &cursor_;
+    bool atEnd_ = false;         ///< Cursor exhausted (all issued).
 
     std::uint64_t index_ = 0;    ///< Next record to issue.
     std::uint64_t retired_ = 0;  ///< Records fully complete.

@@ -22,12 +22,19 @@ defaultSimConfig(bool functional)
 RunOutput
 runTrace(const Trace &trace, const RunConfig &run_config)
 {
+    trace_io::MemoryTraceSource source(trace);
+    return runTrace(source, run_config);
+}
+
+RunOutput
+runTrace(trace_io::TraceSource &source, const RunConfig &run_config)
+{
     SimConfig config = run_config.sim;
     config.warmupRecords = static_cast<std::uint64_t>(
         run_config.warmupFraction *
-        static_cast<double>(trace.totalRecords()));
+        static_cast<double>(source.totalRecords()));
 
-    CmpSystem system(config, trace);
+    CmpSystem system(config, source);
     StridePrefetcher stride;
     system.addPrefetcher(&stride);
 

@@ -63,6 +63,17 @@ SimConfig defaultSimConfig(bool functional = false);
  *  calls on distinct or shared (const) traces do not interact. */
 RunOutput runTrace(const Trace &trace, const RunConfig &config);
 
+/**
+ * Execute one experiment point on @p source — the streaming twin of
+ * the Trace overload, used by the driver to replay on-disk traces in
+ * bounded chunks. The source is consumed (each lane opened once);
+ * build a fresh source per run. When the source cannot report its
+ * total record count (e.g. a piped ChampSim trace), no warmup
+ * barrier is placed regardless of RunConfig::warmupFraction.
+ */
+RunOutput runTrace(trace_io::TraceSource &source,
+                   const RunConfig &config);
+
 /** Back-compat convenience matching the old bench-harness signature. */
 RunOutput runTrace(const Trace &trace, const SimConfig &sim_config,
                    const std::optional<StmsConfig> &stms_config,

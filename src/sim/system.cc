@@ -7,25 +7,40 @@
 namespace stms
 {
 
-CmpSystem::CmpSystem(const SimConfig &config, const Trace &trace)
-    : config_(config), trace_(trace)
+CmpSystem::CmpSystem(const SimConfig &config,
+                     trace_io::TraceSource &source)
+    : config_(config)
 {
-    stms_assert(trace.numCores() > 0, "trace has no cores");
-    SimConfig adjusted = config_;
-    adjusted.memory.numCores = trace.numCores();
-    config_ = adjusted;
+    build(source);
+}
+
+CmpSystem::CmpSystem(const SimConfig &config, const Trace &trace)
+    : config_(config),
+      ownedSource_(std::make_unique<trace_io::MemoryTraceSource>(trace))
+{
+    build(*ownedSource_);
+}
+
+void
+CmpSystem::build(trace_io::TraceSource &source)
+{
+    const std::uint32_t num_cores = source.numCores();
+    stms_assert(num_cores > 0, "trace has no cores");
+    config_.memory.numCores = num_cores;
 
     memory_ = std::make_unique<MemorySystem>(events_, config_.memory);
-    cores_.reserve(trace.numCores());
-    for (CoreId c = 0; c < trace.numCores(); ++c) {
+    cursors_.reserve(num_cores);
+    cores_.reserve(num_cores);
+    for (CoreId c = 0; c < num_cores; ++c) {
+        cursors_.push_back(source.openLane(c));
         cores_.push_back(std::make_unique<TraceCore>(
-            events_, *memory_, c, config_.core, trace.perCore[c]));
+            events_, *memory_, c, config_.core, *cursors_.back()));
         cores_.back()->onIssue([this]() {
             ++issuedRecords_;
             maybeWarmupReset();
         });
     }
-    instrSnapshot_.assign(trace.numCores(), 0);
+    instrSnapshot_.assign(num_cores, 0);
 }
 
 void
@@ -63,10 +78,10 @@ CmpSystem::run()
 
     for (auto &core : cores_) {
         if (!core->done()) {
-            stms_warn("core %u did not finish (issued %llu of %zu)",
+            stms_warn("core %u did not finish (issued %llu records, "
+                      "lane not exhausted)",
                       core->id(),
-                      static_cast<unsigned long long>(core->issued()),
-                      trace_.perCore[core->id()].size());
+                      static_cast<unsigned long long>(core->issued()));
         }
     }
 

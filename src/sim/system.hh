@@ -20,6 +20,7 @@
 #include "sim/core.hh"
 #include "sim/event_queue.hh"
 #include "sim/memory_system.hh"
+#include "trace_io/trace_source.hh"
 #include "workload/trace.hh"
 
 namespace stms
@@ -58,10 +59,19 @@ struct SimResult
     double overheadPerDataByte = 0.0;
 };
 
-/** A complete simulated CMP bound to one trace. */
+/** A complete simulated CMP bound to one trace source. */
 class CmpSystem
 {
   public:
+    /**
+     * Bind the system to @p source (one lane per core), which the
+     * caller keeps alive for the system's lifetime. Each lane is
+     * opened exactly once, so a streaming source's bounded-memory
+     * guarantee (one chunk per lane) holds for the whole run.
+     */
+    CmpSystem(const SimConfig &config, trace_io::TraceSource &source);
+
+    /** Convenience: bind to an in-memory trace (no copies made). */
     CmpSystem(const SimConfig &config, const Trace &trace);
 
     /** Register a prefetcher (non-owning; caller keeps it alive). */
@@ -75,12 +85,15 @@ class CmpSystem
     const TraceCore &core(CoreId id) const { return *cores_[id]; }
 
   private:
+    void build(trace_io::TraceSource &source);
     void maybeWarmupReset();
 
     SimConfig config_;
-    const Trace &trace_;
+    /** Owns the source only for the Trace-convenience constructor. */
+    std::unique_ptr<trace_io::TraceSource> ownedSource_;
     EventQueue events_;
     std::unique_ptr<MemorySystem> memory_;
+    std::vector<std::unique_ptr<trace_io::RecordCursor>> cursors_;
     std::vector<std::unique_ptr<TraceCore>> cores_;
     std::uint32_t numPrefetchers_ = 0;
 

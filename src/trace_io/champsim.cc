@@ -1,0 +1,287 @@
+#include "trace_io/champsim.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include <sys/wait.h>
+
+#include "common/log.hh"
+
+namespace stms::trace_io
+{
+
+static_assert(std::endian::native == std::endian::little,
+              "ChampSim trace codec requires a little-endian host");
+
+namespace
+{
+
+/** Destination register encoding the exporter alternates between so
+ *  consecutive records never collide (see dependence mapping). */
+std::uint8_t
+destRegFor(std::uint64_t record_index)
+{
+    return record_index % 2 == 0 ? 26 : 25;
+}
+
+/** Single-quote @p path for the shell (popen goes through /bin/sh). */
+std::string
+shellQuote(const std::string &path)
+{
+    std::string quoted = "'";
+    for (char c : path) {
+        if (c == '\'')
+            quoted += "'\\''";
+        else
+            quoted += c;
+    }
+    quoted += "'";
+    return quoted;
+}
+
+/** Decompressor command line for @p path, or empty when plain. */
+std::string
+decompressCommand(const std::string &path)
+{
+    if (path.ends_with(".xz"))
+        return "xz -dc -- " + shellQuote(path);
+    if (path.ends_with(".gz"))
+        return "gzip -dc -- " + shellQuote(path);
+    return "";
+}
+
+/** Lane file path: exact for one core, ".core<k>" inserted else. */
+std::string
+lanePath(const std::string &path, CoreId lane, std::uint32_t cores)
+{
+    if (cores == 1)
+        return path;
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    const std::string insert = ".core" + std::to_string(lane);
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + insert;
+    }
+    return path.substr(0, dot) + insert + path.substr(dot);
+}
+
+} // namespace
+
+std::vector<std::string>
+writeChampSim(const Trace &trace, const std::string &path)
+{
+    std::vector<std::string> paths;
+    for (CoreId lane = 0; lane < trace.numCores(); ++lane) {
+        const std::string out = lanePath(path, lane, trace.numCores());
+        std::FILE *file = std::fopen(out.c_str(), "wb");
+        if (!file)
+            return {};
+
+        bool ok = true;
+        std::uint64_t ip = 0x400000;  // Arbitrary text-segment base.
+        std::uint64_t index = 0;
+        for (const TraceRecord &record : trace.perCore[lane]) {
+            if (record.addr == 0) {
+                std::fclose(file);
+                stms_fatal("trace '%s' has a zero address; ChampSim "
+                           "encodes 0 as \"no memory operand\"",
+                           trace.name.c_str());
+            }
+            // think = instructions between memory accesses, so emit
+            // that many filler (non-memory) instructions first.
+            ChampSimInstr filler;
+            for (std::uint32_t i = 0; ok && i < record.think; ++i) {
+                filler.ip = ip;
+                ip += 4;
+                ok = std::fwrite(&filler, sizeof(filler), 1, file) == 1;
+            }
+
+            ChampSimInstr instr;
+            instr.ip = ip;
+            ip += 4;
+            instr.destRegs[0] = destRegFor(index);
+            // Dependence travels through the previous memory
+            // instruction's destination register; a lane's first
+            // record has nothing to depend on.
+            if (record.isDependent() && index > 0)
+                instr.srcRegs[0] = destRegFor(index - 1);
+            if (record.isWrite())
+                instr.destMem[0] = record.addr;
+            else
+                instr.srcMem[0] = record.addr;
+            if (ok)
+                ok = std::fwrite(&instr, sizeof(instr), 1, file) == 1;
+            ++index;
+        }
+        if (std::fclose(file) != 0 || !ok)
+            return {};
+        paths.push_back(out);
+    }
+    return paths;
+}
+
+std::unique_ptr<ChampSimTraceReader>
+ChampSimTraceReader::open(const std::vector<std::string> &paths,
+                          std::string &error)
+{
+    if (paths.empty()) {
+        error = "ChampSim reader needs at least one file";
+        return nullptr;
+    }
+    std::unique_ptr<ChampSimTraceReader> reader(
+        new ChampSimTraceReader());
+    reader->meta_.numCores = static_cast<std::uint32_t>(paths.size());
+    reader->lanes_.resize(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        Lane &lane = reader->lanes_[i];
+        lane.path = paths[i];
+        const std::string command = decompressCommand(paths[i]);
+        if (!command.empty()) {
+            // Probe the file directly first: a missing/unreadable
+            // path should fail cleanly here, not as a deferred
+            // decompressor fatal mid-run.
+            std::FILE *probe = std::fopen(paths[i].c_str(), "rb");
+            if (!probe) {
+                error = "cannot open '" + paths[i] + "'";
+                return nullptr;
+            }
+            std::fclose(probe);
+            lane.file = popen(command.c_str(), "r");
+            lane.piped = true;
+            if (!lane.file) {
+                error = "cannot launch '" + command + "'";
+                return nullptr;
+            }
+        } else {
+            lane.file = std::fopen(paths[i].c_str(), "rb");
+            if (!lane.file) {
+                error = "cannot open '" + paths[i] + "'";
+                return nullptr;
+            }
+            if (std::fseek(lane.file, 0, SEEK_END) != 0) {
+                error = "'" + paths[i] + "': not seekable";
+                return nullptr;
+            }
+            const long size = std::ftell(lane.file);
+            std::rewind(lane.file);
+            // A 0-byte file is a valid empty lane (the exporter
+            // writes one for a core with no records).
+            if (size < 0 || size % sizeof(ChampSimInstr) != 0) {
+                error = "'" + paths[i] +
+                        "': size is not a multiple of 64 bytes "
+                        "(not a ChampSim trace?)";
+                return nullptr;
+            }
+        }
+    }
+    // Record counts stay unknown (meta_.totalRecords == 0): memory
+    // operands per instruction vary, and pipes cannot be pre-scanned.
+    return reader;
+}
+
+ChampSimTraceReader::~ChampSimTraceReader()
+{
+    for (Lane &lane : lanes_) {
+        if (!lane.file)
+            continue;
+        if (lane.piped)
+            pclose(lane.file);
+        else
+            std::fclose(lane.file);
+    }
+}
+
+void
+ChampSimTraceReader::decodeInstr(Lane &lane, const ChampSimInstr &instr)
+{
+    TraceRecord records[6];
+    std::size_t count = 0;
+    for (std::uint64_t addr : instr.srcMem) {
+        if (addr != 0)
+            records[count++].addr = addr;
+    }
+    for (std::uint64_t addr : instr.destMem) {
+        if (addr != 0) {
+            records[count].addr = addr;
+            records[count].flags = TraceRecord::kWrite;
+            ++count;
+        }
+    }
+    if (count == 0) {
+        // Non-memory instruction: one more cycle of think time for
+        // the next record (saturating at the field's 16 bits).
+        if (lane.gap < std::numeric_limits<std::uint16_t>::max())
+            ++lane.gap;
+        return;
+    }
+
+    bool dependent = false;
+    for (std::uint8_t src : instr.srcRegs) {
+        if (src == 0)
+            continue;
+        for (std::uint8_t dest : lane.prevDestRegs)
+            dependent = dependent || (dest != 0 && src == dest);
+    }
+    records[0].think = lane.gap;
+    lane.gap = 0;
+    if (dependent)
+        records[0].flags |= TraceRecord::kDependent;
+    lane.prevDestRegs[0] = instr.destRegs[0];
+    lane.prevDestRegs[1] = instr.destRegs[1];
+
+    for (std::size_t i = 0; i < count; ++i)
+        lane.pending.push_back(records[i]);
+}
+
+std::size_t
+ChampSimTraceReader::readChunk(CoreId lane_id, std::size_t maxRecords,
+                               std::vector<TraceRecord> &out)
+{
+    stms_assert(lane_id < lanes_.size(), "lane %u out of range",
+                lane_id);
+    out.clear();
+    Lane &lane = lanes_[lane_id];
+
+    auto drain = [&]() {
+        while (out.size() < maxRecords && !lane.pending.empty()) {
+            out.push_back(lane.pending.front());
+            lane.pending.pop_front();
+        }
+    };
+
+    drain();
+    while (out.size() < maxRecords && !lane.exhausted) {
+        ChampSimInstr instr;
+        const std::size_t got =
+            std::fread(&instr, 1, sizeof(instr), lane.file);
+        if (got != sizeof(instr)) {
+            if (got != 0) {
+                stms_fatal("'%s': truncated mid-record (%zu stray "
+                           "bytes)",
+                           lane.path.c_str(), got);
+            }
+            lane.exhausted = true;
+            if (lane.piped) {
+                const int status = pclose(lane.file);
+                lane.file = nullptr;
+                if (status != 0) {
+                    stms_fatal(
+                        "decompressor for '%s' failed (exit %d); "
+                        "corrupt archive, or xz/gzip missing?",
+                        lane.path.c_str(),
+                        WIFEXITED(status) ? WEXITSTATUS(status)
+                                          : status);
+                }
+            }
+            break;
+        }
+        decodeInstr(lane, instr);
+        drain();
+    }
+    return out.size();
+}
+
+} // namespace stms::trace_io

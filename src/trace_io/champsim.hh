@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ChampSim-compatible trace I/O (64-byte fixed instruction records).
+ *
+ * ChampSim distributes traces as flat streams of 64-byte
+ * `input_instr` records, one file per simulated CPU, usually
+ * xz-compressed. The reader here ingests that layout — optionally
+ * through an external `xz -dc` / `gzip -dc` decompressor pipe — and
+ * maps it onto our TraceRecords with a documented policy:
+ *
+ *  - every nonzero source_memory operand becomes a load record and
+ *    every nonzero destination_memory operand a store record, in
+ *    that order;
+ *  - think time is the number of instructions since the previous
+ *    memory-accessing instruction (capped at 65535), attributed to
+ *    the instruction's first record;
+ *  - a record is flagged dependent when one of its instruction's
+ *    source registers matches a destination register of the previous
+ *    memory-accessing instruction (pointer chasing through a loaded
+ *    value).
+ *
+ * writeChampSim() is the inverse: it emits one memory instruction
+ * per TraceRecord, `think` filler instructions ahead of it, and
+ * encodes the dependence flag through alternating destination
+ * registers — so a round trip through the format reproduces the
+ * original records exactly (the dependence flag of a lane's first
+ * record, which the core model ignores, is dropped).
+ *
+ * Byte-level details live in docs/TRACE_FORMATS.md.
+ */
+
+#ifndef STMS_TRACE_IO_CHAMPSIM_HH
+#define STMS_TRACE_IO_CHAMPSIM_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "trace_io/reader.hh"
+#include "workload/trace.hh"
+
+namespace stms::trace_io
+{
+
+/** ChampSim's input_instr, as laid out on disk (64 bytes, LE). */
+struct ChampSimInstr
+{
+    std::uint64_t ip = 0;
+    std::uint8_t isBranch = 0;
+    std::uint8_t branchTaken = 0;
+    std::uint8_t destRegs[2] = {0, 0};
+    std::uint8_t srcRegs[4] = {0, 0, 0, 0};
+    std::uint64_t destMem[2] = {0, 0};  ///< Store addresses (0 = none).
+    std::uint64_t srcMem[4] = {0, 0, 0, 0};  ///< Load addresses.
+};
+static_assert(sizeof(ChampSimInstr) == 64,
+              "ChampSim records are exactly 64 bytes");
+
+/**
+ * Export @p trace as ChampSim trace files and return their paths.
+ *
+ * One file per lane: a single-core trace writes exactly @p path; a
+ * multi-core trace writes one file per lane with ".core<k>" inserted
+ * before the extension ("t.champsim" -> "t.core0.champsim", ...).
+ * Returns an empty vector on I/O failure (partial files may remain).
+ * Addresses must be nonzero (0 means "no operand" in ChampSim);
+ * violating records are a fatal error.
+ */
+std::vector<std::string> writeChampSim(const Trace &trace,
+                                       const std::string &path);
+
+/**
+ * Streaming reader over a set of ChampSim files, one lane per file.
+ *
+ * Files ending in ".xz" or ".gz" are read through an external
+ * decompressor pipe (`xz -dc`/`gzip -dc`), so the record count — and
+ * therefore TraceMeta::totalRecords — is unknown up front; runs on
+ * such sources place no warmup barrier. Plain files are read
+ * directly, but counting memory operands would still require a full
+ * scan, so totalRecords is reported as 0 for every ChampSim source.
+ */
+class ChampSimTraceReader final : public TraceReader
+{
+  public:
+    /** Open one file per lane; nullptr + @p error on any failure. */
+    static std::unique_ptr<ChampSimTraceReader>
+    open(const std::vector<std::string> &paths, std::string &error);
+
+    ~ChampSimTraceReader() override;
+
+    const TraceMeta &meta() const override { return meta_; }
+
+    std::size_t readChunk(CoreId lane, std::size_t maxRecords,
+                          std::vector<TraceRecord> &out) override;
+
+  private:
+    struct Lane
+    {
+        std::string path;
+        std::FILE *file = nullptr;
+        bool piped = false;       ///< popen()ed decompressor.
+        bool exhausted = false;
+        std::uint16_t gap = 0;    ///< Instructions since last record.
+        std::uint8_t prevDestRegs[2] = {0, 0};
+        /** Records decoded but not yet delivered (an instruction can
+         *  yield up to six records across a chunk boundary). */
+        std::deque<TraceRecord> pending;
+    };
+
+    ChampSimTraceReader() = default;
+
+    /** Decode @p instr into lane-pending records (mapping above). */
+    static void decodeInstr(Lane &lane, const ChampSimInstr &instr);
+
+    TraceMeta meta_;
+    std::vector<Lane> lanes_;
+};
+
+} // namespace stms::trace_io
+
+#endif // STMS_TRACE_IO_CHAMPSIM_HH

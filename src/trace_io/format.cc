@@ -1,0 +1,182 @@
+#include "trace_io/format.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "trace_io/champsim.hh"
+#include "trace_io/native.hh"
+
+namespace stms::trace_io
+{
+
+namespace
+{
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            parts.push_back(text.substr(start));
+            break;
+        }
+        parts.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return parts;
+}
+
+} // namespace
+
+const char *
+formatName(TraceFormat format)
+{
+    switch (format) {
+      case TraceFormat::Auto:
+        return "auto";
+      case TraceFormat::Native:
+        return "native";
+      case TraceFormat::ChampSim:
+        return "champsim";
+    }
+    return "?";
+}
+
+bool
+parseTraceSpec(const std::string &text, TraceSpec &spec,
+               std::string &error)
+{
+    spec = TraceSpec{};
+    const std::vector<std::string> parts = split(text, ',');
+    if (parts.empty() || parts[0].empty()) {
+        error = "trace spec needs a path: PATH[,format=...]";
+        return false;
+    }
+    spec.path = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::size_t eq = parts[i].find('=');
+        const std::string key = parts[i].substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : parts[i].substr(eq + 1);
+        if (key == "format") {
+            if (value == "native") {
+                spec.format = TraceFormat::Native;
+            } else if (value == "champsim") {
+                spec.format = TraceFormat::ChampSim;
+            } else if (value == "auto") {
+                spec.format = TraceFormat::Auto;
+            } else {
+                error = "unknown trace format '" + value +
+                        "' (native|champsim|auto)";
+                return false;
+            }
+        } else {
+            error = "unknown trace spec key '" + key +
+                    "' in '" + text + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+parseIngestSpec(const std::string &joined, std::uint64_t chunkRecords,
+                IngestSpec &spec, std::string &error)
+{
+    spec = IngestSpec{};
+    if (chunkRecords == 0) {
+        error = "chunk size must be nonzero";
+        return false;
+    }
+    spec.chunkRecords = chunkRecords;
+    for (const std::string &part : split(joined, ';')) {
+        if (part.empty())
+            continue;
+        TraceSpec one;
+        if (!parseTraceSpec(part, one, error))
+            return false;
+        spec.inputs.push_back(std::move(one));
+    }
+    if (spec.inputs.empty()) {
+        error = "no trace inputs given";
+        return false;
+    }
+    return true;
+}
+
+TraceFormat
+detectFormat(const std::string &path, std::string &error)
+{
+    // Compressed and conventionally named files decide by extension
+    // (the magic is unreachable without decompressing).
+    if (path.ends_with(".xz") || path.ends_with(".gz") ||
+        path.ends_with(".champsim") ||
+        path.ends_with(".champsimtrace")) {
+        return TraceFormat::ChampSim;
+    }
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        error = "cannot open '" + path + "'";
+        return TraceFormat::Auto;
+    }
+    std::uint32_t magic = 0;
+    const bool got =
+        std::fread(&magic, sizeof(magic), 1, file) == 1;
+    std::fclose(file);
+    if (got && magic == kNativeMagic)
+        return TraceFormat::Native;
+    error = "cannot detect the format of '" + path +
+            "'; pass format=native or format=champsim";
+    return TraceFormat::Auto;
+}
+
+std::unique_ptr<StreamingTraceSource>
+openSource(const IngestSpec &spec, std::string &error)
+{
+    if (spec.inputs.empty()) {
+        error = "no trace inputs given";
+        return nullptr;
+    }
+
+    TraceFormat format = TraceFormat::Auto;
+    for (const TraceSpec &input : spec.inputs) {
+        TraceFormat resolved = input.format;
+        if (resolved == TraceFormat::Auto) {
+            resolved = detectFormat(input.path, error);
+            if (resolved == TraceFormat::Auto)
+                return nullptr;
+        }
+        if (format == TraceFormat::Auto) {
+            format = resolved;
+        } else if (format != resolved) {
+            error = "mixed trace formats in one ingest ('" +
+                    std::string(formatName(format)) + "' vs '" +
+                    formatName(resolved) + "')";
+            return nullptr;
+        }
+    }
+
+    std::unique_ptr<TraceReader> reader;
+    if (format == TraceFormat::Native) {
+        if (spec.inputs.size() != 1) {
+            error = "native traces are multi-core files; pass "
+                    "exactly one";
+            return nullptr;
+        }
+        reader = NativeTraceReader::open(spec.inputs[0].path, error);
+    } else {
+        std::vector<std::string> paths;
+        for (const TraceSpec &input : spec.inputs)
+            paths.push_back(input.path);
+        reader = ChampSimTraceReader::open(paths, error);
+    }
+    if (!reader)
+        return nullptr;
+    return std::make_unique<StreamingTraceSource>(std::move(reader),
+                                                  spec.chunkRecords);
+}
+
+} // namespace stms::trace_io

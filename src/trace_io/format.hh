@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace-format selection and ingest-spec parsing.
+ *
+ * The driver's `--trace PATH[,format=native|champsim]` flag (and the
+ * matching experiment option) is parsed here into an IngestSpec: a
+ * set of input files plus the streaming chunk size. When the format
+ * is not forced, detection sniffs the native magic and falls back to
+ * the extension (.champsim/.xz/.gz). openSource() resolves the spec
+ * into a StreamingTraceSource ready to feed one simulation run.
+ */
+
+#ifndef STMS_TRACE_IO_FORMAT_HH
+#define STMS_TRACE_IO_FORMAT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace_io/reader.hh"
+
+namespace stms::trace_io
+{
+
+/** Supported on-disk trace formats. */
+enum class TraceFormat
+{
+    Auto,      ///< Detect from magic/extension at open time.
+    Native,    ///< Versioned STMS binary (native.hh).
+    ChampSim,  ///< 64-byte input_instr stream (champsim.hh).
+};
+
+/** Human-readable format name ("auto", "native", "champsim"). */
+const char *formatName(TraceFormat format);
+
+/** One `--trace` argument: a path plus an optional forced format. */
+struct TraceSpec
+{
+    std::string path;
+    TraceFormat format = TraceFormat::Auto;
+};
+
+/**
+ * Parse one "path[,format=native|champsim]" spec. Returns false and
+ * fills @p error on empty paths or unknown keys/formats.
+ */
+bool parseTraceSpec(const std::string &text, TraceSpec &spec,
+                    std::string &error);
+
+/**
+ * Everything one run needs to ingest a trace: the input file(s) —
+ * several only for ChampSim, where each file is one lane — and the
+ * chunk size bounding resident records per lane.
+ */
+struct IngestSpec
+{
+    std::vector<TraceSpec> inputs;
+    std::uint64_t chunkRecords = kDefaultChunkRecords;
+};
+
+/**
+ * Parse a ';'-joined list of trace specs (the shape the driver CLI
+ * stores repeated `--trace` flags in) into @p spec.
+ */
+bool parseIngestSpec(const std::string &joined,
+                     std::uint64_t chunkRecords, IngestSpec &spec,
+                     std::string &error);
+
+/**
+ * Detect @p path's format: native when the file starts with the
+ * native magic, ChampSim for .champsim/.champsimtrace/.xz/.gz
+ * extensions. Returns Auto (and fills @p error) when undecidable —
+ * pass format= explicitly then.
+ */
+TraceFormat detectFormat(const std::string &path, std::string &error);
+
+/**
+ * Resolve @p spec into a streaming source: detect formats, check
+ * they agree (native accepts exactly one input; ChampSim maps one
+ * file to one lane), open the reader. Returns nullptr + @p error on
+ * any failure. Each returned source feeds exactly one run.
+ */
+std::unique_ptr<StreamingTraceSource>
+openSource(const IngestSpec &spec, std::string &error);
+
+} // namespace stms::trace_io
+
+#endif // STMS_TRACE_IO_FORMAT_HH

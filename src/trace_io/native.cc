@@ -1,0 +1,339 @@
+#include "trace_io/native.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace stms::trace_io
+{
+
+// The on-disk formats are little-endian; encode/decode below memcpy
+// host integers directly. Big-endian hosts would need byte swaps.
+static_assert(std::endian::native == std::endian::little,
+              "native trace codec requires a little-endian host");
+
+namespace
+{
+
+// v1 dumped the in-memory struct; its 16-byte stride (8 addr + 2
+// think + 1 flags + 5 padding) is baked into old files.
+static_assert(sizeof(TraceRecord) == kNativeRecordBytesV1,
+              "TraceRecord layout drifted; v1 trace files would break");
+
+void
+putU16(std::vector<unsigned char> &out, std::uint16_t value)
+{
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(value));
+    std::memcpy(out.data() + at, &value, sizeof(value));
+}
+
+void
+putU32(std::vector<unsigned char> &out, std::uint32_t value)
+{
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(value));
+    std::memcpy(out.data() + at, &value, sizeof(value));
+}
+
+void
+putU64(std::vector<unsigned char> &out, std::uint64_t value)
+{
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(value));
+    std::memcpy(out.data() + at, &value, sizeof(value));
+}
+
+std::uint32_t
+getU32(const unsigned char *in)
+{
+    std::uint32_t value;
+    std::memcpy(&value, in, sizeof(value));
+    return value;
+}
+
+std::uint64_t
+getU64(const unsigned char *in)
+{
+    std::uint64_t value;
+    std::memcpy(&value, in, sizeof(value));
+    return value;
+}
+
+/** Append one record in the packed v2 layout (12 bytes). */
+void
+encodeRecordV2(std::vector<unsigned char> &out,
+               const TraceRecord &record)
+{
+    putU64(out, record.addr);
+    putU16(out, record.think);
+    out.push_back(record.flags);
+    out.push_back(0);  // reserved
+}
+
+TraceRecord
+decodeRecord(const unsigned char *in, std::uint32_t version)
+{
+    TraceRecord record;
+    if (version >= 2) {
+        record.addr = getU64(in);
+        std::memcpy(&record.think, in + 8, sizeof(record.think));
+        record.flags = in[10];
+    } else {
+        std::memcpy(&record, in, sizeof(record));
+    }
+    return record;
+}
+
+bool
+writeAll(std::FILE *file, const std::vector<unsigned char> &bytes)
+{
+    return bytes.empty() ||
+           std::fwrite(bytes.data(), 1, bytes.size(), file) ==
+               bytes.size();
+}
+
+/** Byte size of the file, or -1 on error (stream left at start). */
+long
+fileSize(std::FILE *file)
+{
+    if (std::fseek(file, 0, SEEK_END) != 0)
+        return -1;
+    const long size = std::ftell(file);
+    if (std::fseek(file, 0, SEEK_SET) != 0)
+        return -1;
+    return size;
+}
+
+} // namespace
+
+bool
+save(const Trace &trace, const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return false;
+
+    std::vector<unsigned char> head;
+    putU32(head, kNativeMagic);
+    putU32(head, kNativeVersion);
+    putU32(head, trace.numCores());
+    putU32(head, static_cast<std::uint32_t>(trace.name.size()));
+    putU64(head, trace.totalRecords());
+    putU32(head, kNativeRecordBytesV2);
+    putU32(head, 0);  // header flags, reserved
+    head.insert(head.end(), trace.name.begin(), trace.name.end());
+    for (const auto &records : trace.perCore)
+        putU64(head, records.size());
+
+    bool ok = writeAll(file, head);
+
+    std::vector<unsigned char> chunk;
+    constexpr std::size_t kFlushRecords = 16 * 1024;
+    chunk.reserve(kFlushRecords * kNativeRecordBytesV2);
+    for (const auto &records : trace.perCore) {
+        for (const auto &record : records) {
+            if (!ok)
+                break;
+            encodeRecordV2(chunk, record);
+            if (chunk.size() >=
+                kFlushRecords * kNativeRecordBytesV2) {
+                ok = writeAll(file, chunk);
+                chunk.clear();
+            }
+        }
+    }
+    if (ok)
+        ok = writeAll(file, chunk);
+    return std::fclose(file) == 0 && ok;
+}
+
+bool
+load(Trace &trace, const std::string &path)
+{
+    trace = Trace{};
+    std::string error;
+    auto reader = NativeTraceReader::open(path, error);
+    if (!reader)
+        return false;
+
+    const TraceMeta &meta = reader->meta();
+    trace.name = meta.name;
+    trace.perCore.resize(meta.numCores);
+    for (CoreId lane = 0; lane < meta.numCores; ++lane) {
+        auto &records = trace.perCore[lane];
+        records.reserve(meta.laneRecords[lane]);
+        std::vector<TraceRecord> chunk;
+        while (reader->readChunk(lane, kDefaultChunkRecords, chunk) >
+               0) {
+            records.insert(records.end(), chunk.begin(), chunk.end());
+        }
+    }
+    return true;
+}
+
+std::unique_ptr<NativeTraceReader>
+NativeTraceReader::open(const std::string &path, std::string &error)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        error = "cannot open '" + path + "'";
+        return nullptr;
+    }
+    // The unique_ptr owns the handle from here on (see destructor).
+    std::unique_ptr<NativeTraceReader> reader(new NativeTraceReader());
+    reader->path_ = path;
+    reader->file_ = file;
+
+    auto fail = [&](const std::string &why) {
+        error = "'" + path + "': " + why;
+        return nullptr;
+    };
+
+    const long size = fileSize(file);
+    if (size < 0)
+        return fail("not seekable");
+    const auto total_bytes = static_cast<std::uint64_t>(size);
+
+    unsigned char fixed[16];
+    if (std::fread(fixed, 1, sizeof(fixed), file) != sizeof(fixed))
+        return fail("truncated header");
+    if (getU32(fixed) != kNativeMagic)
+        return fail("bad magic (not a native STMS trace)");
+    const std::uint32_t version = getU32(fixed + 4);
+    if (version < kNativeMinVersion || version > kNativeVersion) {
+        return fail("unsupported format version " +
+                    std::to_string(version) + " (this build reads " +
+                    std::to_string(kNativeMinVersion) + ".." +
+                    std::to_string(kNativeVersion) + ")");
+    }
+    const std::uint32_t num_cores = getU32(fixed + 8);
+    const std::uint32_t name_len = getU32(fixed + 12);
+    if (num_cores == 0 || num_cores > kNativeMaxCores)
+        return fail("implausible core count " +
+                    std::to_string(num_cores));
+    if (name_len > kNativeMaxNameLen)
+        return fail("implausible name length " +
+                    std::to_string(name_len));
+
+    reader->version_ = version;
+    reader->recordBytes_ = version >= 2 ? kNativeRecordBytesV2
+                                        : kNativeRecordBytesV1;
+    reader->meta_.numCores = num_cores;
+
+    std::uint64_t declared_total = 0;
+    if (version >= 2) {
+        unsigned char rest[16];
+        if (std::fread(rest, 1, sizeof(rest), file) != sizeof(rest))
+            return fail("truncated header");
+        declared_total = getU64(rest);
+        if (getU32(rest + 8) != kNativeRecordBytesV2)
+            return fail("unexpected record stride");
+    }
+
+    reader->meta_.name.resize(name_len);
+    if (name_len > 0 &&
+        std::fread(reader->meta_.name.data(), 1, name_len, file) !=
+            name_len) {
+        return fail("truncated workload name");
+    }
+
+    // Resolve each lane's (offset, count). v2 keeps the counts in an
+    // up-front table; v1 interleaves them, so scan by seeking over
+    // each lane's payload.
+    reader->lanes_.resize(num_cores);
+    reader->meta_.laneRecords.resize(num_cores);
+    std::uint64_t sum = 0;
+    if (version >= 2) {
+        std::vector<unsigned char> table(num_cores * 8u);
+        if (std::fread(table.data(), 1, table.size(), file) !=
+            table.size()) {
+            return fail("truncated lane table");
+        }
+        std::uint64_t offset =
+            32 + static_cast<std::uint64_t>(name_len) + table.size();
+        for (CoreId lane = 0; lane < num_cores; ++lane) {
+            const std::uint64_t count = getU64(table.data() + lane * 8);
+            // Same per-lane cap as v1: with <= 2^32 records per lane
+            // and <= 1024 lanes, the offset arithmetic below cannot
+            // wrap, so the file-size consistency check stays sound
+            // against crafted headers.
+            if (count > (1ULL << 32))
+                return fail("implausible lane record count");
+            reader->lanes_[lane] = {offset, count};
+            reader->meta_.laneRecords[lane] = count;
+            sum += count;
+            offset += count * kNativeRecordBytesV2;
+        }
+        if (sum != declared_total)
+            return fail("lane table disagrees with total record count");
+        if (offset != total_bytes)
+            return fail(offset > total_bytes ? "truncated payload"
+                                             : "trailing bytes");
+    } else {
+        std::uint64_t offset =
+            16 + static_cast<std::uint64_t>(name_len);
+        for (CoreId lane = 0; lane < num_cores; ++lane) {
+            unsigned char raw[8];
+            if (offset + 8 > total_bytes ||
+                std::fseek(file, static_cast<long>(offset),
+                           SEEK_SET) != 0 ||
+                std::fread(raw, 1, 8, file) != 8) {
+                return fail("truncated lane header");
+            }
+            const std::uint64_t count = getU64(raw);
+            if (count > (1ULL << 32))
+                return fail("implausible lane record count");
+            offset += 8;
+            reader->lanes_[lane] = {offset, count};
+            reader->meta_.laneRecords[lane] = count;
+            sum += count;
+            offset += count * kNativeRecordBytesV1;
+            if (offset > total_bytes)
+                return fail("truncated payload");
+        }
+        if (offset != total_bytes)
+            return fail("trailing bytes");
+    }
+    reader->meta_.totalRecords = sum;
+    return reader;
+}
+
+NativeTraceReader::~NativeTraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+std::size_t
+NativeTraceReader::readChunk(CoreId lane, std::size_t maxRecords,
+                             std::vector<TraceRecord> &out)
+{
+    stms_assert(lane < lanes_.size(), "lane %u out of range", lane);
+    out.clear();
+    LaneCursor &cursor = lanes_[lane];
+    const std::size_t count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(maxRecords, cursor.remaining));
+    if (count == 0)
+        return 0;
+
+    const std::size_t bytes = count * recordBytes_;
+    std::vector<unsigned char> raw(bytes);
+    if (std::fseek(file_, static_cast<long>(cursor.offset),
+                   SEEK_SET) != 0 ||
+        std::fread(raw.data(), 1, bytes, file_) != bytes) {
+        stms_fatal("'%s': read error mid-trace (file changed "
+                   "underneath the reader?)",
+                   path_.c_str());
+    }
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(decodeRecord(raw.data() + i * recordBytes_,
+                                   version_));
+    cursor.offset += bytes;
+    cursor.remaining -= count;
+    return count;
+}
+
+} // namespace stms::trace_io

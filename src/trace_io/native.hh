@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The native STMS trace format (versioned, little-endian binary).
+ *
+ * Version 2 (current, written by save() and NativeTraceWriter):
+ * a 32-byte header carrying the total record count and on-disk
+ * record stride, the workload name, a per-lane record-count table,
+ * then each lane's records back-to-back as packed 12-byte entries.
+ * The up-front lane table is what makes bounded-memory streaming and
+ * warmup placement possible without scanning the file.
+ *
+ * Version 1 (legacy, read-only): header without totals, lane counts
+ * interleaved with the payload, records dumped as the 16-byte
+ * in-memory struct (5 bytes of padding per record). load() and the
+ * streaming reader accept both versions; writers emit only v2.
+ *
+ * The byte-level specification, a worked hexdump, and the
+ * compatibility policy live in docs/TRACE_FORMATS.md.
+ */
+
+#ifndef STMS_TRACE_IO_NATIVE_HH
+#define STMS_TRACE_IO_NATIVE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace_io/reader.hh"
+#include "workload/trace.hh"
+
+namespace stms::trace_io
+{
+
+/** File magic, bytes "TMTS" on disk (0x53544D54 little-endian). */
+inline constexpr std::uint32_t kNativeMagic = 0x53544d54;
+/** Current (written) format version. */
+inline constexpr std::uint32_t kNativeVersion = 2;
+/** Oldest version load()/NativeTraceReader still accept. */
+inline constexpr std::uint32_t kNativeMinVersion = 1;
+/** On-disk record stride of v2 (packed) and v1 (struct dump). */
+inline constexpr std::uint32_t kNativeRecordBytesV2 = 12;
+inline constexpr std::uint32_t kNativeRecordBytesV1 = 16;
+/** Sanity limits enforced on load (reject absurd headers early). */
+inline constexpr std::uint32_t kNativeMaxCores = 1024;
+inline constexpr std::uint32_t kNativeMaxNameLen = 4096;
+
+/**
+ * Write @p trace to @p path in the current (v2) format.
+ *
+ * Returns false on any I/O failure; a partially written file may be
+ * left behind (callers that care should write to a temporary path
+ * and rename). Never modifies @p trace.
+ */
+bool save(const Trace &trace, const std::string &path);
+
+/**
+ * Read a whole trace from @p path (v1 or v2) into @p trace.
+ *
+ * Error contract: returns false — and resets @p trace to an empty,
+ * default-constructed Trace, never a partially loaded one — when the
+ * file is missing or unreadable, the magic or version is wrong, a
+ * header field exceeds the sanity limits above, or the payload is
+ * truncated relative to its declared record counts. On success the
+ * loaded trace is bit-identical to the one save() was given.
+ */
+bool load(Trace &trace, const std::string &path);
+
+/**
+ * Streaming reader for native trace files (v1 and v2).
+ *
+ * Opens the file, validates the header, and resolves each lane's
+ * byte offset and record count (v2 reads the lane table; v1 scans
+ * the interleaved counts, seeking over the payload). readChunk()
+ * then serves any lane in bounded chunks via one seek per chunk.
+ */
+class NativeTraceReader final : public TraceReader
+{
+  public:
+    /** Open @p path; returns nullptr and fills @p error on failure. */
+    static std::unique_ptr<NativeTraceReader>
+    open(const std::string &path, std::string &error);
+
+    ~NativeTraceReader() override;
+
+    const TraceMeta &meta() const override { return meta_; }
+
+    std::size_t readChunk(CoreId lane, std::size_t maxRecords,
+                          std::vector<TraceRecord> &out) override;
+
+  private:
+    struct LaneCursor
+    {
+        std::uint64_t offset = 0;     ///< Next byte to read.
+        std::uint64_t remaining = 0;  ///< Records left in the lane.
+    };
+
+    NativeTraceReader() = default;
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint32_t version_ = 0;
+    std::uint32_t recordBytes_ = 0;
+    TraceMeta meta_;
+    std::vector<LaneCursor> lanes_;
+};
+
+} // namespace stms::trace_io
+
+#endif // STMS_TRACE_IO_NATIVE_HH

@@ -1,0 +1,92 @@
+#include "trace_io/reader.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace stms::trace_io
+{
+
+// Defined at namespace scope (not file-local) so the friend
+// declaration in reader.hh names this exact class.
+/** One lane's view of a StreamingTraceSource: the current chunk plus
+ *  a refill loop. Holds exactly one chunk at a time. */
+class ChunkedCursor final : public RecordCursor
+{
+  public:
+    ChunkedCursor(StreamingTraceSource &source, CoreId lane)
+        : source_(source), lane_(lane)
+    {
+        refill();
+    }
+
+    const TraceRecord *
+    peek() override
+    {
+        if (index_ >= chunk_.size() && !exhausted_)
+            refill();
+        return index_ < chunk_.size() ? &chunk_[index_] : nullptr;
+    }
+
+    void next() override { ++index_; }
+
+  private:
+    void refill();
+
+    StreamingTraceSource &source_;
+    CoreId lane_;
+    std::vector<TraceRecord> chunk_;
+    std::size_t index_ = 0;
+    bool exhausted_ = false;
+};
+
+void
+ChunkedCursor::refill()
+{
+    const std::size_t got = source_.reader_->readChunk(
+        lane_, static_cast<std::size_t>(source_.chunkRecords_), chunk_);
+    index_ = 0;
+    if (got == 0) {
+        chunk_.clear();
+        exhausted_ = true;
+        return;
+    }
+    source_.peak_ = std::max(source_.peak_, chunk_.size());
+}
+
+StreamingTraceSource::StreamingTraceSource(
+    std::unique_ptr<TraceReader> reader, std::uint64_t chunkRecords)
+    : reader_(std::move(reader)), chunkRecords_(chunkRecords)
+{
+    stms_assert(reader_ != nullptr, "streaming source needs a reader");
+    stms_assert(chunkRecords_ > 0, "chunk size must be nonzero");
+}
+
+const std::string &
+StreamingTraceSource::name() const
+{
+    return reader_->meta().name;
+}
+
+std::uint32_t
+StreamingTraceSource::numCores() const
+{
+    return reader_->meta().numCores;
+}
+
+std::uint64_t
+StreamingTraceSource::totalRecords() const
+{
+    return reader_->meta().totalRecords;
+}
+
+std::unique_ptr<RecordCursor>
+StreamingTraceSource::openLane(CoreId lane)
+{
+    stms_assert(lane < numCores(),
+                "lane %u out of range (trace has %u lanes)", lane,
+                numCores());
+    return std::make_unique<ChunkedCursor>(*this, lane);
+}
+
+} // namespace stms::trace_io

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TraceReader — chunked, forward-only access to an on-disk trace.
+ *
+ * A reader decodes one trace file (or file set) into TraceRecords,
+ * lane by lane, in bounded chunks: readChunk() replaces the caller's
+ * buffer with up to @c maxRecords further records of one lane, so
+ * resident memory is capped at one chunk per lane regardless of the
+ * trace's size. Format-specific readers (native.hh, champsim.hh)
+ * implement the interface; StreamingTraceSource adapts any reader to
+ * the TraceSource contract the simulator consumes.
+ */
+
+#ifndef STMS_TRACE_IO_READER_HH
+#define STMS_TRACE_IO_READER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace_io/trace_source.hh"
+
+namespace stms::trace_io
+{
+
+/** What a reader knows about its trace after opening it. */
+struct TraceMeta
+{
+    std::string name;                ///< Workload name (may be empty).
+    std::uint32_t numCores = 0;      ///< Lane count.
+    /** Total records, 0 when unknown (non-seekable input). */
+    std::uint64_t totalRecords = 0;
+    /** Per-lane record counts; empty when unknown up front. */
+    std::vector<std::uint64_t> laneRecords;
+};
+
+/** Streaming decoder of one on-disk trace. */
+class TraceReader
+{
+  public:
+    virtual ~TraceReader() = default;
+
+    virtual const TraceMeta &meta() const = 0;
+
+    /**
+     * Replace @p out with the next at-most-@p maxRecords records of
+     * @p lane; returns the number delivered, 0 at end of lane. Lanes
+     * advance independently; within a lane, calls are sequential.
+     * Unrecoverable mid-stream I/O errors are fatal (the file was
+     * valid at open time, so corruption underneath is a user error).
+     */
+    virtual std::size_t readChunk(CoreId lane, std::size_t maxRecords,
+                                  std::vector<TraceRecord> &out) = 0;
+};
+
+/** Default chunk size: 64Ki records = 1 MiB resident per lane. */
+inline constexpr std::uint64_t kDefaultChunkRecords = 64 * 1024;
+
+/**
+ * TraceSource that pulls bounded chunks from a TraceReader. Resident
+ * memory never exceeds chunkRecords records per open lane; the
+ * high-water mark is exposed for tests via peakChunkRecords().
+ */
+class StreamingTraceSource final : public TraceSource
+{
+  public:
+    StreamingTraceSource(std::unique_ptr<TraceReader> reader,
+                         std::uint64_t chunkRecords = kDefaultChunkRecords);
+
+    const std::string &name() const override;
+    std::uint32_t numCores() const override;
+    std::uint64_t totalRecords() const override;
+    std::unique_ptr<RecordCursor> openLane(CoreId lane) override;
+
+    /** Largest chunk any lane cursor has held (test hook). */
+    std::size_t peakChunkRecords() const { return peak_; }
+
+  private:
+    friend class ChunkedCursor;
+
+    std::unique_ptr<TraceReader> reader_;
+    std::uint64_t chunkRecords_;
+    std::size_t peak_ = 0;
+};
+
+} // namespace stms::trace_io
+
+#endif // STMS_TRACE_IO_READER_HH

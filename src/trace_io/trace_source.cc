@@ -1,0 +1,17 @@
+#include "trace_io/trace_source.hh"
+
+#include "common/log.hh"
+
+namespace stms::trace_io
+{
+
+std::unique_ptr<RecordCursor>
+MemoryTraceSource::openLane(CoreId lane)
+{
+    stms_assert(lane < trace_.numCores(),
+                "lane %u out of range (trace has %u cores)", lane,
+                trace_.numCores());
+    return std::make_unique<VectorCursor>(trace_.perCore[lane]);
+}
+
+} // namespace stms::trace_io

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Record cursors and trace sources — the streaming face of trace_io.
+ *
+ * The simulator consumes memory-access records strictly in program
+ * order, one lane (core) at a time. A RecordCursor exposes exactly
+ * that contract: peek the current record, advance past it, never look
+ * back. A TraceSource bundles the per-lane cursors with the metadata
+ * a run needs up front (lane count, total records for the warmup
+ * barrier).
+ *
+ * Two families implement the interface:
+ *  - MemoryTraceSource wraps an in-memory Trace (zero copies); this
+ *    is what synthetic generation and the TraceCache hand out.
+ *  - StreamingTraceSource (reader.hh) pulls bounded record chunks
+ *    from an on-disk TraceReader, so ingesting a multi-gigabyte trace
+ *    never holds more than one chunk per lane in memory.
+ *
+ * runTrace() and CmpSystem accept either uniformly, which is how the
+ * driver runs generated and ingested workloads through one pipeline.
+ */
+
+#ifndef STMS_TRACE_IO_TRACE_SOURCE_HH
+#define STMS_TRACE_IO_TRACE_SOURCE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace stms::trace_io
+{
+
+/**
+ * Forward-only iterator over one lane's records.
+ *
+ * The consumer may call peek() any number of times between next()
+ * calls; the returned pointer is invalidated by next() (a streaming
+ * cursor reuses its chunk buffer). Calling next() at end of lane is
+ * undefined.
+ */
+class RecordCursor
+{
+  public:
+    virtual ~RecordCursor() = default;
+
+    /** The record at the cursor, or nullptr when the lane is done. */
+    virtual const TraceRecord *peek() = 0;
+
+    /** Advance past the record peek() returned. */
+    virtual void next() = 0;
+};
+
+/** Cursor over a record vector the caller keeps alive (no copy). */
+class VectorCursor final : public RecordCursor
+{
+  public:
+    explicit VectorCursor(const std::vector<TraceRecord> &records)
+        : records_(records)
+    {}
+
+    const TraceRecord *
+    peek() override
+    {
+        return index_ < records_.size() ? &records_[index_] : nullptr;
+    }
+
+    void next() override { ++index_; }
+
+  private:
+    const std::vector<TraceRecord> &records_;
+    std::size_t index_ = 0;
+};
+
+/**
+ * A multi-lane record source a simulation run consumes.
+ *
+ * Lanes map 1:1 onto simulated cores. Each lane may be opened at most
+ * once per source — streaming sources keep per-lane file cursors —
+ * so a TraceSource feeds exactly one CmpSystem; build a fresh source
+ * per run.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Workload name carried by the trace (may be empty). */
+    virtual const std::string &name() const = 0;
+
+    /** Number of lanes (simulated cores). */
+    virtual std::uint32_t numCores() const = 0;
+
+    /**
+     * Records across all lanes, or 0 when unknown up front (e.g. a
+     * ChampSim trace read through a decompressor pipe). Runs with an
+     * unknown total cannot place a warmup barrier.
+     */
+    virtual std::uint64_t totalRecords() const = 0;
+
+    /** Open lane @p lane's cursor (once per lane, see class docs). */
+    virtual std::unique_ptr<RecordCursor> openLane(CoreId lane) = 0;
+};
+
+/** TraceSource over an in-memory Trace the caller keeps alive. */
+class MemoryTraceSource final : public TraceSource
+{
+  public:
+    explicit MemoryTraceSource(const Trace &trace)
+        : trace_(trace), totalRecords_(trace.totalRecords())
+    {}
+
+    const std::string &name() const override { return trace_.name; }
+    std::uint32_t numCores() const override { return trace_.numCores(); }
+    std::uint64_t totalRecords() const override { return totalRecords_; }
+
+    std::unique_ptr<RecordCursor> openLane(CoreId lane) override;
+
+  private:
+    const Trace &trace_;
+    std::uint64_t totalRecords_;
+};
+
+} // namespace stms::trace_io
+
+#endif // STMS_TRACE_IO_TRACE_SOURCE_HH

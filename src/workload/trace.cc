@@ -1,10 +1,6 @@
 #include "workload/trace.hh"
 
-#include <cstdio>
-#include <cstring>
 #include <unordered_set>
-
-#include "common/log.hh"
 
 namespace stms
 {
@@ -27,95 +23,5 @@ Trace::footprintBlocks() const
             blocks.insert(blockNumber(record.addr));
     return blocks.size();
 }
-
-namespace trace_io
-{
-
-namespace
-{
-
-constexpr std::uint32_t kMagic = 0x53544d54;  // "STMT"
-constexpr std::uint32_t kVersion = 1;
-
-struct FileHeader
-{
-    std::uint32_t magic;
-    std::uint32_t version;
-    std::uint32_t numCores;
-    std::uint32_t nameLen;
-};
-
-} // namespace
-
-bool
-save(const Trace &trace, const std::string &path)
-{
-    std::FILE *file = std::fopen(path.c_str(), "wb");
-    if (!file)
-        return false;
-
-    FileHeader header{kMagic, kVersion, trace.numCores(),
-                      static_cast<std::uint32_t>(trace.name.size())};
-    bool ok = std::fwrite(&header, sizeof(header), 1, file) == 1;
-    if (ok && header.nameLen > 0) {
-        ok = std::fwrite(trace.name.data(), 1, header.nameLen, file) ==
-             header.nameLen;
-    }
-    for (const auto &records : trace.perCore) {
-        if (!ok)
-            break;
-        const std::uint64_t count = records.size();
-        ok = std::fwrite(&count, sizeof(count), 1, file) == 1;
-        if (ok && count > 0) {
-            ok = std::fwrite(records.data(), sizeof(TraceRecord),
-                             records.size(), file) == records.size();
-        }
-    }
-    std::fclose(file);
-    return ok;
-}
-
-bool
-load(Trace &trace, const std::string &path)
-{
-    std::FILE *file = std::fopen(path.c_str(), "rb");
-    if (!file)
-        return false;
-
-    FileHeader header{};
-    bool ok = std::fread(&header, sizeof(header), 1, file) == 1 &&
-              header.magic == kMagic && header.version == kVersion &&
-              header.numCores <= 1024 && header.nameLen <= 4096;
-    if (ok) {
-        trace.name.resize(header.nameLen);
-        if (header.nameLen > 0) {
-            ok = std::fread(trace.name.data(), 1, header.nameLen, file) ==
-                 header.nameLen;
-        }
-    }
-    if (ok) {
-        trace.perCore.assign(header.numCores, {});
-        for (auto &records : trace.perCore) {
-            std::uint64_t count = 0;
-            ok = std::fread(&count, sizeof(count), 1, file) == 1 &&
-                 count <= (1ULL << 32);
-            if (!ok)
-                break;
-            records.resize(count);
-            if (count > 0) {
-                ok = std::fread(records.data(), sizeof(TraceRecord),
-                                records.size(), file) == records.size();
-                if (!ok)
-                    break;
-            }
-        }
-    }
-    std::fclose(file);
-    if (!ok)
-        trace = Trace{};
-    return ok;
-}
-
-} // namespace trace_io
 
 } // namespace stms

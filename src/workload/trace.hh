@@ -54,21 +54,11 @@ struct Trace
     std::uint64_t footprintBlocks() const;
 };
 
-/**
- * Binary trace file I/O (little-endian, versioned header). Lets the
- * examples persist generated workloads and replay them, standing in
- * for the public trace files ChampSim-style studies distribute.
- */
-namespace trace_io
-{
-
-/** Write @p trace to @p path. Panics on I/O failure in tests. */
-bool save(const Trace &trace, const std::string &path);
-
-/** Read a trace from @p path; returns an empty trace on failure. */
-bool load(Trace &trace, const std::string &path);
-
-} // namespace trace_io
+// Trace file I/O lives in the trace_io subsystem: trace_io/native.hh
+// (versioned binary save/load + streaming reader), trace_io/champsim.hh
+// (ChampSim-compatible records), trace_io/trace_source.hh (the
+// streaming TraceSource/RecordCursor interfaces the simulator
+// consumes). See docs/TRACE_FORMATS.md for the on-disk layouts.
 
 } // namespace stms
 

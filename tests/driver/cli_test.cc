@@ -67,6 +67,23 @@ TEST(DriverCli, RepeatedExperimentsAccumulate)
     EXPECT_EQ(args.experiments[1], "table2");
 }
 
+TEST(DriverCli, TraceFlagsJoinIntoOneOption)
+{
+    // Repeated --trace flags (either spelling) accumulate into the
+    // ';'-joined "trace" option trace_io::parseIngestSpec consumes —
+    // one lane file per flag for ChampSim ingestion.
+    const DriverArgs args = parse(
+        {"--experiment", "ingest_replay", "--trace", "a.stms",
+         "--trace=b.core1.champsim,format=champsim"});
+    EXPECT_EQ(args.options.get("trace", ""),
+              "a.stms;b.core1.champsim,format=champsim");
+}
+
+TEST(DriverCli, TraceNeedsAValue)
+{
+    parse({"--trace"}, /*expect_ok=*/false);
+}
+
 TEST(DriverCli, EqualsOnBooleanFlagsRejected)
 {
     // "--csv=1" must not silently become the experiment option csv=1.

@@ -1,0 +1,111 @@
+/** @file End-to-end tests of the trace-ingestion experiments: the
+ *  synth_vs_ingest equality gate (the PR's acceptance criterion) and
+ *  ingest_replay's source-mode equivalence, both through the real
+ *  registry + runner stack. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "driver/registry.hh"
+#include "driver/runner.hh"
+#include "trace_io/native.hh"
+#include "workload/generators.hh"
+#include "workload/workloads.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+double
+metric(const Report &report, const std::string &name)
+{
+    for (const auto &[key, value] : report.metrics()) {
+        if (key == name)
+            return value;
+    }
+    ADD_FAILURE() << "metric '" << name << "' missing";
+    return -1.0;
+}
+
+TEST(SynthVsIngest, RoundTripsAreMetricIdentical)
+{
+    const Experiment *experiment =
+        ExperimentRegistry::global().find("synth_vs_ingest");
+    ASSERT_NE(experiment, nullptr);
+
+    TraceCache traces;
+    ExperimentRunner runner(traces);
+    Options options;
+    options.set("records", "256");
+
+    const Report report = runner.run(*experiment, options);
+    EXPECT_GT(metric(report, "compared"), 10.0);
+    EXPECT_EQ(metric(report, "mismatches"), 0.0);
+}
+
+TEST(SynthVsIngest, SmallChunksStillMatch)
+{
+    const Experiment *experiment =
+        ExperimentRegistry::global().find("synth_vs_ingest");
+    ASSERT_NE(experiment, nullptr);
+
+    TraceCache traces;
+    ExperimentRunner runner(traces);
+    Options options;
+    options.set("records", "128");
+    options.set("chunk", "3");  // Worst-case boundary churn.
+
+    const Report report = runner.run(*experiment, options);
+    EXPECT_EQ(metric(report, "mismatches"), 0.0);
+}
+
+TEST(IngestReplay, IngestedExportMatchesSyntheticBaseline)
+{
+    // The CI job diffs the two JSON reports byte-for-byte; this is
+    // the in-process version of the same guarantee.
+    const Experiment *experiment =
+        ExperimentRegistry::global().find("ingest_replay");
+    ASSERT_NE(experiment, nullptr);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "stms_ingest_replay_test.stms")
+            .string();
+    WorkloadGenerator generator(makeWorkload("web-apache", 1024));
+    ASSERT_TRUE(trace_io::save(generator.generate(), path));
+
+    TraceCache traces;
+    ExperimentRunner runner(traces);
+
+    Options synthetic;
+    synthetic.set("workload", "web-apache");
+    synthetic.set("records", "1024");
+    const Report direct = runner.run(*experiment, synthetic);
+
+    Options ingested;
+    ingested.set("trace", path);
+    const Report replayed = runner.run(*experiment, ingested);
+
+    EXPECT_EQ(direct.toJson(), replayed.toJson());
+    std::filesystem::remove(path);
+}
+
+TEST(IngestReplay, PlansBaseAndStmsRuns)
+{
+    const Experiment *experiment =
+        ExperimentRegistry::global().find("ingest_replay");
+    ASSERT_NE(experiment, nullptr);
+    Options options;
+    options.set("records", "512");
+    const std::vector<RunSpec> plan = experiment->plan(options);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan[0].id, "base");
+    EXPECT_FALSE(plan[0].config.stms.has_value());
+    EXPECT_TRUE(plan[1].config.stms.has_value());
+    EXPECT_FALSE(plan[0].ingest.has_value());  // Synthetic mode.
+}
+
+} // namespace
+} // namespace stms::driver

@@ -77,8 +77,8 @@ TEST(ExperimentRegistry, GlobalHasEveryBuiltin)
     const char *expected[] = {
         "fig1-overhead", "fig1-storage", "fig4", "fig5",
         "fig6", "fig7", "fig8", "fig9",
-        "table2", "ablate-bucket", "ablate-priority",
-        "ablate-sharing"};
+        "table2", "ingest_replay", "synth_vs_ingest",
+        "ablate-bucket", "ablate-priority", "ablate-sharing"};
     for (const char *name : expected) {
         const Experiment *experiment = registry.find(name);
         ASSERT_NE(experiment, nullptr) << name;

@@ -1,0 +1,268 @@
+/** @file ChampSim trace I/O tests: the 64-byte record layout, the
+ *  documented instruction->record mapping (think from instruction
+ *  gaps, dependence through registers), exporter round trips,
+ *  compressed-input passthrough, and a spec-derived golden file. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "trace_io/champsim.hh"
+#include "trace_io/format.hh"
+
+#ifndef STMS_TEST_DATA_DIR
+#error "STMS_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace stms
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string
+dataPath(const char *name)
+{
+    return std::string(STMS_TEST_DATA_DIR) + "/" + name;
+}
+
+std::vector<TraceRecord>
+readLane(trace_io::TraceReader &reader, CoreId lane)
+{
+    std::vector<TraceRecord> records, chunk;
+    while (reader.readChunk(lane, 7, chunk) > 0)
+        records.insert(records.end(), chunk.begin(), chunk.end());
+    return records;
+}
+
+TraceRecord
+rec(Addr addr, std::uint16_t think, std::uint8_t flags)
+{
+    TraceRecord record;
+    record.addr = addr;
+    record.think = think;
+    record.flags = flags;
+    return record;
+}
+
+TEST(ChampSim, GoldenFileDecodesPerSpec)
+{
+    // golden.champsim (tests/data) was hand-assembled from the
+    // format doc: 2 fillers, a load, 1 filler, a dependent store,
+    // then one instruction carrying two loads and a store.
+    std::string error;
+    auto reader = trace_io::ChampSimTraceReader::open(
+        {dataPath("golden.champsim")}, error);
+    ASSERT_NE(reader, nullptr) << error;
+    EXPECT_EQ(reader->meta().numCores, 1u);
+    EXPECT_EQ(reader->meta().totalRecords, 0u);  // Unknown up front.
+
+    const std::vector<TraceRecord> records = readLane(*reader, 0);
+    const std::vector<TraceRecord> expected = {
+        rec(0x1000, 2, 0),
+        rec(0x2040, 1, TraceRecord::kWrite | TraceRecord::kDependent),
+        rec(0x30c0, 0, 0),
+        rec(0x4100, 0, 0),
+        rec(0x5140, 0, TraceRecord::kWrite),
+    };
+    ASSERT_EQ(records.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(records[i].addr, expected[i].addr) << i;
+        EXPECT_EQ(records[i].think, expected[i].think) << i;
+        EXPECT_EQ(records[i].flags, expected[i].flags) << i;
+    }
+}
+
+TEST(ChampSim, ExportRoundTripsRecordsExactly)
+{
+    Trace trace;
+    trace.name = "rt";
+    trace.perCore.resize(2);
+    // Lane 0 exercises think extremes, writes, and dependence
+    // chains; lane 1 checks lanes stay independent. A lane's first
+    // record must not be dependent (the flag cannot survive the
+    // format and the core model ignores it anyway).
+    trace.perCore[0] = {
+        rec(0x1000, 0, 0),
+        rec(0x2040, 3, TraceRecord::kDependent),
+        rec(0x30c0, 0, TraceRecord::kWrite | TraceRecord::kDependent),
+        rec(0x4100, 500, TraceRecord::kWrite),
+        rec(0x5140, 1, TraceRecord::kDependent),
+    };
+    trace.perCore[1] = {rec(0x777000, 9, 0),
+                        rec(0x778000, 2, TraceRecord::kWrite)};
+
+    const std::string base = tempPath("stms_cs_rt.champsim");
+    const std::vector<std::string> paths =
+        trace_io::writeChampSim(trace, base);
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_NE(paths[0].find("core0"), std::string::npos);
+
+    std::string error;
+    auto reader = trace_io::ChampSimTraceReader::open(paths, error);
+    ASSERT_NE(reader, nullptr) << error;
+    for (CoreId lane = 0; lane < 2; ++lane) {
+        const std::vector<TraceRecord> records =
+            readLane(*reader, lane);
+        const auto &expected = trace.perCore[lane];
+        ASSERT_EQ(records.size(), expected.size()) << lane;
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(records[i].addr, expected[i].addr) << i;
+            EXPECT_EQ(records[i].think, expected[i].think) << i;
+            EXPECT_EQ(records[i].flags, expected[i].flags) << i;
+        }
+    }
+    for (const std::string &path : paths)
+        std::remove(path.c_str());
+}
+
+TEST(ChampSim, SingleCoreExportUsesExactPath)
+{
+    Trace trace;
+    trace.perCore.resize(1);
+    trace.perCore[0] = {rec(0x40, 0, 0)};
+    const std::string path = tempPath("stms_cs_single.champsim");
+    const std::vector<std::string> paths =
+        trace_io::writeChampSim(trace, path);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0], path);
+    // One record with think 0 => exactly one 64-byte instruction.
+    EXPECT_EQ(std::filesystem::file_size(path), 64u);
+    std::remove(path.c_str());
+}
+
+TEST(ChampSim, EmptyLaneRoundTrips)
+{
+    // A core with no records exports as a 0-byte file, which the
+    // reader must accept as a valid empty lane.
+    Trace trace;
+    trace.perCore.resize(2);
+    trace.perCore[0] = {rec(0x40, 1, 0)};
+
+    const std::string base = tempPath("stms_cs_empty.champsim");
+    const std::vector<std::string> paths =
+        trace_io::writeChampSim(trace, base);
+    ASSERT_EQ(paths.size(), 2u);
+    EXPECT_EQ(std::filesystem::file_size(paths[1]), 0u);
+
+    std::string error;
+    auto reader = trace_io::ChampSimTraceReader::open(paths, error);
+    ASSERT_NE(reader, nullptr) << error;
+    EXPECT_EQ(readLane(*reader, 0).size(), 1u);
+    EXPECT_TRUE(readLane(*reader, 1).empty());
+    for (const std::string &path : paths)
+        std::remove(path.c_str());
+}
+
+TEST(ChampSim, OpenRejectsNonMultipleOf64)
+{
+    const std::string path = tempPath("stms_cs_bad.champsim");
+    std::ofstream(path, std::ios::binary) << "not a champsim trace";
+    std::string error;
+    EXPECT_EQ(trace_io::ChampSimTraceReader::open({path}, error),
+              nullptr);
+    EXPECT_NE(error.find("64"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ChampSim, GzipPassthroughMatchesPlainFile)
+{
+    if (std::system("command -v gzip > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "gzip not installed";
+
+    const std::string plain = tempPath("stms_cs_zip.champsim");
+    const std::string zipped = plain + ".gz";
+    {
+        Trace trace;
+        trace.perCore.resize(1);
+        for (int i = 1; i <= 50; ++i) {
+            trace.perCore[0].push_back(
+                rec(static_cast<Addr>(i) << 12,
+                    static_cast<std::uint16_t>(i % 5),
+                    static_cast<std::uint8_t>(i % 2 ? 0
+                                                    : TraceRecord::kWrite)));
+        }
+        ASSERT_EQ(trace_io::writeChampSim(trace, plain).size(), 1u);
+    }
+    std::remove(zipped.c_str());
+    ASSERT_EQ(std::system(("gzip -k " + plain).c_str()), 0);
+
+    std::string error;
+    auto direct =
+        trace_io::ChampSimTraceReader::open({plain}, error);
+    ASSERT_NE(direct, nullptr) << error;
+    auto piped =
+        trace_io::ChampSimTraceReader::open({zipped}, error);
+    ASSERT_NE(piped, nullptr) << error;
+
+    const std::vector<TraceRecord> a = readLane(*direct, 0);
+    const std::vector<TraceRecord> b = readLane(*piped, 0);
+    ASSERT_EQ(a.size(), 50u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].addr, b[i].addr);
+        EXPECT_EQ(a[i].think, b[i].think);
+        EXPECT_EQ(a[i].flags, b[i].flags);
+    }
+    std::remove(plain.c_str());
+    std::remove(zipped.c_str());
+}
+
+TEST(TraceFormat, DetectionAndSpecParsing)
+{
+    std::string error;
+    EXPECT_EQ(trace_io::detectFormat(dataPath("golden.stms"), error),
+              trace_io::TraceFormat::Native);
+    EXPECT_EQ(trace_io::detectFormat(dataPath("golden.champsim"),
+                                     error),
+              trace_io::TraceFormat::ChampSim);
+    EXPECT_EQ(trace_io::detectFormat("whatever.xz", error),
+              trace_io::TraceFormat::ChampSim);
+
+    trace_io::TraceSpec spec;
+    ASSERT_TRUE(
+        trace_io::parseTraceSpec("t.bin,format=champsim", spec, error));
+    EXPECT_EQ(spec.path, "t.bin");
+    EXPECT_EQ(spec.format, trace_io::TraceFormat::ChampSim);
+    EXPECT_FALSE(
+        trace_io::parseTraceSpec("t.bin,format=elf", spec, error));
+    EXPECT_FALSE(trace_io::parseTraceSpec("", spec, error));
+
+    trace_io::IngestSpec ingest;
+    ASSERT_TRUE(trace_io::parseIngestSpec(
+        "a.champsim;b.champsim,format=champsim", 128, ingest, error));
+    ASSERT_EQ(ingest.inputs.size(), 2u);
+    EXPECT_EQ(ingest.inputs[1].path, "b.champsim");
+    EXPECT_EQ(ingest.chunkRecords, 128u);
+    EXPECT_FALSE(trace_io::parseIngestSpec("", 128, ingest, error));
+    EXPECT_FALSE(
+        trace_io::parseIngestSpec("a.stms", 0, ingest, error));
+}
+
+TEST(TraceFormat, OpenSourceRejectsMixedFormatsAndMultiNative)
+{
+    std::string error;
+    trace_io::IngestSpec mixed;
+    mixed.inputs.push_back(
+        {dataPath("golden.stms"), trace_io::TraceFormat::Native});
+    mixed.inputs.push_back({dataPath("golden.champsim"),
+                            trace_io::TraceFormat::ChampSim});
+    EXPECT_EQ(trace_io::openSource(mixed, error), nullptr);
+
+    trace_io::IngestSpec twoNative;
+    twoNative.inputs.assign(
+        2, {dataPath("golden.stms"), trace_io::TraceFormat::Native});
+    EXPECT_EQ(trace_io::openSource(twoNative, error), nullptr);
+    EXPECT_NE(error.find("exactly one"), std::string::npos);
+}
+
+} // namespace
+} // namespace stms

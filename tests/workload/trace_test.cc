@@ -1,9 +1,7 @@
-/** @file Unit tests for trace representation and file I/O. */
+/** @file Unit tests for the trace representation. File I/O moved to
+ *  the trace_io subsystem; see tests/trace_io/. */
 
 #include <gtest/gtest.h>
-
-#include <cstdio>
-#include <filesystem>
 
 #include "workload/trace.hh"
 
@@ -60,55 +58,6 @@ TEST(Trace, FootprintDeduplicatesBlocks)
         trace.perCore[0].push_back(record);
     }
     EXPECT_EQ(trace.footprintBlocks(), 1u);
-}
-
-TEST(TraceIo, SaveLoadRoundTrip)
-{
-    const std::string path =
-        (std::filesystem::temp_directory_path() / "stms_trace_rt.bin")
-            .string();
-    Trace original = sampleTrace();
-    ASSERT_TRUE(trace_io::save(original, path));
-
-    Trace loaded;
-    ASSERT_TRUE(trace_io::load(loaded, path));
-    EXPECT_EQ(loaded.name, original.name);
-    ASSERT_EQ(loaded.numCores(), original.numCores());
-    for (CoreId c = 0; c < original.numCores(); ++c) {
-        ASSERT_EQ(loaded.perCore[c].size(), original.perCore[c].size());
-        for (std::size_t i = 0; i < original.perCore[c].size(); ++i) {
-            EXPECT_EQ(loaded.perCore[c][i].addr,
-                      original.perCore[c][i].addr);
-            EXPECT_EQ(loaded.perCore[c][i].think,
-                      original.perCore[c][i].think);
-            EXPECT_EQ(loaded.perCore[c][i].flags,
-                      original.perCore[c][i].flags);
-        }
-    }
-    std::remove(path.c_str());
-}
-
-TEST(TraceIo, LoadRejectsMissingFile)
-{
-    Trace trace;
-    EXPECT_FALSE(trace_io::load(trace, "/nonexistent/path/t.bin"));
-}
-
-TEST(TraceIo, LoadRejectsGarbage)
-{
-    const std::string path =
-        (std::filesystem::temp_directory_path() / "stms_garbage.bin")
-            .string();
-    std::FILE *file = std::fopen(path.c_str(), "wb");
-    ASSERT_NE(file, nullptr);
-    const char junk[] = "this is not a trace file at all";
-    std::fwrite(junk, 1, sizeof(junk), file);
-    std::fclose(file);
-
-    Trace trace;
-    EXPECT_FALSE(trace_io::load(trace, path));
-    EXPECT_EQ(trace.totalRecords(), 0u);
-    std::remove(path.c_str());
 }
 
 } // namespace
