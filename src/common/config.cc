@@ -107,6 +107,12 @@ Options::keys() const
     return result;
 }
 
+std::vector<std::pair<std::string, std::string>>
+Options::items() const
+{
+    return {values_.begin(), values_.end()};
+}
+
 std::uint64_t
 parseSize(const std::string &text)
 {

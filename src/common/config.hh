@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace stms
@@ -46,6 +47,10 @@ class Options
 
     /** All keys, sorted; handy for help/diagnostic output. */
     std::vector<std::string> keys() const;
+
+    /** All key/value pairs, key-sorted (the result store fingerprints
+     *  and persists an experiment's options in this shape). */
+    std::vector<std::pair<std::string, std::string>> items() const;
 
   private:
     std::map<std::string, std::string> values_;

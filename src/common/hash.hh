@@ -37,6 +37,28 @@ hashToBucket(Addr block_addr, std::uint64_t buckets)
     return mixHash64(block_addr) % buckets;
 }
 
+/** FNV-1a offset basis (the seed of an empty hash). */
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+
+/**
+ * 64-bit FNV-1a over a byte range. Used where a *stable* hash of
+ * serialized text matters — the result store's configuration
+ * fingerprints are FNV-1a values persisted to disk and compared
+ * across builds and machines, so this function must never change.
+ * Chain calls by passing the previous result as @p seed.
+ */
+constexpr std::uint64_t
+fnv1a64(const char *data, std::size_t size,
+        std::uint64_t seed = kFnv1aOffset)
+{
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= static_cast<unsigned char>(data[i]);
+        hash *= 0x100000001b3ULL;  // FNV prime.
+    }
+    return hash;
+}
+
 } // namespace stms
 
 #endif // STMS_COMMON_HASH_HH

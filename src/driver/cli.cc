@@ -4,7 +4,9 @@
 #include <cstdlib>
 
 #include "driver/registry.hh"
+#include "driver/results_cli.hh"
 #include "driver/runner.hh"
+#include "results/store.hh"
 
 namespace stms::driver
 {
@@ -15,6 +17,8 @@ namespace
 const char kUsage[] =
     "usage: driver [--list] [--experiment NAME]... [--threads N]\n"
     "              [--trace PATH[,format=...]]... [--json PATH|-]\n"
+    "              [--store DIR] [--rerun] [--shard I/N]\n"
+    "              [--results CMD] [--baseline PATH]\n"
     "              [--csv] [--verbose] [key=value]...\n"
     "\n"
     "  --list            list registered experiments and exit\n"
@@ -30,7 +34,31 @@ const char kUsage[] =
     "--list)\n"
     "  --json PATH       write structured results to PATH "
     "('-' = JSON only\n"
-    "                    on stdout, suppressing the text report)\n"
+    "                    on stdout, suppressing the text report); "
+    "writes are\n"
+    "                    atomic (temp file + rename)\n"
+    "  --store DIR       archive completed runs in the result store "
+    "at DIR:\n"
+    "                    exact-fingerprint duplicates are skipped and\n"
+    "                    interrupted sweeps resume (docs/RESULTS.md)\n"
+    "  --rerun           execute and append even when the store "
+    "already\n"
+    "                    holds the configuration's fingerprint\n"
+    "  --shard I/N       execute only shard I of N (1-based; "
+    "partitioned\n"
+    "                    by run fingerprint; requires --store; "
+    "suppresses\n"
+    "                    the report — merge stores, then rerun "
+    "without\n"
+    "                    --shard to fold the archived runs)\n"
+    "  --results CMD     store maintenance instead of simulation:\n"
+    "                    list | show FP | diff [BEFORE AFTER] | gc\n"
+    "                    (diff defaults to --baseline vs --store;\n"
+    "                    tolerances: abs_tol=, rel_tol=, "
+    "tol.<metric>=REL)\n"
+    "  --baseline PATH   the 'before' snapshot for --results diff "
+    "(a store\n"
+    "                    directory or a records .jsonl file)\n"
     "  --csv             print tables as CSV instead of aligned text\n"
     "  --verbose         per-run progress on stderr\n"
     "  key=value         experiment options (e.g. records=65536, "
@@ -44,6 +72,33 @@ appendTraceSpec(Options &options, const std::string &spec)
     const std::string existing = options.get("trace", "");
     options.set("trace",
                 existing.empty() ? spec : existing + ";" + spec);
+}
+
+/**
+ * Parse "I/N" (1 <= I <= N) into the shard fields. Strict: both
+ * numbers must consume every character ("2x/4" or "1/4junk" silently
+ * running the wrong partition would break the disjoint+complete
+ * guarantee a multi-machine sweep relies on).
+ */
+bool
+parseShard(const std::string &text, DriverArgs &args,
+           std::string &error)
+{
+    const char *cursor = text.c_str();
+    char *end = nullptr;
+    const long index = std::strtol(cursor, &end, 10);
+    if (end != cursor && *end == '/') {
+        cursor = end + 1;
+        const long count = std::strtol(cursor, &end, 10);
+        if (end != cursor && *end == '\0' && index >= 1 &&
+            count >= 1 && index <= count) {
+            args.shardIndex = static_cast<std::uint32_t>(index);
+            args.shardCount = static_cast<std::uint32_t>(count);
+            return true;
+        }
+    }
+    error = "--shard needs I/N with 1 <= I <= N";
+    return false;
 }
 
 void
@@ -78,13 +133,9 @@ writeJson(const std::string &path, const std::string &payload)
         std::fputs(payload.c_str(), stdout);
         return true;
     }
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (!file)
-        return false;
-    const bool ok =
-        std::fwrite(payload.data(), 1, payload.size(), file) ==
-        payload.size();
-    return std::fclose(file) == 0 && ok;
+    // Atomic: an interrupted run must never leave a truncated JSON
+    // file that downstream json.load() chokes on.
+    return results::atomicWriteFile(path, payload);
 }
 
 int
@@ -108,10 +159,40 @@ runExperiments(const DriverArgs &args)
         selected.push_back(experiment);
     }
 
+    std::unique_ptr<results::ResultStore> store;
+    if (!args.storePath.empty()) {
+        std::string error;
+        store = results::ResultStore::open(args.storePath, error);
+        if (!store) {
+            std::fprintf(stderr, "--store: %s\n", error.c_str());
+            return 1;
+        }
+    }
+
     RunnerConfig runner_config;
     runner_config.threads = args.threads;
     runner_config.verbose = args.verbose;
+    runner_config.store = store.get();
+    runner_config.rerun = args.rerun;
+    runner_config.shardIndex = args.shardIndex;
+    runner_config.shardCount = args.shardCount;
     ExperimentRunner runner(globalTraceCache(), runner_config);
+
+    // Shard mode archives runs without reporting: report() needs the
+    // whole plan, and this invocation deliberately executes a slice.
+    if (args.shardCount > 0) {
+        for (const Experiment *experiment : selected) {
+            ExecStats stats;
+            runner.execute(*experiment, args.options, &stats);
+            std::fprintf(stderr,
+                         "[%s] shard %u/%u: %zu of %zu runs "
+                         "(%zu resumed, %zu other-shard)\n",
+                         experiment->name().c_str(), args.shardIndex,
+                         args.shardCount, stats.executed,
+                         stats.planned, stats.resumed, stats.sharded);
+        }
+        return 0;
+    }
 
     // With --json -, stdout carries the JSON payload alone; the
     // human rendering would interleave and break json.load().
@@ -120,7 +201,29 @@ runExperiments(const DriverArgs &args)
     std::vector<std::string> json_reports;
     for (std::size_t i = 0; i < selected.size(); ++i) {
         const Experiment &experiment = *selected[i];
-        const Report report = runner.run(experiment, args.options);
+        ExecStats stats;
+        const Report report =
+            runner.run(experiment, args.options, &stats);
+        if (store) {
+            std::fprintf(stderr,
+                         "[%s] store: %zu of %zu runs resumed, %zu "
+                         "executed\n",
+                         experiment.name().c_str(), stats.resumed,
+                         stats.planned, stats.executed);
+            results::ResultRecord record = makeExperimentRecord(
+                experiment, args.options, report);
+            if (store->append(record, args.rerun)) {
+                std::fprintf(stderr, "[%s] store: recorded %s\n",
+                             experiment.name().c_str(),
+                             record.fingerprint.hex().c_str());
+            } else {
+                std::fprintf(stderr,
+                             "[%s] store: %s already recorded "
+                             "(--rerun to append again)\n",
+                             experiment.name().c_str(),
+                             record.fingerprint.hex().c_str());
+            }
+        }
         if (!json_on_stdout) {
             if (i > 0)
                 std::printf("\n");
@@ -202,11 +305,29 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
                     appendTraceSpec(args.options, value);
                     continue;
                 }
+                if (key == "store") {
+                    args.storePath = value;
+                    continue;
+                }
+                if (key == "baseline") {
+                    args.baselinePath = value;
+                    continue;
+                }
+                if (key == "shard") {
+                    if (!parseShard(value, args, error))
+                        return false;
+                    continue;
+                }
+                if (key == "results") {
+                    args.resultsCmd = value;
+                    continue;
+                }
                 // The boolean flags take no value; swallowing
                 // "--csv=1" as the experiment option csv=1 would be
                 // the same silent fallthrough this block prevents.
                 if (key == "list" || key == "csv" || key == "help" ||
-                    key == "h" || key == "verbose" || key == "v") {
+                    key == "h" || key == "verbose" || key == "v" ||
+                    key == "rerun") {
                     error = "--" + key + " does not take a value";
                     return false;
                 }
@@ -221,6 +342,8 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
             args.csv = true;
         } else if (token == "--verbose" || token == "-v") {
             args.verbose = true;
+        } else if (token == "--rerun") {
+            args.rerun = true;
         } else if (token == "--experiment" || token == "-e") {
             const char *value = nextValue("--experiment");
             if (!value)
@@ -246,12 +369,45 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
             if (!value)
                 return false;
             appendTraceSpec(args.options, value);
+        } else if (token == "--store") {
+            const char *value = nextValue("--store");
+            if (!value)
+                return false;
+            args.storePath = value;
+        } else if (token == "--baseline") {
+            const char *value = nextValue("--baseline");
+            if (!value)
+                return false;
+            args.baselinePath = value;
+        } else if (token == "--shard") {
+            const char *value = nextValue("--shard");
+            if (!value)
+                return false;
+            if (!parseShard(value, args, error))
+                return false;
+        } else if (token == "--results") {
+            const char *value = nextValue("--results");
+            if (!value)
+                return false;
+            args.resultsCmd = value;
         } else if (args.options.parseToken(token)) {
             // key=value (or --key=value) passthrough.
+        } else if (!args.resultsCmd.empty() && !token.empty() &&
+                   token[0] != '-') {
+            // Bare operands belong to the --results subcommand
+            // (snapshot paths for diff, a fingerprint for show).
+            args.resultsArgs.push_back(token);
         } else {
             error = "unrecognized argument '" + token + "'";
             return false;
         }
+    }
+
+    if (args.shardCount > 0 && args.storePath.empty() &&
+        args.resultsCmd.empty()) {
+        error = "--shard requires --store (sharded runs exist only "
+                "as store records)";
+        return false;
     }
     return true;
 }
@@ -273,6 +429,8 @@ driverMain(int argc, char **argv)
         printList(ExperimentRegistry::global());
         return 0;
     }
+    if (!args.resultsCmd.empty())
+        return runResultsMode(args);
     if (args.experiments.empty()) {
         std::fprintf(stderr, "no experiment selected\n\n%s", kUsage);
         printList(ExperimentRegistry::global());

@@ -37,6 +37,20 @@ struct DriverArgs
     bool list = false;
     bool help = false;
     bool verbose = false;
+
+    // Result-store integration (see docs/RESULTS.md).
+    std::string storePath;     ///< --store DIR; empty = no store.
+    std::string baselinePath;  ///< --baseline PATH (results diff).
+    bool rerun = false;        ///< --rerun: force duplicate appends.
+    /** --shard i/n (1-based); shardCount == 0 = no sharding. */
+    std::uint32_t shardIndex = 0;
+    std::uint32_t shardCount = 0;
+    /** --results subcommand ("list", "show", "diff", "gc"). */
+    std::string resultsCmd;
+    /** Bare operands of the --results subcommand (e.g. snapshot
+     *  paths for diff, a fingerprint prefix for show). */
+    std::vector<std::string> resultsArgs;
+
     Options options;       ///< key=value passthrough.
 };
 

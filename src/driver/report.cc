@@ -1,51 +1,7 @@
 #include "driver/report.hh"
 
-#include <cmath>
-#include <cstdio>
-
 namespace stms::driver
 {
-
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (const char ch : text) {
-        switch (ch) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(ch) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-                out += buf;
-            } else {
-                out += ch;
-            }
-        }
-    }
-    return out;
-}
-
-std::string
-jsonNumber(double value)
-{
-    if (!std::isfinite(value))
-        return "null";  // JSON has no inf/nan.
-    char buf[64];
-    if (value == std::floor(value) && std::fabs(value) < 1e15) {
-        std::snprintf(buf, sizeof(buf), "%.0f", value);
-        return buf;
-    }
-    // %.17g round-trips doubles exactly, which the determinism tests
-    // rely on (threads=1 vs threads=N must match to the last bit).
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    return buf;
-}
 
 void
 Report::addMetric(const std::string &name, double value)
@@ -122,6 +78,23 @@ Report::toJson() const
     out += tables_.empty() ? "]\n" : "\n  ]\n";
     out += "}\n";
     return out;
+}
+
+results::ResultRecord
+Report::toResultRecord() const
+{
+    results::ResultRecord record;
+    record.kind = results::kKindExperiment;
+    record.experiment = experiment_;
+    record.scalars = metrics_;
+    for (const ReportTable &entry : tables_) {
+        results::Series series;
+        series.title = entry.title;
+        series.columns = entry.table.headers();
+        series.rows = entry.table.rows();
+        record.series.push_back(std::move(series));
+    }
+    return record;
 }
 
 } // namespace stms::driver

@@ -17,17 +17,18 @@
 #include <utility>
 #include <vector>
 
+#include "results/json.hh"
+#include "results/record.hh"
 #include "stats/table.hh"
 
 namespace stms::driver
 {
 
-/** Minimal JSON string escaping (control chars, quotes, backslash). */
-std::string jsonEscape(const std::string &text);
-
-/** Render a double the way the JSON report does (shortest
- *  round-trippable form; integral values print without a point). */
-std::string jsonNumber(double value);
+// The JSON writing helpers moved down into the results layer (the
+// store shares them); the driver spellings remain the canonical ones
+// for report sinks and tests.
+using results::jsonEscape;
+using results::jsonNumber;
 
 /** One titled table of an experiment's output. */
 struct ReportTable
@@ -67,6 +68,13 @@ class Report
     /** Machine rendering: {experiment, metrics{}, tables[]}. The
      *  output is byte-deterministic for identical inputs. */
     std::string toJson() const;
+
+    /**
+     * Capture this report as a store record skeleton: experiment
+     * name, metrics as scalars, tables as series. The caller fills
+     * fingerprint, params, and provenance before appending.
+     */
+    results::ResultRecord toResultRecord() const;
 
   private:
     std::string experiment_;

@@ -1,0 +1,242 @@
+#include "driver/results_cli.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "driver/cli.hh"
+#include "results/diff.hh"
+#include "results/fingerprint.hh"
+#include "stats/table.hh"
+
+namespace stms::driver
+{
+
+namespace
+{
+
+std::unique_ptr<results::ResultStore>
+openStoreOrComplain(const DriverArgs &args)
+{
+    if (args.storePath.empty()) {
+        std::fprintf(stderr,
+                     "--results %s needs --store DIR\n",
+                     args.resultsCmd.c_str());
+        return nullptr;
+    }
+    std::string error;
+    auto store = results::ResultStore::open(args.storePath, error);
+    if (!store)
+        std::fprintf(stderr, "--store: %s\n", error.c_str());
+    return store;
+}
+
+int
+listRecords(const DriverArgs &args)
+{
+    auto store = openStoreOrComplain(args);
+    if (!store)
+        return 1;
+    std::size_t dropped = 0;
+    const std::vector<results::ResultRecord> records =
+        store->loadAll(&dropped);
+    Table table({"fingerprint", "kind", "experiment", "run",
+                 "scalars", "timestamp", "git"});
+    for (const results::ResultRecord &record : records) {
+        table.addRow({record.fingerprint.hex(), record.kind,
+                      record.experiment, record.run,
+                      std::to_string(record.scalars.size()),
+                      record.timestamp, record.gitDescribe});
+    }
+    std::fputs(table.toString().c_str(), stdout);
+    std::printf("%zu records in %s", records.size(),
+                store->recordsPath().c_str());
+    if (dropped > 0)
+        std::printf(" (%zu malformed lines skipped)", dropped);
+    std::printf("\n");
+    return 0;
+}
+
+int
+showRecord(const DriverArgs &args)
+{
+    if (args.resultsArgs.empty()) {
+        std::fprintf(stderr,
+                     "--results show needs a fingerprint "
+                     "(or a unique hex prefix)\n");
+        return 1;
+    }
+    auto store = openStoreOrComplain(args);
+    if (!store)
+        return 1;
+    const std::string &prefix = args.resultsArgs.front();
+
+    std::vector<results::ResultRecord> matches;
+    for (results::ResultRecord &record : store->loadAll())
+        if (record.fingerprint.hex().rfind(prefix, 0) == 0)
+            matches.push_back(std::move(record));
+    if (matches.empty()) {
+        std::fprintf(stderr, "no record matches '%s'\n",
+                     prefix.c_str());
+        return 1;
+    }
+    // Duplicate fingerprints (--rerun history) all match the same
+    // config; show the newest. Distinct fingerprints are ambiguous.
+    for (std::size_t i = 1; i < matches.size(); ++i) {
+        if (!(matches[i].fingerprint ==
+              matches.front().fingerprint)) {
+            std::fprintf(stderr,
+                         "'%s' is ambiguous (%zu records); use more "
+                         "hex digits\n",
+                         prefix.c_str(), matches.size());
+            return 1;
+        }
+    }
+    const results::ResultRecord &record = matches.back();
+
+    std::printf("fingerprint:  %s\n", record.fingerprint.hex().c_str());
+    std::printf("kind:         %s\n", record.kind.c_str());
+    std::printf("experiment:   %s\n", record.experiment.c_str());
+    if (!record.run.empty())
+        std::printf("run:          %s\n", record.run.c_str());
+    std::printf("git:          %s\n", record.gitDescribe.c_str());
+    std::printf("timestamp:    %s\n", record.timestamp.c_str());
+
+    if (!record.params.empty()) {
+        Table params({"param", "value"});
+        for (const auto &[key, value] : record.params)
+            params.addRow({key, value});
+        std::printf("\n%s", params.toString().c_str());
+    }
+    Table scalars({"scalar", "value"});
+    for (const auto &[name, value] : record.scalars)
+        scalars.addRow({name, jsonNumber(value)});
+    std::printf("\n%s", scalars.toString().c_str());
+    for (const results::Series &series : record.series) {
+        Table rendered(series.columns);
+        for (const auto &row : series.rows)
+            rendered.addRow(row);
+        std::printf("\n%s\n%s", series.title.c_str(),
+                    rendered.toString().c_str());
+    }
+    return 0;
+}
+
+int
+diffRecords(const DriverArgs &args)
+{
+    // Operand forms: `diff BEFORE AFTER`, `diff BEFORE` (after =
+    // --store), or bare `diff` with --baseline as before and --store
+    // as after. Anything ambiguous or over-specified is an error —
+    // a regression gate must never silently compare the wrong pair.
+    std::string before_path;
+    std::string after_path;
+    if (args.resultsArgs.size() > 2) {
+        std::fprintf(stderr,
+                     "--results diff takes at most two snapshots\n");
+        return 1;
+    }
+    if (args.resultsArgs.size() == 2) {
+        if (!args.baselinePath.empty()) {
+            std::fprintf(stderr,
+                         "--results diff: both explicit snapshots "
+                         "and --baseline given; drop one\n");
+            return 1;
+        }
+        before_path = args.resultsArgs[0];
+        after_path = args.resultsArgs[1];
+    } else if (args.resultsArgs.size() == 1) {
+        if (!args.baselinePath.empty()) {
+            std::fprintf(stderr,
+                         "--results diff: both an explicit snapshot "
+                         "and --baseline given; drop one\n");
+            return 1;
+        }
+        before_path = args.resultsArgs[0];
+        after_path = args.storePath;
+    } else {
+        before_path = args.baselinePath;
+        after_path = args.storePath;
+    }
+    if (before_path.empty() || after_path.empty()) {
+        std::fprintf(stderr,
+                     "--results diff needs two snapshots: "
+                     "'--results diff BEFORE [AFTER]' (AFTER "
+                     "defaults to --store) or --baseline PATH with "
+                     "--store DIR\n");
+        return 1;
+    }
+
+    std::string error;
+    std::vector<results::ResultRecord> before;
+    if (!results::loadSnapshot(before_path, before, error)) {
+        std::fprintf(stderr, "baseline: %s\n", error.c_str());
+        return 1;
+    }
+    std::vector<results::ResultRecord> after;
+    if (!results::loadSnapshot(after_path, after, error)) {
+        std::fprintf(stderr, "store: %s\n", error.c_str());
+        return 1;
+    }
+
+    const results::DiffTolerances tolerances =
+        results::tolerancesFromOptions(args.options);
+    const results::DiffResult diff =
+        results::diffSnapshots(before, after, tolerances);
+    std::fputs(results::renderDiff(diff).c_str(), stdout);
+    return diff.clean() ? 0 : 1;
+}
+
+int
+gcRecords(const DriverArgs &args)
+{
+    auto store = openStoreOrComplain(args);
+    if (!store)
+        return 1;
+    std::string error;
+    const long dropped = store->gc(error);
+    if (dropped < 0) {
+        std::fprintf(stderr, "gc: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("gc: dropped %ld superseded/malformed lines, kept "
+                "%zu records\n",
+                dropped, store->size());
+    return 0;
+}
+
+} // namespace
+
+int
+runResultsMode(const DriverArgs &args)
+{
+    if (args.resultsCmd == "list")
+        return listRecords(args);
+    if (args.resultsCmd == "show")
+        return showRecord(args);
+    if (args.resultsCmd == "diff")
+        return diffRecords(args);
+    if (args.resultsCmd == "gc")
+        return gcRecords(args);
+    std::fprintf(stderr,
+                 "unknown --results command '%s' (expected list, "
+                 "show, diff, or gc)\n",
+                 args.resultsCmd.c_str());
+    return 1;
+}
+
+results::ResultRecord
+makeExperimentRecord(const Experiment &experiment,
+                     const Options &options, const Report &report)
+{
+    results::ResultRecord record = report.toResultRecord();
+    record.experiment = experiment.name();
+    record.params = results::normalizedParams(options.items());
+    record.fingerprint = results::fingerprintExperiment(
+        experiment.name(), experiment.schemaVersion(),
+        options.items());
+    record.gitDescribe = results::gitDescribe();
+    record.timestamp = results::utcTimestamp();
+    return record;
+}
+
+} // namespace stms::driver

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The driver's result-store maintenance mode.
+ *
+ * `driver --results {list,show,diff,gc}` operates on an existing
+ * store without running any simulation:
+ *
+ *   --results list --store DIR              table of stored records
+ *   --results show FP --store DIR           one record in full
+ *                                           (FP = hex prefix)
+ *   --results diff --store DIR --baseline P exit 1 on drift
+ *   --results diff BEFORE AFTER             diff two snapshots
+ *   --results gc --store DIR                drop superseded records
+ *
+ * Diff tolerances come from key=value options (abs_tol=, rel_tol=,
+ * tol.<metric>=<rel>), matching results::tolerancesFromOptions().
+ */
+
+#ifndef STMS_DRIVER_RESULTS_CLI_HH
+#define STMS_DRIVER_RESULTS_CLI_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hh"
+#include "driver/report.hh"
+#include "results/store.hh"
+
+namespace stms::driver
+{
+
+struct DriverArgs;
+
+/** Run one --results subcommand; returns the process exit code
+ *  (diff: 0 clean, 1 dirty or error). */
+int runResultsMode(const DriverArgs &args);
+
+/**
+ * Build the experiment-kind store record for a completed report:
+ * fingerprint over (experiment, schemaVersion, options), normalized
+ * params, provenance, scalars and series from the report.
+ */
+results::ResultRecord makeExperimentRecord(const Experiment &experiment,
+                                           const Options &options,
+                                           const Report &report);
+
+} // namespace stms::driver
+
+#endif // STMS_DRIVER_RESULTS_CLI_HH

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "results/fingerprint.hh"
+#include "results/run_codec.hh"
 
 namespace stms::driver
 {
@@ -13,15 +15,74 @@ namespace stms::driver
 ExperimentRunner::ExperimentRunner(TraceCache &traces,
                                    RunnerConfig config)
     : traces_(traces), config_(config)
-{}
+{
+    if (config_.shardCount > 0) {
+        stms_assert(config_.shardIndex >= 1 &&
+                        config_.shardIndex <= config_.shardCount,
+                    "shard index out of range");
+        stms_assert(config_.store != nullptr,
+                    "sharding requires a result store");
+    }
+}
 
 RunSet
 ExperimentRunner::execute(const Experiment &experiment,
-                          const Options &options) const
+                          const Options &options,
+                          ExecStats *stats) const
 {
     const std::vector<RunSpec> plan = experiment.plan(options);
-    std::vector<RunOutput> outputs(plan.size());
+    ExecStats local;
+    local.planned = plan.size();
 
+    // Per-spec store bookkeeping, decided up front so the worker
+    // loop stays a pure index -> output map.
+    enum class Action : std::uint8_t { Run, Resume, Shard };
+    std::vector<Action> actions(plan.size(), Action::Run);
+    std::vector<results::Fingerprint> fingerprints(plan.size());
+    std::vector<RunOutput> outputs(plan.size());
+    // Force-append when a stored record exists but could not be
+    // decoded (incompatible codec): the fresh record must supersede
+    // it despite the fingerprint already being indexed.
+    std::vector<std::uint8_t> force_store(plan.size(), 0);
+
+    const bool fingerprinted =
+        config_.store != nullptr || config_.shardCount > 0;
+    if (fingerprinted) {
+        const results::ParamList params = options.items();
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            fingerprints[i] = results::fingerprintRun(
+                experiment.name(), experiment.schemaVersion(),
+                plan[i].id, params);
+            if (config_.shardCount > 0 &&
+                fingerprints[i].value % config_.shardCount !=
+                    config_.shardIndex - 1) {
+                actions[i] = Action::Shard;
+                ++local.sharded;
+                continue;
+            }
+            if (!config_.store || config_.rerun)
+                continue;
+            // findLatest serves from the store's in-memory cache:
+            // one records.jsonl parse per store, not per experiment.
+            const auto archived =
+                config_.store->findLatest(fingerprints[i]);
+            if (!archived || archived->kind != results::kKindRun)
+                continue;
+            std::string decode_error;
+            if (results::decodeRunOutput(archived->scalars,
+                                         outputs[i], decode_error)) {
+                actions[i] = Action::Resume;
+                ++local.resumed;
+            } else {
+                // An incompatible or damaged record: re-simulate
+                // rather than trust it.
+                outputs[i] = RunOutput{};
+                force_store[i] = 1;
+            }
+        }
+    }
+
+    std::atomic<std::size_t> appended{0};
     auto executeOne = [&](std::size_t index) {
         const RunSpec &spec = plan[index];
         if (spec.ingest) {
@@ -40,6 +101,21 @@ ExperimentRunner::execute(const Experiment &experiment,
                 traces_.get(spec.workload, spec.records);
             outputs[index] = runTrace(trace, spec.config);
         }
+        if (config_.store) {
+            results::ResultRecord record;
+            record.kind = results::kKindRun;
+            record.fingerprint = fingerprints[index];
+            record.experiment = experiment.name();
+            record.run = spec.id;
+            record.params = results::normalizedParams(options.items());
+            record.gitDescribe = results::gitDescribe();
+            record.timestamp = results::utcTimestamp();
+            record.scalars = results::encodeRunOutput(outputs[index]);
+            if (config_.store->append(record,
+                                      config_.rerun ||
+                                          force_store[index] != 0))
+                appended.fetch_add(1);
+        }
         if (config_.verbose) {
             std::fprintf(stderr, "[%s] run %zu/%zu done: %s\n",
                          experiment.name().c_str(), index + 1,
@@ -47,12 +123,18 @@ ExperimentRunner::execute(const Experiment &experiment,
         }
     };
 
-    const std::size_t workers =
-        std::min<std::size_t>(config_.threads > 0 ? config_.threads : 1,
-                              plan.size());
+    std::vector<std::size_t> pending;
+    pending.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        if (actions[i] == Action::Run)
+            pending.push_back(i);
+    local.executed = pending.size();
+
+    const std::size_t workers = std::min<std::size_t>(
+        config_.threads > 0 ? config_.threads : 1, pending.size());
     if (workers <= 1) {
-        for (std::size_t i = 0; i < plan.size(); ++i)
-            executeOne(i);
+        for (const std::size_t index : pending)
+            executeOne(index);
     } else {
         std::atomic<std::size_t> next{0};
         std::vector<std::thread> pool;
@@ -60,8 +142,8 @@ ExperimentRunner::execute(const Experiment &experiment,
         for (std::size_t w = 0; w < workers; ++w) {
             pool.emplace_back([&] {
                 for (std::size_t i = next.fetch_add(1);
-                     i < plan.size(); i = next.fetch_add(1)) {
-                    executeOne(i);
+                     i < pending.size(); i = next.fetch_add(1)) {
+                    executeOne(pending[i]);
                 }
             });
         }
@@ -69,17 +151,23 @@ ExperimentRunner::execute(const Experiment &experiment,
             thread.join();
     }
 
+    local.stored = appended.load();
+
     RunSet runs;
     for (std::size_t i = 0; i < plan.size(); ++i)
-        runs.add(plan[i].id, std::move(outputs[i]));
+        if (actions[i] != Action::Shard)
+            runs.add(plan[i].id, std::move(outputs[i]));
+    if (stats)
+        *stats = local;
     return runs;
 }
 
 Report
 ExperimentRunner::run(const Experiment &experiment,
-                      const Options &options) const
+                      const Options &options, ExecStats *stats) const
 {
-    return experiment.report(options, execute(experiment, options));
+    return experiment.report(options,
+                             execute(experiment, options, stats));
 }
 
 } // namespace stms::driver

@@ -9,6 +9,14 @@
  * executes the independent runs on a pool of worker threads and
  * hands the assembled RunSet to report().
  *
+ * With a ResultStore attached the runner becomes resumable: each
+ * RunSpec is fingerprinted, already-stored points are decoded from
+ * their run records instead of re-simulated, and freshly simulated
+ * points are appended — so an interrupted sweep re-invoked with the
+ * same store executes only the missing fingerprints. Sharding
+ * (`--shard i/n`) deterministically partitions the plan by run
+ * fingerprint so N machines can split one sweep and merge stores.
+ *
  * Determinism: each run builds its own System/EventQueue from const
  * inputs and all randomness is config-seeded, so a run's output is a
  * pure function of its RunSpec. Outputs are stored by plan index and
@@ -22,6 +30,7 @@
 
 #include "driver/experiment.hh"
 #include "driver/trace_cache.hh"
+#include "results/store.hh"
 
 namespace stms::driver
 {
@@ -33,6 +42,26 @@ struct RunnerConfig
     std::uint32_t threads = 1;
     /** Print one progress line per completed run to stderr. */
     bool verbose = false;
+    /** Archive runs here (and resume from it) when non-null. The
+     *  store outlives the runner; appends are internally locked. */
+    results::ResultStore *store = nullptr;
+    /** Re-execute and re-append even when fingerprints are stored. */
+    bool rerun = false;
+    /** Shard selector: execute only plan points whose run
+     *  fingerprint maps to shard @c shardIndex of @c shardCount.
+     *  shardCount == 0 disables sharding; indices are 1-based. */
+    std::uint32_t shardIndex = 0;
+    std::uint32_t shardCount = 0;
+};
+
+/** What execute() did with a plan (store/shard accounting). */
+struct ExecStats
+{
+    std::size_t planned = 0;   ///< RunSpecs in the full plan.
+    std::size_t executed = 0;  ///< Simulated this invocation.
+    std::size_t resumed = 0;   ///< Decoded from stored run records.
+    std::size_t sharded = 0;   ///< Skipped: belong to other shards.
+    std::size_t stored = 0;    ///< Run records appended.
 };
 
 /** Executes experiment plans over a shared trace cache. */
@@ -42,13 +71,18 @@ class ExperimentRunner
     explicit ExperimentRunner(TraceCache &traces,
                               RunnerConfig config = {});
 
-    /** Execute @p experiment's full plan and return its outputs. */
+    /**
+     * Execute @p experiment's full plan and return its outputs.
+     * Under sharding the RunSet holds only this shard's runs — callers
+     * must not report() a sharded set (report() reads every id).
+     */
     RunSet execute(const Experiment &experiment,
-                   const Options &options) const;
+                   const Options &options,
+                   ExecStats *stats = nullptr) const;
 
     /** Plan, execute, and report in one call. */
-    Report run(const Experiment &experiment,
-               const Options &options) const;
+    Report run(const Experiment &experiment, const Options &options,
+               ExecStats *stats = nullptr) const;
 
     const RunnerConfig &config() const { return config_; }
 

@@ -1,0 +1,182 @@
+#include "results/diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "results/json.hh"
+#include "stats/table.hh"
+
+namespace stms::results
+{
+
+bool
+DiffTolerances::close(const std::string &metric, double a,
+                      double b) const
+{
+    if (a == b)
+        return true;  // Covers exact matches including infinities.
+    if (std::isnan(a) || std::isnan(b))
+        return std::isnan(a) && std::isnan(b);
+    double rel = relTol;
+    if (auto it = perMetricRel.find(metric); it != perMetricRel.end())
+        rel = it->second;
+    return std::fabs(a - b) <=
+           absTol + rel * std::max(std::fabs(a), std::fabs(b));
+}
+
+DiffTolerances
+tolerancesFromOptions(const Options &options)
+{
+    DiffTolerances tolerances;
+    tolerances.absTol =
+        options.getDouble("abs_tol", tolerances.absTol);
+    tolerances.relTol =
+        options.getDouble("rel_tol", tolerances.relTol);
+    for (const auto &[key, value] : options.items()) {
+        if (key.rfind("tol.", 0) != 0)
+            continue;
+        tolerances.perMetricRel[key.substr(4)] =
+            std::strtod(value.c_str(), nullptr);
+    }
+    return tolerances;
+}
+
+namespace
+{
+
+/** Latest experiment-kind record per fingerprint, keeping an
+ *  insertion order for deterministic output. */
+std::vector<const ResultRecord *>
+latestExperiments(const std::vector<ResultRecord> &records)
+{
+    std::unordered_map<std::uint64_t, std::size_t> position;
+    std::vector<const ResultRecord *> out;
+    for (const ResultRecord &record : records) {
+        if (record.kind != kKindExperiment)
+            continue;
+        auto it = position.find(record.fingerprint.value);
+        if (it == position.end()) {
+            position.emplace(record.fingerprint.value, out.size());
+            out.push_back(&record);
+        } else {
+            out[it->second] = &record;  // Later occurrence wins.
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+DiffResult
+diffSnapshots(const std::vector<ResultRecord> &before,
+              const std::vector<ResultRecord> &after,
+              const DiffTolerances &tolerances)
+{
+    DiffResult result;
+    const auto before_latest = latestExperiments(before);
+    const auto after_latest = latestExperiments(after);
+
+    std::unordered_map<std::uint64_t, const ResultRecord *> after_map;
+    for (const ResultRecord *record : after_latest)
+        after_map.emplace(record->fingerprint.value, record);
+
+    std::unordered_map<std::uint64_t, const ResultRecord *> before_map;
+    for (const ResultRecord *record : before_latest)
+        before_map.emplace(record->fingerprint.value, record);
+
+    for (const ResultRecord *record : after_latest)
+        if (!before_map.count(record->fingerprint.value))
+            result.added.push_back(*record);
+
+    for (const ResultRecord *old : before_latest) {
+        auto it = after_map.find(old->fingerprint.value);
+        if (it == after_map.end()) {
+            result.removed.push_back(*old);
+            continue;
+        }
+        ++result.matched;
+        const ResultRecord &now = *it->second;
+
+        RecordDiff drift;
+        drift.fingerprint = old->fingerprint;
+        drift.experiment = old->experiment;
+        for (const auto &[metric, value] : old->scalars) {
+            if (!now.hasScalar(metric)) {
+                drift.metrics.push_back(
+                    MetricChange{metric, value, 0.0, "only-before"});
+                continue;
+            }
+            ++result.scalarsCompared;
+            const double updated = now.scalar(metric);
+            if (!tolerances.close(metric, value, updated))
+                drift.metrics.push_back(
+                    MetricChange{metric, value, updated, "changed"});
+        }
+        for (const auto &[metric, value] : now.scalars)
+            if (!old->hasScalar(metric))
+                drift.metrics.push_back(
+                    MetricChange{metric, 0.0, value, "only-after"});
+        if (!drift.metrics.empty())
+            result.changed.push_back(std::move(drift));
+    }
+    return result;
+}
+
+std::string
+renderDiff(const DiffResult &diff)
+{
+    std::string out;
+    if (!diff.added.empty()) {
+        Table table({"fingerprint", "experiment", "scalars"});
+        for (const ResultRecord &record : diff.added)
+            table.addRow({record.fingerprint.hex(), record.experiment,
+                          std::to_string(record.scalars.size())});
+        out += "added (new configurations; not a failure):\n" +
+               table.toString() + "\n";
+    }
+    if (!diff.removed.empty()) {
+        Table table({"fingerprint", "experiment", "scalars"});
+        for (const ResultRecord &record : diff.removed)
+            table.addRow({record.fingerprint.hex(), record.experiment,
+                          std::to_string(record.scalars.size())});
+        out += "removed (present in baseline, missing now):\n" +
+               table.toString() + "\n";
+    }
+    if (!diff.changed.empty()) {
+        Table table({"fingerprint", "experiment", "metric", "before",
+                     "after", "rel-delta"});
+        for (const RecordDiff &drift : diff.changed) {
+            for (const MetricChange &change : drift.metrics) {
+                const double mag = std::max(std::fabs(change.before),
+                                            std::fabs(change.after));
+                const double rel =
+                    mag == 0.0
+                        ? 0.0
+                        : std::fabs(change.after - change.before) /
+                              mag;
+                table.addRow(
+                    {drift.fingerprint.hex(), drift.experiment,
+                     change.metric + (change.what == "changed"
+                                          ? ""
+                                          : " [" + change.what + "]"),
+                     jsonNumber(change.before),
+                     jsonNumber(change.after), jsonNumber(rel)});
+            }
+        }
+        out += "changed (out of tolerance):\n" + table.toString() +
+               "\n";
+    }
+
+    out += "diff: " + std::to_string(diff.matched) + " matched, " +
+           std::to_string(diff.scalarsCompared) +
+           " scalars compared, " +
+           std::to_string(diff.added.size()) + " added, " +
+           std::to_string(diff.removed.size()) + " removed, " +
+           std::to_string(diff.changed.size()) + " changed -> " +
+           (diff.clean() ? "CLEAN" : "DIRTY") + "\n";
+    return out;
+}
+
+} // namespace stms::results

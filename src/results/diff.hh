@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Snapshot diffing — the regression gate over stored results.
+ *
+ * A diff compares two snapshots (store directories or committed
+ * baseline .jsonl files) at experiment-record granularity, keyed by
+ * fingerprint: records only in the "after" side are *added*, records
+ * only in the "before" side are *removed*, and records present in
+ * both are compared scalar-by-scalar under per-metric absolute +
+ * relative tolerances. A metric pair (a, b) matches when
+ *
+ *     |a - b| <= absTol + relTol * max(|a|, |b|)
+ *
+ * (the numpy isclose shape). The diff is *dirty* — CI fails — when
+ * anything was removed or changed; additions alone are clean, since
+ * a growing store legitimately accumulates new configurations.
+ */
+
+#ifndef STMS_RESULTS_DIFF_HH
+#define STMS_RESULTS_DIFF_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "results/record.hh"
+
+namespace stms::results
+{
+
+/** Tolerances for scalar comparison. */
+struct DiffTolerances
+{
+    double absTol = 1e-12;
+    double relTol = 1e-9;
+    /** Per-metric relative-tolerance overrides (exact metric name). */
+    std::map<std::string, double> perMetricRel;
+
+    /** True when @p a and @p b are equal under the tolerances. */
+    bool close(const std::string &metric, double a, double b) const;
+};
+
+/** Build tolerances from key=value options: abs_tol=, rel_tol=, and
+ *  per-metric "tol.<metric>=<rel>" overrides. */
+DiffTolerances tolerancesFromOptions(const Options &options);
+
+/** One out-of-tolerance (or one-sided) metric. */
+struct MetricChange
+{
+    std::string metric;
+    double before = 0.0;
+    double after = 0.0;
+    /** "changed", "only-before", or "only-after". */
+    std::string what = "changed";
+};
+
+/** All drift within one fingerprint-matched record pair. */
+struct RecordDiff
+{
+    Fingerprint fingerprint;
+    std::string experiment;
+    std::vector<MetricChange> metrics;
+};
+
+/** The full comparison of two snapshots. */
+struct DiffResult
+{
+    std::vector<ResultRecord> added;    ///< Only in "after".
+    std::vector<ResultRecord> removed;  ///< Only in "before".
+    std::vector<RecordDiff> changed;    ///< Matched but drifted.
+    std::size_t matched = 0;            ///< Fingerprints in both.
+    std::size_t scalarsCompared = 0;
+
+    /** Clean = nothing removed, nothing changed (added is fine). */
+    bool clean() const { return removed.empty() && changed.empty(); }
+};
+
+/**
+ * Diff experiment-kind records of @p before vs @p after (run-kind
+ * records are ignored; they archive resume state, not figures).
+ * When a fingerprint appears multiple times in a snapshot the
+ * latest occurrence wins, matching ResultStore::loadLatest().
+ */
+DiffResult diffSnapshots(const std::vector<ResultRecord> &before,
+                         const std::vector<ResultRecord> &after,
+                         const DiffTolerances &tolerances);
+
+/** Human rendering of a diff (aligned tables + summary line). */
+std::string renderDiff(const DiffResult &diff);
+
+} // namespace stms::results
+
+#endif // STMS_RESULTS_DIFF_HH

@@ -1,0 +1,155 @@
+#include "results/fingerprint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.hh"
+#include "results/json.hh"
+
+namespace stms::results
+{
+
+std::string
+Fingerprint::hex() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+bool
+Fingerprint::parseHex(const std::string &text, Fingerprint &out)
+{
+    if (text.size() != 16)
+        return false;
+    std::uint64_t value = 0;
+    for (const char ch : text) {
+        value <<= 4;
+        if (ch >= '0' && ch <= '9')
+            value |= static_cast<std::uint64_t>(ch - '0');
+        else if (ch >= 'a' && ch <= 'f')
+            value |= static_cast<std::uint64_t>(ch - 'a' + 10);
+        else
+            return false;
+    }
+    out.value = value;
+    return true;
+}
+
+std::string
+normalizeParamValue(const std::string &value)
+{
+    std::size_t begin = 0;
+    std::size_t end = value.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(value[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(value[end - 1])))
+        --end;
+    const std::string trimmed = value.substr(begin, end - begin);
+    if (trimmed.empty())
+        return trimmed;
+
+    // Fully-numeric values get one canonical spelling. strtod must
+    // consume every byte — "8K" and "0x10" stay verbatim so size
+    // suffixes and workload names are never mangled.
+    char *parse_end = nullptr;
+    const double parsed = std::strtod(trimmed.c_str(), &parse_end);
+    const bool all_consumed =
+        parse_end == trimmed.c_str() + trimmed.size();
+    const bool plain_decimal =
+        trimmed.find_first_of("xXpP") == std::string::npos;
+    if (all_consumed && plain_decimal && std::isfinite(parsed))
+        return jsonNumber(parsed);
+    return trimmed;
+}
+
+ParamList
+normalizedParams(const ParamList &params)
+{
+    ParamList sorted = params;
+    std::sort(sorted.begin(), sorted.end());
+    for (auto &[key, value] : sorted)
+        value = normalizeParamValue(value);
+    return sorted;
+}
+
+namespace
+{
+
+void
+appendParams(std::string &out, const ParamList &params)
+{
+    for (const auto &[key, value] : normalizedParams(params)) {
+        out += "param.";
+        out += key;
+        out += '=';
+        out += value;
+        out += '\n';
+    }
+}
+
+std::string
+canonicalHeader(const char *kind, const std::string &experiment,
+                int metric_schema)
+{
+    std::string out = "stms.results.v";
+    out += std::to_string(kFingerprintSchema);
+    out += "\nkind=";
+    out += kind;
+    out += "\nexperiment=";
+    out += experiment;
+    out += "\nschema=";
+    out += std::to_string(metric_schema);
+    out += '\n';
+    return out;
+}
+
+} // namespace
+
+std::string
+canonicalExperimentText(const std::string &experiment,
+                        int metric_schema, const ParamList &params)
+{
+    std::string out =
+        canonicalHeader("experiment", experiment, metric_schema);
+    appendParams(out, params);
+    return out;
+}
+
+std::string
+canonicalRunText(const std::string &experiment, int metric_schema,
+                 const std::string &run_id, const ParamList &params)
+{
+    std::string out = canonicalHeader("run", experiment, metric_schema);
+    out += "run=";
+    out += run_id;
+    out += '\n';
+    appendParams(out, params);
+    return out;
+}
+
+Fingerprint
+fingerprintExperiment(const std::string &experiment, int metric_schema,
+                      const ParamList &params)
+{
+    const std::string text =
+        canonicalExperimentText(experiment, metric_schema, params);
+    return Fingerprint{fnv1a64(text.data(), text.size())};
+}
+
+Fingerprint
+fingerprintRun(const std::string &experiment, int metric_schema,
+               const std::string &run_id, const ParamList &params)
+{
+    const std::string text =
+        canonicalRunText(experiment, metric_schema, run_id, params);
+    return Fingerprint{fnv1a64(text.data(), text.size())};
+}
+
+} // namespace stms::results

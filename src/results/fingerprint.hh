@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Canonical configuration fingerprints for the result store.
+ *
+ * A fingerprint is a stable 64-bit FNV-1a hash over a canonical text
+ * serialization of everything that determines an experiment's output:
+ * a schema tag, the experiment name and metric-schema version, the
+ * run id (for per-run records), and the full key-sorted, normalized
+ * parameter set. Two invocations that mean the same experiment point
+ * hash equal — key order and numeric spelling ("0.125" vs "0.1250")
+ * do not matter — and any single parameter change hashes different.
+ *
+ * The canonical text (not just the hash) is part of the spec: it is
+ * documented in docs/RESULTS.md and pinned by golden tests, because a
+ * silent change here orphans every record ever stored. Bump
+ * kFingerprintSchema instead of changing the serialization in place.
+ */
+
+#ifndef STMS_RESULTS_FINGERPRINT_HH
+#define STMS_RESULTS_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stms::results
+{
+
+/** Bump when the canonical serialization below changes shape. */
+inline constexpr int kFingerprintSchema = 1;
+
+/** Key/value parameter list, as Options::items() produces. */
+using ParamList = std::vector<std::pair<std::string, std::string>>;
+
+/** A stable 64-bit configuration hash. */
+struct Fingerprint
+{
+    std::uint64_t value = 0;
+
+    /** 16 lowercase hex digits, the store's on-disk spelling. */
+    std::string hex() const;
+
+    /** Parse a full 16-digit hex fingerprint. */
+    static bool parseHex(const std::string &text, Fingerprint &out);
+
+    bool operator==(const Fingerprint &other) const = default;
+};
+
+/**
+ * Normalize one parameter value: ASCII whitespace is trimmed, and a
+ * value that parses completely as a finite number is re-rendered in
+ * its shortest round-trippable form (so "0.1250", " .125" and
+ * "1.25e-1" all normalize to "0.125"). Anything else is kept verbatim
+ * after trimming.
+ */
+std::string normalizeParamValue(const std::string &value);
+
+/** Key-sorted copy of @p params with every value normalized — the
+ *  form records persist so stored params match the fingerprint. */
+ParamList normalizedParams(const ParamList &params);
+
+/**
+ * The canonical serialization of an experiment-level configuration.
+ * @p metric_schema is the experiment's schemaVersion() — bumping it
+ * deliberately orphans old records when metric semantics change.
+ */
+std::string canonicalExperimentText(const std::string &experiment,
+                                    int metric_schema,
+                                    const ParamList &params);
+
+/** The canonical serialization of one run (plan point) within an
+ *  experiment; includes everything the experiment text does. */
+std::string canonicalRunText(const std::string &experiment,
+                             int metric_schema,
+                             const std::string &run_id,
+                             const ParamList &params);
+
+/** FNV-1a of canonicalExperimentText(). */
+Fingerprint fingerprintExperiment(const std::string &experiment,
+                                  int metric_schema,
+                                  const ParamList &params);
+
+/** FNV-1a of canonicalRunText(). */
+Fingerprint fingerprintRun(const std::string &experiment,
+                           int metric_schema,
+                           const std::string &run_id,
+                           const ParamList &params);
+
+} // namespace stms::results
+
+#endif // STMS_RESULTS_FINGERPRINT_HH

@@ -1,0 +1,176 @@
+#include "results/record.hh"
+
+#include "results/json.hh"
+
+namespace stms::results
+{
+
+double
+ResultRecord::scalar(const std::string &name, double fallback) const
+{
+    for (const auto &[key, value] : scalars)
+        if (key == name)
+            return value;
+    return fallback;
+}
+
+bool
+ResultRecord::hasScalar(const std::string &name) const
+{
+    for (const auto &[key, value] : scalars)
+        if (key == name)
+            return true;
+    return false;
+}
+
+std::string
+ResultRecord::toJsonLine() const
+{
+    std::string out = "{\"schema\": ";
+    out += std::to_string(schema);
+    out += ", \"kind\": \"" + jsonEscape(kind) + "\"";
+    out += ", \"fingerprint\": \"" + fingerprint.hex() + "\"";
+    out += ", \"experiment\": \"" + jsonEscape(experiment) + "\"";
+    if (!run.empty())
+        out += ", \"run\": \"" + jsonEscape(run) + "\"";
+
+    out += ", \"params\": {";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"" + jsonEscape(params[i].first) + "\": \"" +
+               jsonEscape(params[i].second) + "\"";
+    }
+    out += "}";
+
+    out += ", \"git_describe\": \"" + jsonEscape(gitDescribe) + "\"";
+    out += ", \"timestamp\": \"" + jsonEscape(timestamp) + "\"";
+
+    out += ", \"scalars\": {";
+    for (std::size_t i = 0; i < scalars.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"" + jsonEscape(scalars[i].first) +
+               "\": " + jsonNumber(scalars[i].second);
+    }
+    out += "}";
+
+    out += ", \"series\": [";
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        const Series &entry = series[s];
+        if (s)
+            out += ", ";
+        out += "{\"title\": \"" + jsonEscape(entry.title) +
+               "\", \"columns\": [";
+        for (std::size_t c = 0; c < entry.columns.size(); ++c) {
+            if (c)
+                out += ", ";
+            out += "\"" + jsonEscape(entry.columns[c]) + "\"";
+        }
+        out += "], \"rows\": [";
+        for (std::size_t r = 0; r < entry.rows.size(); ++r) {
+            if (r)
+                out += ", ";
+            out += "[";
+            for (std::size_t c = 0; c < entry.rows[r].size(); ++c) {
+                if (c)
+                    out += ", ";
+                out += "\"" + jsonEscape(entry.rows[r][c]) + "\"";
+            }
+            out += "]";
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+ResultRecord::parseJsonLine(const std::string &line, ResultRecord &out,
+                            std::string &error)
+{
+    out = ResultRecord{};
+    JsonValue root;
+    if (!parseJson(line, root, error))
+        return false;
+    if (!root.isObject()) {
+        error = "record is not a JSON object";
+        return false;
+    }
+
+    out.schema = static_cast<int>(root.getNumber("schema", 0));
+    if (out.schema < 1 || out.schema > kRecordSchema) {
+        error = "unsupported record schema " +
+                std::to_string(out.schema);
+        return false;
+    }
+    out.kind = root.getString("kind");
+    if (out.kind != kKindExperiment && out.kind != kKindRun) {
+        error = "unknown record kind '" + out.kind + "'";
+        return false;
+    }
+    if (!Fingerprint::parseHex(root.getString("fingerprint"),
+                               out.fingerprint)) {
+        error = "bad fingerprint";
+        return false;
+    }
+    out.experiment = root.getString("experiment");
+    if (out.experiment.empty()) {
+        error = "record names no experiment";
+        return false;
+    }
+    out.run = root.getString("run");
+    out.gitDescribe = root.getString("git_describe");
+    out.timestamp = root.getString("timestamp");
+
+    if (const JsonValue *params = root.find("params");
+        params && params->isObject()) {
+        for (const auto &[key, value] : params->object)
+            if (value.isString())
+                out.params.emplace_back(key, value.text);
+    }
+
+    const JsonValue *scalars = root.find("scalars");
+    if (!scalars || !scalars->isObject()) {
+        error = "record has no scalars object";
+        return false;
+    }
+    for (const auto &[key, value] : scalars->object) {
+        if (!value.isNumber()) {
+            error = "non-numeric scalar '" + key + "'";
+            return false;
+        }
+        out.scalars.emplace_back(key, value.number);
+    }
+
+    if (const JsonValue *series = root.find("series");
+        series && series->isArray()) {
+        for (const JsonValue &entry : series->array) {
+            if (!entry.isObject())
+                continue;
+            Series parsed;
+            parsed.title = entry.getString("title");
+            if (const JsonValue *columns = entry.find("columns");
+                columns && columns->isArray())
+                for (const JsonValue &cell : columns->array)
+                    if (cell.isString())
+                        parsed.columns.push_back(cell.text);
+            if (const JsonValue *rows = entry.find("rows");
+                rows && rows->isArray()) {
+                for (const JsonValue &row : rows->array) {
+                    if (!row.isArray())
+                        continue;
+                    std::vector<std::string> cells;
+                    for (const JsonValue &cell : row.array)
+                        if (cell.isString())
+                            cells.push_back(cell.text);
+                    parsed.rows.push_back(std::move(cells));
+                }
+            }
+            out.series.push_back(std::move(parsed));
+        }
+    }
+    return true;
+}
+
+} // namespace stms::results

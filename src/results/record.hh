@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The result store's unit of persistence.
+ *
+ * One ResultRecord is one JSON Lines entry in a store's records file:
+ * either a completed *experiment* (kind "experiment" — the report's
+ * scalar metrics plus its rendered tables as series) or one completed
+ * *run* (kind "run" — a plan point's RunOutput flattened to scalars,
+ * what sweep resume replays instead of re-simulating). Records are
+ * self-describing: schema version, fingerprint, the full normalized
+ * parameter set, and provenance (git describe + UTC timestamp).
+ *
+ * The JSON shape is documented in docs/RESULTS.md; parsing tolerates
+ * unknown members so older readers survive additive changes.
+ */
+
+#ifndef STMS_RESULTS_RECORD_HH
+#define STMS_RESULTS_RECORD_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "results/fingerprint.hh"
+
+namespace stms::results
+{
+
+/** On-disk record schema; bump on incompatible shape changes. */
+inline constexpr int kRecordSchema = 1;
+
+/** Record kinds (the JSON "kind" member). */
+inline constexpr const char *kKindExperiment = "experiment";
+inline constexpr const char *kKindRun = "run";
+
+/** One titled table captured from a report (cells pre-rendered). */
+struct Series
+{
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+
+    bool operator==(const Series &other) const = default;
+};
+
+/** One stored result (experiment- or run-granularity). */
+struct ResultRecord
+{
+    int schema = kRecordSchema;
+    std::string kind = kKindExperiment;
+    Fingerprint fingerprint;
+    std::string experiment;
+    /** RunSpec id; empty for experiment-kind records. */
+    std::string run;
+    /** Key-sorted, normalized parameter set the fingerprint covers. */
+    ParamList params;
+    std::string gitDescribe;
+    std::string timestamp;  ///< UTC, e.g. "2026-07-28T12:00:00Z".
+    /** Named scalar metrics, insertion-ordered. */
+    std::vector<std::pair<std::string, double>> scalars;
+    /** Rendered tables (experiment-kind records only). */
+    std::vector<Series> series;
+
+    /** Scalar by name, or @p fallback. */
+    double scalar(const std::string &name, double fallback = 0.0) const;
+
+    /** True when a scalar named @p name exists. */
+    bool hasScalar(const std::string &name) const;
+
+    /** One-line JSON rendering (no trailing newline). */
+    std::string toJsonLine() const;
+
+    /** Parse a record line; false + @p error on malformed input. */
+    static bool parseJsonLine(const std::string &line,
+                              ResultRecord &out, std::string &error);
+};
+
+} // namespace stms::results
+
+#endif // STMS_RESULTS_RECORD_HH

@@ -72,6 +72,18 @@ Log2Histogram::sample(std::uint64_t value, std::uint64_t weight)
 }
 
 void
+Log2Histogram::restore(const std::vector<std::uint64_t> &buckets,
+                       std::uint64_t count, double weighted_sum)
+{
+    stms_assert(buckets.size() <= buckets_.size(),
+                "Log2Histogram restore exceeds bucket count");
+    reset();
+    std::copy(buckets.begin(), buckets.end(), buckets_.begin());
+    count_ = count;
+    sum_ = weighted_sum;
+}
+
+void
 Log2Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);

@@ -56,6 +56,15 @@ class Log2Histogram
     void sample(std::uint64_t value, std::uint64_t weight = 1);
     void reset();
 
+    /**
+     * Rebuild a histogram from serialized state (the result store
+     * persists bucket counts + count + weighted sum so a resumed run
+     * reproduces Fig. 6 CDFs bit-identically). @p buckets shorter
+     * than numBuckets() leaves the tail zero; longer is fatal.
+     */
+    void restore(const std::vector<std::uint64_t> &buckets,
+                 std::uint64_t count, double weighted_sum);
+
     std::uint64_t count() const { return count_; }
     double weightedSum() const { return sum_; }
     double mean() const;

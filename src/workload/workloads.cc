@@ -21,10 +21,22 @@ standardSuite()
     return suite;
 }
 
+const std::vector<WorkloadInfo> &
+extendedSuite()
+{
+    static const std::vector<WorkloadInfo> suite = {
+        {"kv-store", "KV", "kv-store", 0.45, 0.10, 1.1},
+    };
+    return suite;
+}
+
 bool
 isKnownWorkload(const std::string &name)
 {
     for (const auto &info : standardSuite())
+        if (info.name == name)
+            return true;
+    for (const auto &info : extendedSuite())
         if (info.name == name)
             return true;
     return false;
@@ -167,6 +179,29 @@ makeWorkload(const std::string &name, std::uint64_t records_per_core)
         spec.thinkMin = 60;
         spec.thinkMax = 190;
         spec.writeFraction = 0.06;
+    } else if (name == "kv-store") {
+        // In-memory key-value store (memcached-style GETs): each
+        // request hashes into a bucket then chases a short chain of
+        // item headers plus the value blocks, so temporal streams
+        // are short and almost fully serial (pointer-chase MLP ~1.1)
+        // while hot keys recur heavily under a Zipf-like skew. No
+        // sequential scan component — stride prefetchers get
+        // nothing, which is what makes the pattern interesting for
+        // STMS-style temporal streaming.
+        spec.lengthLogMean = 1.6;   // Median ~5 blocks per request.
+        spec.lengthLogSigma = 1.0;
+        spec.maxStreamLen = 64;
+        spec.meanVisits = 12.0;     // Hot keys dominate requests.
+        spec.minReuseRecords = 32 * 1024;
+        spec.maxReuseRecords = 768 * 1024;
+        spec.noiseFraction = 0.20;  // Cold-key misses.
+        spec.hotFraction = 0.30;    // Front-cache / connection state.
+        spec.scanFraction = 0.0;
+        spec.dependentProb = 0.95;  // Chain walks serialize.
+        spec.thinkMin = 40;
+        spec.thinkMax = 160;
+        spec.missBurstMax = 0;
+        spec.writeFraction = 0.10;  // SET traffic.
     } else {
         stms_fatal("unknown workload '%s'", name.c_str());
     }

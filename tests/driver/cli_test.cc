@@ -113,5 +113,62 @@ TEST(DriverCli, ModeFlags)
     EXPECT_TRUE(parse({"--csv", "--verbose"}).verbose);
 }
 
+TEST(DriverCli, StoreFlagsParse)
+{
+    const DriverArgs args = parse({"--experiment", "fig7", "--store",
+                                   "results", "--rerun"});
+    EXPECT_EQ(args.storePath, "results");
+    EXPECT_TRUE(args.rerun);
+    EXPECT_FALSE(args.options.has("store"));
+
+    const DriverArgs eq = parse(
+        {"--experiment=fig7", "--store=results", "--baseline=b.jsonl"});
+    EXPECT_EQ(eq.storePath, "results");
+    EXPECT_EQ(eq.baselinePath, "b.jsonl");
+    // --rerun is boolean; the =value spelling must not leak into the
+    // experiment options.
+    parse({"--rerun=1"}, /*expect_ok=*/false);
+}
+
+TEST(DriverCli, ShardParses)
+{
+    const DriverArgs args = parse(
+        {"--experiment", "fig7", "--store", "s", "--shard", "2/4"});
+    EXPECT_EQ(args.shardIndex, 2u);
+    EXPECT_EQ(args.shardCount, 4u);
+    EXPECT_EQ(parse({"-e", "fig7", "--store=s", "--shard=1/1"})
+                  .shardCount,
+              1u);
+
+    parse({"-e", "fig7", "--store", "s", "--shard", "0/4"},
+          /*expect_ok=*/false);
+    parse({"-e", "fig7", "--store", "s", "--shard", "5/4"},
+          /*expect_ok=*/false);
+    parse({"-e", "fig7", "--store", "s", "--shard", "nope"},
+          /*expect_ok=*/false);
+    // Sharded runs exist only as store records: --store is required.
+    parse({"-e", "fig7", "--shard", "1/4"}, /*expect_ok=*/false);
+}
+
+TEST(DriverCli, ResultsModeCollectsOperands)
+{
+    const DriverArgs diff = parse({"--results", "diff", "before.jsonl",
+                                   "after_store", "rel_tol=0.05"});
+    EXPECT_EQ(diff.resultsCmd, "diff");
+    ASSERT_EQ(diff.resultsArgs.size(), 2u);
+    EXPECT_EQ(diff.resultsArgs[0], "before.jsonl");
+    EXPECT_EQ(diff.resultsArgs[1], "after_store");
+    EXPECT_EQ(diff.options.getDouble("rel_tol", 0.0), 0.05);
+
+    const DriverArgs show =
+        parse({"--results=show", "8dd8", "--store", "results"});
+    EXPECT_EQ(show.resultsCmd, "show");
+    ASSERT_EQ(show.resultsArgs.size(), 1u);
+    EXPECT_EQ(show.resultsArgs[0], "8dd8");
+
+    // Bare operands stay rejected outside results mode.
+    parse({"--experiment", "fig7", "bogus"}, /*expect_ok=*/false);
+}
+
 } // namespace
 } // namespace stms::driver

@@ -1,0 +1,178 @@
+/** @file Diff-engine tests: tolerance semantics, added/removed/
+ *  changed classification, metric-set drift, and duplicate
+ *  (rerun-history) handling. */
+
+#include <gtest/gtest.h>
+
+#include "results/diff.hh"
+
+namespace stms::results
+{
+namespace
+{
+
+ResultRecord
+experimentRecord(std::uint64_t fingerprint, const std::string &name,
+                 std::vector<std::pair<std::string, double>> scalars)
+{
+    ResultRecord record;
+    record.kind = kKindExperiment;
+    record.fingerprint = Fingerprint{fingerprint};
+    record.experiment = name;
+    record.scalars = std::move(scalars);
+    return record;
+}
+
+TEST(DiffTolerances, CloseSemantics)
+{
+    DiffTolerances tol;
+    tol.absTol = 1e-6;
+    tol.relTol = 0.0;
+    EXPECT_TRUE(tol.close("m", 1.0, 1.0));
+    EXPECT_TRUE(tol.close("m", 1.0, 1.0 + 5e-7));
+    EXPECT_FALSE(tol.close("m", 1.0, 1.0 + 5e-6));
+
+    tol.absTol = 0.0;
+    tol.relTol = 0.01;
+    EXPECT_TRUE(tol.close("m", 100.0, 100.9));
+    EXPECT_FALSE(tol.close("m", 100.0, 102.0));
+    // Exact zero-vs-zero always matches even with zero tolerances.
+    tol.relTol = 0.0;
+    EXPECT_TRUE(tol.close("m", 0.0, 0.0));
+    EXPECT_FALSE(tol.close("m", 0.0, 1e-30));
+}
+
+TEST(DiffTolerances, PerMetricOverride)
+{
+    DiffTolerances tol;
+    tol.absTol = 0.0;
+    tol.relTol = 0.0;
+    tol.perMetricRel["noisy.metric"] = 0.5;
+    EXPECT_TRUE(tol.close("noisy.metric", 1.0, 1.4));
+    EXPECT_FALSE(tol.close("other.metric", 1.0, 1.4));
+}
+
+TEST(DiffTolerances, FromOptions)
+{
+    Options options;
+    options.set("abs_tol", "1e-3");
+    options.set("rel_tol", "0.02");
+    options.set("tol.web-apache.mlp", "0.5");
+    const DiffTolerances tol = tolerancesFromOptions(options);
+    EXPECT_EQ(tol.absTol, 1e-3);
+    EXPECT_EQ(tol.relTol, 0.02);
+    ASSERT_EQ(tol.perMetricRel.count("web-apache.mlp"), 1u);
+    EXPECT_EQ(tol.perMetricRel.at("web-apache.mlp"), 0.5);
+}
+
+TEST(Diff, IdenticalSnapshotsAreClean)
+{
+    const std::vector<ResultRecord> snapshot = {
+        experimentRecord(1, "fig7", {{"a", 1.0}, {"b", 2.0}}),
+        experimentRecord(2, "fig8", {{"c", 3.0}}),
+    };
+    const DiffResult diff =
+        diffSnapshots(snapshot, snapshot, DiffTolerances{});
+    EXPECT_TRUE(diff.clean());
+    EXPECT_EQ(diff.matched, 2u);
+    EXPECT_EQ(diff.scalarsCompared, 3u);
+    EXPECT_NE(renderDiff(diff).find("CLEAN"), std::string::npos);
+}
+
+TEST(Diff, DetectsInjectedScalarChange)
+{
+    const std::vector<ResultRecord> before = {
+        experimentRecord(1, "fig7", {{"a", 1.0}, {"b", 2.0}})};
+    const std::vector<ResultRecord> after = {
+        experimentRecord(1, "fig7", {{"a", 1.0}, {"b", 2.5}})};
+    const DiffResult diff =
+        diffSnapshots(before, after, DiffTolerances{});
+    EXPECT_FALSE(diff.clean());
+    ASSERT_EQ(diff.changed.size(), 1u);
+    ASSERT_EQ(diff.changed[0].metrics.size(), 1u);
+    EXPECT_EQ(diff.changed[0].metrics[0].metric, "b");
+    EXPECT_EQ(diff.changed[0].metrics[0].before, 2.0);
+    EXPECT_EQ(diff.changed[0].metrics[0].after, 2.5);
+    EXPECT_NE(renderDiff(diff).find("DIRTY"), std::string::npos);
+}
+
+TEST(Diff, ToleranceAbsorbsSmallDrift)
+{
+    const std::vector<ResultRecord> before = {
+        experimentRecord(1, "fig7", {{"a", 100.0}})};
+    const std::vector<ResultRecord> after = {
+        experimentRecord(1, "fig7", {{"a", 100.5}})};
+    DiffTolerances tight;
+    EXPECT_FALSE(diffSnapshots(before, after, tight).clean());
+    DiffTolerances loose;
+    loose.relTol = 0.01;
+    EXPECT_TRUE(diffSnapshots(before, after, loose).clean());
+}
+
+TEST(Diff, AddedIsCleanRemovedIsNot)
+{
+    const std::vector<ResultRecord> base = {
+        experimentRecord(1, "fig7", {{"a", 1.0}})};
+    const std::vector<ResultRecord> grown = {
+        experimentRecord(1, "fig7", {{"a", 1.0}}),
+        experimentRecord(2, "fig8", {{"c", 3.0}})};
+
+    // A store that grew new configurations still matches baseline.
+    const DiffResult added =
+        diffSnapshots(base, grown, DiffTolerances{});
+    EXPECT_TRUE(added.clean());
+    ASSERT_EQ(added.added.size(), 1u);
+    EXPECT_EQ(added.added[0].experiment, "fig8");
+
+    // A baseline configuration missing from the store is a failure.
+    const DiffResult removed =
+        diffSnapshots(grown, base, DiffTolerances{});
+    EXPECT_FALSE(removed.clean());
+    ASSERT_EQ(removed.removed.size(), 1u);
+    EXPECT_EQ(removed.removed[0].experiment, "fig8");
+}
+
+TEST(Diff, MetricSetDriftIsChanged)
+{
+    // A renamed metric shows as only-before + only-after: the
+    // schema changed without a schemaVersion() bump.
+    const std::vector<ResultRecord> before = {
+        experimentRecord(1, "fig7", {{"old_name", 1.0}})};
+    const std::vector<ResultRecord> after = {
+        experimentRecord(1, "fig7", {{"new_name", 1.0}})};
+    const DiffResult diff =
+        diffSnapshots(before, after, DiffTolerances{});
+    EXPECT_FALSE(diff.clean());
+    ASSERT_EQ(diff.changed.size(), 1u);
+    EXPECT_EQ(diff.changed[0].metrics.size(), 2u);
+}
+
+TEST(Diff, RunRecordsAreIgnored)
+{
+    ResultRecord run;
+    run.kind = kKindRun;
+    run.fingerprint = Fingerprint{7};
+    run.experiment = "fig7";
+    run.run = "web-apache";
+    run.scalars = {{"sim.ipc", 1.0}};
+    const DiffResult diff = diffSnapshots({run}, {}, DiffTolerances{});
+    EXPECT_TRUE(diff.clean());
+    EXPECT_EQ(diff.matched, 0u);
+}
+
+TEST(Diff, LatestDuplicateWins)
+{
+    // --rerun appends history; the diff compares newest vs newest.
+    std::vector<ResultRecord> before = {
+        experimentRecord(1, "fig7", {{"a", 1.0}}),
+        experimentRecord(1, "fig7", {{"a", 2.0}})};
+    std::vector<ResultRecord> after = {
+        experimentRecord(1, "fig7", {{"a", 2.0}})};
+    EXPECT_TRUE(diffSnapshots(before, after, DiffTolerances{}).clean());
+    after[0].scalars[0].second = 1.0;
+    EXPECT_FALSE(
+        diffSnapshots(before, after, DiffTolerances{}).clean());
+}
+
+} // namespace
+} // namespace stms::results

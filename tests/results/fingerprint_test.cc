@@ -1,0 +1,147 @@
+/** @file Fingerprint-stability tests: the canonical serialization and
+ *  its FNV-1a hash are an on-disk contract (docs/RESULTS.md), so
+ *  golden values are pinned here — accidental schema drift must fail
+ *  loudly, not silently orphan every stored record. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/hash.hh"
+#include "results/fingerprint.hh"
+
+namespace stms::results
+{
+namespace
+{
+
+const ParamList kParams = {{"records", "4096"},
+                           {"workload", "oltp-db2"}};
+
+TEST(Fnv1a, MatchesReferenceVectors)
+{
+    // Published FNV-1a test vectors; the hash may never change.
+    EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a64("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+TEST(Fingerprint, HexRoundTrip)
+{
+    const Fingerprint fp{0x0123456789abcdefULL};
+    EXPECT_EQ(fp.hex(), "0123456789abcdef");
+    Fingerprint parsed;
+    ASSERT_TRUE(Fingerprint::parseHex(fp.hex(), parsed));
+    EXPECT_EQ(parsed, fp);
+    EXPECT_FALSE(Fingerprint::parseHex("123", parsed));
+    EXPECT_FALSE(Fingerprint::parseHex("0123456789ABCDEF", parsed));
+    EXPECT_FALSE(Fingerprint::parseHex("0123456789abcdeg", parsed));
+}
+
+TEST(Fingerprint, KeyOrderDoesNotMatter)
+{
+    const ParamList permuted = {{"workload", "oltp-db2"},
+                                {"records", "4096"}};
+    EXPECT_EQ(fingerprintExperiment("fig7", 1, kParams),
+              fingerprintExperiment("fig7", 1, permuted));
+}
+
+TEST(Fingerprint, ValueNormalizationErasesSpelling)
+{
+    // Numeric values get one canonical form; whitespace is trimmed.
+    EXPECT_EQ(normalizeParamValue("0.1250"), "0.125");
+    EXPECT_EQ(normalizeParamValue(" .125 "), "0.125");
+    EXPECT_EQ(normalizeParamValue("1.25e-1"), "0.125");
+    EXPECT_EQ(normalizeParamValue("4096"), "4096");
+    EXPECT_EQ(normalizeParamValue("  4096\t"), "4096");
+    // Non-numeric (and size-suffixed) values stay verbatim: "8K"
+    // deliberately hashes differently from "8192" because parseSize
+    // semantics belong to the experiment, not the fingerprint.
+    EXPECT_EQ(normalizeParamValue("oltp-db2"), "oltp-db2");
+    EXPECT_EQ(normalizeParamValue("8K"), "8K");
+    EXPECT_EQ(normalizeParamValue("0x10"), "0x10");
+
+    const ParamList respelled = {{"records", " 4096"},
+                                 {"workload", "oltp-db2"}};
+    EXPECT_EQ(fingerprintExperiment("fig7", 1, kParams),
+              fingerprintExperiment("fig7", 1, respelled));
+}
+
+TEST(Fingerprint, OptionsItemsFeedTheSameHashRegardlessOfInsertion)
+{
+    Options forward;
+    forward.set("records", "4096");
+    forward.set("workload", "oltp-db2");
+    Options backward;
+    backward.set("workload", "oltp-db2");
+    backward.set("records", "4096");
+    EXPECT_EQ(fingerprintExperiment("fig7", 1, forward.items()),
+              fingerprintExperiment("fig7", 1, backward.items()));
+}
+
+TEST(Fingerprint, AnySingleChangeHashesDifferent)
+{
+    const Fingerprint base = fingerprintExperiment("fig7", 1, kParams);
+    EXPECT_NE(base, fingerprintExperiment("fig8", 1, kParams));
+    EXPECT_NE(base, fingerprintExperiment("fig7", 2, kParams));
+    EXPECT_NE(base,
+              fingerprintExperiment(
+                  "fig7", 1,
+                  {{"records", "4097"}, {"workload", "oltp-db2"}}));
+    EXPECT_NE(base,
+              fingerprintExperiment(
+                  "fig7", 1,
+                  {{"records", "4096"}, {"workload", "oltp-db3"}}));
+    EXPECT_NE(base,
+              fingerprintExperiment("fig7", 1,
+                                    {{"records", "4096"}}));
+    EXPECT_NE(base,
+              fingerprintExperiment("fig7", 1,
+                                    {{"records", "4096"},
+                                     {"workload", "oltp-db2"},
+                                     {"sampling", "0.125"}}));
+}
+
+TEST(Fingerprint, RunAndExperimentKindsNeverCollide)
+{
+    EXPECT_NE(fingerprintExperiment("fig7", 1, kParams),
+              fingerprintRun("fig7", 1, "", kParams));
+}
+
+TEST(Fingerprint, GoldenCanonicalText)
+{
+    // The serialization itself is the spec (docs/RESULTS.md); keep
+    // in sync with kFingerprintSchema.
+    EXPECT_EQ(canonicalExperimentText("fig7", 1, kParams),
+              "stms.results.v1\n"
+              "kind=experiment\n"
+              "experiment=fig7\n"
+              "schema=1\n"
+              "param.records=4096\n"
+              "param.workload=oltp-db2\n");
+    EXPECT_EQ(canonicalRunText("fig7", 1, "web-apache/p1.000",
+                               kParams),
+              "stms.results.v1\n"
+              "kind=run\n"
+              "experiment=fig7\n"
+              "schema=1\n"
+              "run=web-apache/p1.000\n"
+              "param.records=4096\n"
+              "param.workload=oltp-db2\n");
+}
+
+TEST(Fingerprint, GoldenHashValues)
+{
+    // Pinned hashes: if any of these move, stored archives and
+    // committed baselines are orphaned — bump kFingerprintSchema
+    // and refresh baselines deliberately instead.
+    EXPECT_EQ(fingerprintExperiment("fig7", 1, kParams).value,
+              0x86d79561b76c2541ULL);
+    EXPECT_EQ(fingerprintRun("fig7", 1, "web-apache/p1.000",
+                             kParams).value,
+              0xe28cdfa6f2ea12c8ULL);
+    EXPECT_EQ(fingerprintExperiment("table2", 1, {}).value,
+              0xe9e5c56ad0a4bd10ULL);
+}
+
+} // namespace
+} // namespace stms::results

@@ -1,0 +1,103 @@
+/** @file Tests of the results layer's minimal JSON parser — exactly
+ *  the subset the store writes, plus the error paths that protect
+ *  record loading from corrupt lines. */
+
+#include <gtest/gtest.h>
+
+#include "results/json.hh"
+
+namespace stms::results
+{
+namespace
+{
+
+JsonValue
+parsed(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, value, error)) << error;
+    return value;
+}
+
+bool
+rejects(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    return !parseJson(text, value, error);
+}
+
+TEST(Json, ScalarsParse)
+{
+    EXPECT_EQ(parsed("42").number, 42.0);
+    EXPECT_EQ(parsed("-2.5e-3").number, -2.5e-3);
+    EXPECT_EQ(parsed("\"hi\"").text, "hi");
+    EXPECT_TRUE(parsed("true").boolean);
+    EXPECT_FALSE(parsed("false").boolean);
+    EXPECT_EQ(parsed("null").type, JsonValue::Type::Null);
+}
+
+TEST(Json, ObjectKeepsOrderAndFinds)
+{
+    const JsonValue value =
+        parsed("{\"b\": 1, \"a\": {\"nested\": [1, 2, 3]}}");
+    ASSERT_TRUE(value.isObject());
+    ASSERT_EQ(value.object.size(), 2u);
+    EXPECT_EQ(value.object[0].first, "b");
+    const JsonValue *a = value.find("a");
+    ASSERT_NE(a, nullptr);
+    const JsonValue *nested = a->find("nested");
+    ASSERT_NE(nested, nullptr);
+    ASSERT_EQ(nested->array.size(), 3u);
+    EXPECT_EQ(nested->array[2].number, 3.0);
+}
+
+TEST(Json, EscapesRoundTripThroughWriter)
+{
+    const std::string original = "quote\" slash\\ tab\t nl\n ctrl\x01";
+    const std::string text = "\"" + jsonEscape(original) + "\"";
+    EXPECT_EQ(parsed(text).text, original);
+}
+
+TEST(Json, NumbersRoundTripThroughWriter)
+{
+    for (const double value :
+         {0.0, 42.0, 0.1, 1.0 / 3.0, 1.9155272670124155, -2.5e-7}) {
+        EXPECT_EQ(parsed(jsonNumber(value)).number, value);
+    }
+}
+
+TEST(Json, AccessorsTolerateAbsentAndMistyped)
+{
+    const JsonValue value = parsed("{\"s\": \"x\", \"n\": 7}");
+    EXPECT_EQ(value.getString("s"), "x");
+    EXPECT_EQ(value.getString("n", "fb"), "fb");
+    EXPECT_EQ(value.getString("missing", "fb"), "fb");
+    EXPECT_EQ(value.getNumber("n"), 7.0);
+    EXPECT_EQ(value.getNumber("s", -1.0), -1.0);
+}
+
+TEST(Json, MalformedInputsRejected)
+{
+    EXPECT_TRUE(rejects(""));
+    EXPECT_TRUE(rejects("{"));
+    EXPECT_TRUE(rejects("{\"a\": }"));
+    EXPECT_TRUE(rejects("[1, 2"));
+    EXPECT_TRUE(rejects("\"unterminated"));
+    EXPECT_TRUE(rejects("truthy"));
+    EXPECT_TRUE(rejects("{} trailing"));
+    EXPECT_TRUE(rejects("{\"a\": 1,}"));  // No trailing commas.
+    EXPECT_TRUE(rejects("\"bad \\q escape\""));
+}
+
+TEST(Json, DeepNestingRejectedNotCrashed)
+{
+    std::string bomb;
+    for (int i = 0; i < 1000; ++i)
+        bomb += "[";
+    EXPECT_TRUE(rejects(bomb));
+}
+
+} // namespace
+} // namespace stms::results

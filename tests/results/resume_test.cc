@@ -1,0 +1,188 @@
+/** @file Integration tests of the store-backed runner: run-record
+ *  archiving, experiment-record dedupe, sweep resume after an
+ *  interruption, and fingerprint sharding — the acceptance gates of
+ *  the results subsystem. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "driver/registry.hh"
+#include "driver/results_cli.hh"
+#include "driver/runner.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class ResumeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("stms_resume_test_" +
+                 std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        fs::remove_all(dir_);
+        std::string error;
+        store_ = results::ResultStore::open(dir_, error);
+        ASSERT_NE(store_, nullptr) << error;
+
+        experiment_ = ExperimentRegistry::global().find("table2");
+        ASSERT_NE(experiment_, nullptr);
+        options_.set("records", "512");
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    RunnerConfig
+    storeConfig(std::uint32_t shard_index = 0,
+                std::uint32_t shard_count = 0, bool rerun = false)
+    {
+        RunnerConfig config;
+        config.store = store_.get();
+        config.rerun = rerun;
+        config.shardIndex = shard_index;
+        config.shardCount = shard_count;
+        return config;
+    }
+
+    std::string dir_;
+    std::unique_ptr<results::ResultStore> store_;
+    const Experiment *experiment_ = nullptr;
+    Options options_;
+};
+
+TEST_F(ResumeTest, FirstRunArchivesEveryPoint)
+{
+    ExecStats stats;
+    ExperimentRunner runner(globalTraceCache(), storeConfig());
+    runner.execute(*experiment_, options_, &stats);
+    EXPECT_GT(stats.planned, 0u);
+    EXPECT_EQ(stats.executed, stats.planned);
+    EXPECT_EQ(stats.resumed, 0u);
+    EXPECT_EQ(store_->size(), stats.planned);
+}
+
+TEST_F(ResumeTest, SecondRunResumesEverythingBitIdentically)
+{
+    ExperimentRunner runner(globalTraceCache(), storeConfig());
+    ExecStats first_stats;
+    const Report first =
+        runner.run(*experiment_, options_, &first_stats);
+
+    ExecStats second_stats;
+    const Report second =
+        runner.run(*experiment_, options_, &second_stats);
+    EXPECT_EQ(second_stats.resumed, second_stats.planned);
+    EXPECT_EQ(second_stats.executed, 0u);
+    // Resumed reports are byte-identical to simulated ones.
+    EXPECT_EQ(first.toJson(), second.toJson());
+}
+
+TEST_F(ResumeTest, ExperimentRecordAppendsExactlyOnce)
+{
+    ExperimentRunner runner(globalTraceCache(), storeConfig());
+    const Report report = runner.run(*experiment_, options_);
+    const results::ResultRecord record =
+        makeExperimentRecord(*experiment_, options_, report);
+    EXPECT_TRUE(store_->append(record));
+    // The re-run produces the identical fingerprint: deduped.
+    const Report again = runner.run(*experiment_, options_);
+    const results::ResultRecord duplicate =
+        makeExperimentRecord(*experiment_, options_, again);
+    EXPECT_EQ(duplicate.fingerprint, record.fingerprint);
+    EXPECT_FALSE(store_->append(duplicate));
+    // --rerun forces an append (history retained until gc).
+    EXPECT_TRUE(store_->append(duplicate, /*force=*/true));
+}
+
+TEST_F(ResumeTest, InterruptedSweepExecutesOnlyMissingPoints)
+{
+    // "Interrupt" a sweep by completing only shard 1/2, then
+    // re-invoke the full sweep against the same store: exactly the
+    // missing fingerprints execute.
+    ExperimentRunner half(globalTraceCache(), storeConfig(1, 2));
+    ExecStats half_stats;
+    half.execute(*experiment_, options_, &half_stats);
+    EXPECT_GT(half_stats.executed, 0u);
+    EXPECT_GT(half_stats.sharded, 0u);
+    EXPECT_EQ(half_stats.executed + half_stats.sharded,
+              half_stats.planned);
+
+    ExperimentRunner full(globalTraceCache(), storeConfig());
+    ExecStats full_stats;
+    const Report resumed_report =
+        full.run(*experiment_, options_, &full_stats);
+    EXPECT_EQ(full_stats.resumed, half_stats.executed);
+    EXPECT_EQ(full_stats.executed,
+              full_stats.planned - half_stats.executed);
+
+    // And the merged report matches a store-free run bit for bit.
+    ExperimentRunner plain(globalTraceCache(), RunnerConfig{});
+    const Report fresh = plain.run(*experiment_, options_);
+    EXPECT_EQ(resumed_report.toJson(), fresh.toJson());
+}
+
+TEST_F(ResumeTest, ShardsPartitionThePlanExactly)
+{
+    const std::uint32_t shards = 3;
+    std::size_t executed_total = 0;
+    std::size_t planned = 0;
+    for (std::uint32_t i = 1; i <= shards; ++i) {
+        ExperimentRunner runner(globalTraceCache(),
+                                storeConfig(i, shards));
+        ExecStats stats;
+        runner.execute(*experiment_, options_, &stats);
+        executed_total += stats.executed;
+        planned = stats.planned;
+    }
+    // Disjoint and complete: every point ran exactly once, so the
+    // merged store resumes the whole sweep without simulating.
+    EXPECT_EQ(executed_total, planned);
+    ExperimentRunner full(globalTraceCache(), storeConfig());
+    ExecStats stats;
+    full.execute(*experiment_, options_, &stats);
+    EXPECT_EQ(stats.resumed, planned);
+    EXPECT_EQ(stats.executed, 0u);
+}
+
+TEST_F(ResumeTest, RerunForcesReexecutionAndAppends)
+{
+    ExperimentRunner runner(globalTraceCache(), storeConfig());
+    runner.execute(*experiment_, options_);
+    const std::size_t archived = store_->loadAll().size();
+
+    ExperimentRunner rerun(globalTraceCache(),
+                           storeConfig(0, 0, /*rerun=*/true));
+    ExecStats stats;
+    rerun.execute(*experiment_, options_, &stats);
+    EXPECT_EQ(stats.executed, stats.planned);
+    EXPECT_EQ(stats.resumed, 0u);
+    EXPECT_EQ(store_->loadAll().size(), archived + stats.planned);
+}
+
+TEST_F(ResumeTest, DifferentOptionsDoNotResumeEachOther)
+{
+    ExperimentRunner runner(globalTraceCache(), storeConfig());
+    runner.execute(*experiment_, options_);
+
+    Options other;
+    other.set("records", "1024");
+    ExecStats stats;
+    runner.execute(*experiment_, other, &stats);
+    EXPECT_EQ(stats.resumed, 0u);
+    EXPECT_EQ(stats.executed, stats.planned);
+}
+
+} // namespace
+} // namespace stms::driver

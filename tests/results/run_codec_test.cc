@@ -1,0 +1,180 @@
+/** @file The run codec must round-trip every field report() can read
+ *  — verified against real simulation output, not hand-built
+ *  structs, so newly added RunOutput fields that miss the codec fail
+ *  here. */
+
+#include <gtest/gtest.h>
+
+#include "results/run_codec.hh"
+#include "workload/generators.hh"
+#include "workload/workloads.hh"
+
+namespace stms::results
+{
+namespace
+{
+
+RunOutput
+simulateSmallPoint()
+{
+    const Trace trace =
+        WorkloadGenerator(makeWorkload("oltp-db2", 8 * 1024))
+            .generate();
+    RunConfig config;
+    config.sim = defaultSimConfig(false);
+    config.stms = StmsConfig{};
+    return runTrace(trace, config);
+}
+
+void
+expectPrefetcherEq(const PrefetcherStats &a, const PrefetcherStats &b)
+{
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.useful, b.useful);
+    EXPECT_EQ(a.partial, b.partial);
+    EXPECT_EQ(a.erroneous, b.erroneous);
+    EXPECT_EQ(a.redundant, b.redundant);
+    EXPECT_EQ(a.rejected, b.rejected);
+}
+
+TEST(RunCodec, RoundTripsRealSimulationOutput)
+{
+    const RunOutput original = simulateSmallPoint();
+    const auto scalars = encodeRunOutput(original);
+
+    RunOutput decoded;
+    std::string error;
+    ASSERT_TRUE(decodeRunOutput(scalars, decoded, error)) << error;
+
+    EXPECT_EQ(decoded.sim.cycles, original.sim.cycles);
+    EXPECT_EQ(decoded.sim.instructions, original.sim.instructions);
+    EXPECT_EQ(decoded.sim.ipc, original.sim.ipc);
+
+    EXPECT_EQ(decoded.sim.mem.accesses, original.sim.mem.accesses);
+    EXPECT_EQ(decoded.sim.mem.l1Hits, original.sim.mem.l1Hits);
+    EXPECT_EQ(decoded.sim.mem.prefetchHits,
+              original.sim.mem.prefetchHits);
+    EXPECT_EQ(decoded.sim.mem.l2Hits, original.sim.mem.l2Hits);
+    EXPECT_EQ(decoded.sim.mem.partialMisses,
+              original.sim.mem.partialMisses);
+    EXPECT_EQ(decoded.sim.mem.offchipReads,
+              original.sim.mem.offchipReads);
+    EXPECT_EQ(decoded.sim.mem.offchipWrites,
+              original.sim.mem.offchipWrites);
+
+    for (std::size_t cls = 0; cls < kNumTrafficClasses; ++cls) {
+        EXPECT_EQ(decoded.sim.traffic.requests[cls],
+                  original.sim.traffic.requests[cls]);
+        EXPECT_EQ(decoded.sim.traffic.bytes[cls],
+                  original.sim.traffic.bytes[cls]);
+    }
+    EXPECT_EQ(decoded.sim.traffic.highPrioRequests,
+              original.sim.traffic.highPrioRequests);
+    EXPECT_EQ(decoded.sim.traffic.lowPrioRequests,
+              original.sim.traffic.lowPrioRequests);
+    EXPECT_EQ(decoded.sim.traffic.busyCycles,
+              original.sim.traffic.busyCycles);
+
+    EXPECT_EQ(decoded.sim.mlpPerCore, original.sim.mlpPerCore);
+    EXPECT_EQ(decoded.sim.meanMlp, original.sim.meanMlp);
+    ASSERT_EQ(decoded.sim.prefetchers.size(),
+              original.sim.prefetchers.size());
+    for (std::size_t i = 0; i < original.sim.prefetchers.size(); ++i)
+        expectPrefetcherEq(decoded.sim.prefetchers[i],
+                           original.sim.prefetchers[i]);
+    EXPECT_EQ(decoded.sim.memUtilization,
+              original.sim.memUtilization);
+    EXPECT_EQ(decoded.sim.coverage, original.sim.coverage);
+    EXPECT_EQ(decoded.sim.fullCoverage, original.sim.fullCoverage);
+    EXPECT_EQ(decoded.sim.overheadPerDataByte,
+              original.sim.overheadPerDataByte);
+
+    expectPrefetcherEq(decoded.stride, original.stride);
+    expectPrefetcherEq(decoded.stms, original.stms);
+
+    const StmsStats &a = decoded.stmsInternal;
+    const StmsStats &b = original.stmsInternal;
+    EXPECT_EQ(a.logged, b.logged);
+    EXPECT_EQ(a.historyBlockWrites, b.historyBlockWrites);
+    EXPECT_EQ(a.lookups, b.lookups);
+    EXPECT_EQ(a.lookupHits, b.lookupHits);
+    EXPECT_EQ(a.stalePointers, b.stalePointers);
+    EXPECT_EQ(a.lookupsSuppressed, b.lookupsSuppressed);
+    EXPECT_EQ(a.lookupsIgnored, b.lookupsIgnored);
+    EXPECT_EQ(a.streamsStarted, b.streamsStarted);
+    EXPECT_EQ(a.streamsEnded, b.streamsEnded);
+    EXPECT_EQ(a.streamsReplaced, b.streamsReplaced);
+    EXPECT_EQ(a.endMarksWritten, b.endMarksWritten);
+    EXPECT_EQ(a.pauses, b.pauses);
+    EXPECT_EQ(a.resumes, b.resumes);
+    EXPECT_EQ(a.skipAheads, b.skipAheads);
+    EXPECT_EQ(a.followed, b.followed);
+    EXPECT_EQ(a.consumed, b.consumed);
+    EXPECT_EQ(a.pumpBreakRoom, b.pumpBreakRoom);
+    EXPECT_EQ(a.pumpBreakWindow, b.pumpBreakWindow);
+    EXPECT_EQ(a.pumpBreakOutstanding, b.pumpBreakOutstanding);
+    EXPECT_EQ(a.pumpBreakPause, b.pumpBreakPause);
+    EXPECT_EQ(a.queueDry, b.queueDry);
+
+    // The Fig. 6 stream-length histogram round-trips exactly (CDF
+    // and mean both depend on buckets + count + weighted sum).
+    ASSERT_EQ(a.streamLengths.numBuckets(),
+              b.streamLengths.numBuckets());
+    EXPECT_EQ(a.streamLengths.count(), b.streamLengths.count());
+    EXPECT_EQ(a.streamLengths.weightedSum(),
+              b.streamLengths.weightedSum());
+    for (std::size_t i = 0; i < b.streamLengths.numBuckets(); ++i)
+        EXPECT_EQ(a.streamLengths.bucketCount(i),
+                  b.streamLengths.bucketCount(i));
+
+    EXPECT_EQ(decoded.stmsMetaBytes, original.stmsMetaBytes);
+    EXPECT_EQ(decoded.stmsCoverage, original.stmsCoverage);
+    EXPECT_EQ(decoded.stmsFullCoverage, original.stmsFullCoverage);
+    EXPECT_EQ(decoded.stmsPartialCoverage,
+              original.stmsPartialCoverage);
+
+    // And the re-encoding is byte-for-byte the same scalar list.
+    EXPECT_EQ(encodeRunOutput(decoded), scalars);
+}
+
+TEST(RunCodec, RejectsForeignScalars)
+{
+    RunOutput decoded;
+    std::string error;
+    EXPECT_FALSE(decodeRunOutput({}, decoded, error));
+    EXPECT_FALSE(decodeRunOutput({{"codec", 99.0}}, decoded, error));
+}
+
+TEST(RunCodec, CorruptCountsFailDecodeInsteadOfAllocating)
+{
+    // Regression: a hand-damaged record with an absurd vector length
+    // must return false (the runner then re-simulates), not drive a
+    // giant or UB allocation.
+    const RunOutput original = simulateSmallPoint();
+    for (const char *count_key :
+         {"sim.mlp.count", "sim.pf.count",
+          "stms_internal.stream_lengths.buckets"}) {
+        for (const double bad : {1e18, -4.0, 2.5}) {
+            auto scalars = encodeRunOutput(original);
+            for (auto &[name, value] : scalars)
+                if (name == count_key)
+                    value = bad;
+            RunOutput decoded;
+            std::string error;
+            EXPECT_FALSE(decodeRunOutput(scalars, decoded, error))
+                << count_key << " = " << bad;
+        }
+    }
+    // Negative plain counters clamp to zero instead of UB casts.
+    auto scalars = encodeRunOutput(original);
+    for (auto &[name, value] : scalars)
+        if (name == "sim.cycles")
+            value = -7.0;
+    RunOutput decoded;
+    std::string error;
+    ASSERT_TRUE(decodeRunOutput(scalars, decoded, error)) << error;
+    EXPECT_EQ(decoded.sim.cycles, 0u);
+}
+
+} // namespace
+} // namespace stms::results

@@ -152,5 +152,51 @@ TEST(SuiteProperties, PaperReferenceValuesPopulated)
     }
 }
 
+// --- Extended (non-paper) presets -----------------------------------
+
+TEST(SuiteProperties, ExtendedSuiteRegistersKvStore)
+{
+    // kv-store is selectable by name but must NOT join the paper's
+    // eight-workload presentation (figure experiments iterate
+    // standardSuite()).
+    EXPECT_TRUE(isKnownWorkload("kv-store"));
+    bool in_extended = false;
+    for (const auto &info : extendedSuite())
+        in_extended |= info.name == "kv-store";
+    EXPECT_TRUE(in_extended);
+    for (const auto &info : standardSuite())
+        EXPECT_NE(info.name, "kv-store");
+}
+
+TEST(SuiteProperties, KvStoreIsPointerChase)
+{
+    // Chain walks serialize: nearly every record depends on its
+    // predecessor, the preset's MLP lever (Table 2 methodology).
+    WorkloadSpec spec = makeWorkload("kv-store", 1);
+    EXPECT_GE(spec.dependentProb, 0.9);
+    EXPECT_EQ(spec.missBurstMax, 0u);
+    Trace trace = suiteTrace("kv-store");
+    EXPECT_GT(dependentFraction(trace), 0.6);
+}
+
+TEST(SuiteProperties, KvStoreHasNoScanComponent)
+{
+    // GET/SET request streams have no sequential component a stride
+    // prefetcher could absorb.
+    WorkloadSpec spec = makeWorkload("kv-store", 1);
+    EXPECT_DOUBLE_EQ(spec.scanFraction, 0.0);
+}
+
+TEST(SuiteProperties, KvStoreRequestsAreShortAndRecurring)
+{
+    // Per-request streams are short (a bucket walk + value blocks)
+    // and hot keys recur heavily — the temporal-streaming signal.
+    WorkloadSpec spec = makeWorkload("kv-store", 1);
+    const double median = std::exp(spec.lengthLogMean);
+    EXPECT_LT(median, 10.0);
+    EXPECT_GE(spec.meanVisits, 8.0);
+    EXPECT_GT(recurrenceFraction(suiteTrace("kv-store")), 0.10);
+}
+
 } // namespace
 } // namespace stms

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Run the canonical baseline sweep and (re)write committed baselines.
+
+The CI results gate runs a small fixed sweep into a result store and
+diffs it against ``tests/data/baselines/ci_smoke.jsonl`` (see
+docs/RESULTS.md, "Baseline refresh workflow"). This script is the one
+definition of that sweep, used two ways:
+
+  tools/refresh_baselines.py --driver build/driver
+      run the sweep and rewrite the committed baseline from its
+      experiment-kind records (do this deliberately, after verifying
+      a figure-shape change is intended — the diff gate exists to
+      catch the unintended ones);
+
+  tools/refresh_baselines.py --driver ./driver --store DIR --no-write
+      run the sweep into DIR and leave the baseline untouched (what
+      CI does before diffing DIR against the committed baseline).
+
+Baseline records keep their provenance (git describe + timestamp);
+the diff engine ignores both, comparing scalars only.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+# The canonical CI sweep: small enough for a CI minute, wide enough
+# to cover the traffic figures and the MLP table. Keep in sync with
+# docs/RESULTS.md.
+SWEEP_EXPERIMENTS = ["fig7", "table2"]
+SWEEP_OPTIONS = ["records=4096"]
+
+
+def run_sweep(driver: pathlib.Path, store: pathlib.Path) -> None:
+    # Resolve: Path("./driver") collapses to "driver", which a
+    # shell-less subprocess would look up in PATH, not the cwd.
+    cmd = [str(driver.resolve())]
+    for experiment in SWEEP_EXPERIMENTS:
+        cmd += ["--experiment", experiment]
+    cmd += ["--store", str(store), *SWEEP_OPTIONS]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+
+
+def experiment_records(store: pathlib.Path) -> list[str]:
+    lines = []
+    for line in (store / "records.jsonl").read_text().splitlines():
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("kind") == "experiment":
+            lines.append((record["fingerprint"], line))
+    # Fingerprint-sorted for stable, reviewable baseline diffs.
+    return [line for _, line in sorted(lines)]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--driver", default="build/driver",
+                        help="driver binary (default: build/driver)")
+    parser.add_argument("--store", default=None,
+                        help="store directory to sweep into "
+                             "(default: a temp dir)")
+    parser.add_argument("--out",
+                        default="tests/data/baselines/ci_smoke.jsonl",
+                        help="baseline file to write")
+    parser.add_argument("--no-write", action="store_true",
+                        help="run the sweep only; do not touch the "
+                             "baseline")
+    args = parser.parse_args()
+
+    driver = pathlib.Path(args.driver)
+    if not driver.exists():
+        print(f"driver not found: {driver}", file=sys.stderr)
+        return 1
+
+    if args.store is None:
+        tmp = tempfile.TemporaryDirectory(prefix="stms_baseline_")
+        store = pathlib.Path(tmp.name)
+    else:
+        store = pathlib.Path(args.store)
+
+    run_sweep(driver, store)
+    records = experiment_records(store)
+    print(f"sweep complete: {len(records)} experiment records "
+          f"in {store}")
+
+    if args.no_write:
+        return 0
+
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("".join(line + "\n" for line in records))
+    print(f"wrote {out} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
