@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Stub: the index-table contention bench is the "index_contention"
+ * experiment of the unified driver (src/driver). Equivalent:
+ *
+ *   driver --experiment index_contention shards=1,2,4,8 threads=1,2,4
+ */
+
+#include "driver/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return stms::driver::experimentMain("index_contention", argc, argv);
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * In-bucket storage and LRU mechanics of the index table (Sec. 4.3).
+ *
+ * One bucket is a single 64-byte memory block holding up to twelve
+ * {key, pointer} pairs kept in LRU order, MRU at slot 0. These
+ * helpers are shared by IndexTable and ShardedIndexTable so the two
+ * structures cannot drift: the sharded table must stay bit-identical
+ * to the unsharded one for any shard count, and that guarantee is
+ * structural (same code), not just tested.
+ */
+
+#ifndef STMS_CORE_INDEX_BUCKET_HH
+#define STMS_CORE_INDEX_BUCKET_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace stms::detail
+{
+
+/** One {key, packed-pointer} pair of a 64-byte index bucket. */
+struct IndexPair
+{
+    Addr key = kInvalidAddr;
+    std::uint64_t pointer = 0;
+    bool valid = false;
+};
+
+/** What an in-bucket update did (drives stat and occupancy counters). */
+enum class BucketUpdate : std::uint8_t
+{
+    Refreshed,  ///< Key present: pointer rewritten, moved to MRU.
+    Inserted,   ///< Key absent: a free slot was used.
+    Replaced,   ///< Key absent: the LRU pair was displaced.
+};
+
+/** Shift slots [0, index) down one and write @p pair at MRU. */
+inline void
+bucketPromote(IndexPair *bucket, std::uint32_t index,
+              const IndexPair &pair)
+{
+    for (std::uint32_t j = index; j > 0; --j)
+        bucket[j] = bucket[j - 1];
+    bucket[0] = pair;
+}
+
+/** Find @p key in the bucket; a hit refreshes the LRU order. */
+inline std::optional<std::uint64_t>
+bucketLookup(IndexPair *bucket, std::uint32_t entries, Addr key)
+{
+    for (std::uint32_t i = 0; i < entries; ++i) {
+        if (bucket[i].valid && bucket[i].key == key) {
+            const IndexPair hit = bucket[i];
+            bucketPromote(bucket, i, hit);
+            return hit.pointer;
+        }
+    }
+    return std::nullopt;
+}
+
+/** Insert or refresh {key, pointer}: MRU insertion, LRU displacement
+ *  when the bucket is full. */
+inline BucketUpdate
+bucketUpdate(IndexPair *bucket, std::uint32_t entries, Addr key,
+             std::uint64_t pointer)
+{
+    for (std::uint32_t i = 0; i < entries; ++i) {
+        if (bucket[i].valid && bucket[i].key == key) {
+            bucketPromote(bucket, i, IndexPair{key, pointer, true});
+            return BucketUpdate::Refreshed;
+        }
+    }
+    const BucketUpdate kind = bucket[entries - 1].valid
+                                  ? BucketUpdate::Replaced
+                                  : BucketUpdate::Inserted;
+    bucketPromote(bucket, entries - 1, IndexPair{key, pointer, true});
+    return kind;
+}
+
+} // namespace stms::detail
+
+#endif // STMS_CORE_INDEX_BUCKET_HH

@@ -17,7 +17,7 @@ IndexTable::IndexTable(std::uint64_t total_bytes,
     }
     buckets_ = total_bytes / kBlockBytes;
     stms_assert(buckets_ > 0, "index table smaller than one bucket");
-    store_.assign(buckets_ * entriesPerBucket_, Pair{});
+    store_.assign(buckets_ * entriesPerBucket_, detail::IndexPair{});
 }
 
 std::uint64_t
@@ -30,60 +30,56 @@ std::optional<HistoryPointer>
 IndexTable::lookup(Addr block)
 {
     ++stats_.lookups;
+    // Key by block number so bounded and unbounded mode alias
+    // sub-block addresses identically (the bounded hash always used
+    // the block number; the tag must match it).
+    const Addr key = blockNumber(block);
     if (unbounded()) {
-        auto it = map_.find(block);
+        auto it = map_.find(key);
         if (it == map_.end())
             return std::nullopt;
         ++stats_.lookupHits;
         return HistoryPointer::unpack(it->second);
     }
 
-    Pair *base = &store_[bucketOf(block) * entriesPerBucket_];
-    for (std::uint32_t i = 0; i < entriesPerBucket_; ++i) {
-        if (base[i].valid && base[i].block == block) {
-            ++stats_.lookupHits;
-            const Pair hit = base[i];
-            // Reshuffle to maintain LRU order (MRU at slot 0).
-            for (std::uint32_t j = i; j > 0; --j)
-                base[j] = base[j - 1];
-            base[0] = hit;
-            return HistoryPointer::unpack(hit.pointer);
-        }
-    }
-    return std::nullopt;
+    detail::IndexPair *base =
+        &store_[bucketOf(block) * entriesPerBucket_];
+    const auto pointer =
+        detail::bucketLookup(base, entriesPerBucket_, key);
+    if (!pointer)
+        return std::nullopt;
+    ++stats_.lookupHits;
+    return HistoryPointer::unpack(*pointer);
 }
 
 void
 IndexTable::update(Addr block, HistoryPointer pointer)
 {
     ++stats_.updates;
+    const Addr key = blockNumber(block);
     if (unbounded()) {
-        auto [it, inserted] = map_.insert_or_assign(block, pointer.packed());
+        auto [it, inserted] =
+            map_.insert_or_assign(key, pointer.packed());
         (void)it;
         if (inserted)
             ++stats_.inserts;
         return;
     }
 
-    Pair *base = &store_[bucketOf(block) * entriesPerBucket_];
-    // If the trigger address is present, refresh its pointer and move
-    // it to the MRU position.
-    for (std::uint32_t i = 0; i < entriesPerBucket_; ++i) {
-        if (base[i].valid && base[i].block == block) {
-            for (std::uint32_t j = i; j > 0; --j)
-                base[j] = base[j - 1];
-            base[0] = Pair{block, pointer.packed(), true};
-            return;
-        }
-    }
-    // Otherwise insert at MRU, displacing the LRU pair if full.
-    if (base[entriesPerBucket_ - 1].valid)
-        ++stats_.replacements;
-    else
+    detail::IndexPair *base =
+        &store_[bucketOf(block) * entriesPerBucket_];
+    switch (detail::bucketUpdate(base, entriesPerBucket_, key,
+                                 pointer.packed())) {
+    case detail::BucketUpdate::Refreshed:
+        break;
+    case detail::BucketUpdate::Inserted:
         ++stats_.inserts;
-    for (std::uint32_t j = entriesPerBucket_ - 1; j > 0; --j)
-        base[j] = base[j - 1];
-    base[0] = Pair{block, pointer.packed(), true};
+        ++pairs_;
+        break;
+    case detail::BucketUpdate::Replaced:
+        ++stats_.replacements;
+        break;
+    }
 }
 
 std::uint64_t
@@ -97,12 +93,12 @@ IndexTable::footprintBytes() const
 }
 
 std::uint64_t
-IndexTable::occupancy() const
+IndexTable::occupancyScan() const
 {
     if (unbounded())
         return map_.size();
     std::uint64_t count = 0;
-    for (const Pair &pair : store_)
+    for (const detail::IndexPair &pair : store_)
         count += pair.valid ? 1 : 0;
     return count;
 }

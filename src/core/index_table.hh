@@ -13,6 +13,11 @@
  * An unbounded mode (hash map) models the idealized prefetcher's
  * magic on-chip meta-data, and a bounded-entry mode supports the
  * coverage-vs-entries sweep of Fig. 1 (left).
+ *
+ * Both modes key entries by *block number* (the address without its
+ * in-block offset bits): two byte addresses inside the same cache
+ * block are the same miss stream and must alias identically whether
+ * the table is bounded or not.
  */
 
 #ifndef STMS_CORE_INDEX_TABLE_HH
@@ -23,7 +28,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
+#include "core/index_bucket.hh"
 
 namespace stms
 {
@@ -31,20 +38,35 @@ namespace stms
 /** A history-buffer pointer tagged with its owning core. */
 struct HistoryPointer
 {
+    /** Bits of the packed word carrying the sequence number; the
+     *  owning core occupies the bits above. */
+    static constexpr std::uint32_t kSeqBits = 48;
+    static constexpr std::uint64_t kSeqMask = (1ULL << kSeqBits) - 1;
+
     CoreId core = 0;
     SeqNum seq = 0;
 
     std::uint64_t
     packed() const
     {
-        return (static_cast<std::uint64_t>(core) << 48) | seq;
+        // An unmasked seq >= 2^48 would silently corrupt the core
+        // field; the mask keeps the fields disjoint and the asserts
+        // catch the overflow where it happens.
+        stms_assert(seq <= kSeqMask,
+                    "history seq 0x%llx overflows the %u-bit packed "
+                    "field",
+                    static_cast<unsigned long long>(seq), kSeqBits);
+        stms_assert(core <= (std::uint64_t{1} << (64 - kSeqBits)) - 1,
+                    "core %u overflows the packed pointer tag", core);
+        return (static_cast<std::uint64_t>(core) << kSeqBits) |
+               (seq & kSeqMask);
     }
 
     static HistoryPointer
     unpack(std::uint64_t value)
     {
-        return HistoryPointer{static_cast<CoreId>(value >> 48),
-                              value & ((1ULL << 48) - 1)};
+        return HistoryPointer{static_cast<CoreId>(value >> kSeqBits),
+                              value & kSeqMask};
     }
 };
 
@@ -57,6 +79,27 @@ struct IndexTableStats
     std::uint64_t inserts = 0;
     std::uint64_t replacements = 0;
 };
+
+/** Field-wise accumulate (per-shard stats merge into the aggregate). */
+inline IndexTableStats &
+operator+=(IndexTableStats &lhs, const IndexTableStats &rhs)
+{
+    lhs.lookups += rhs.lookups;
+    lhs.lookupHits += rhs.lookupHits;
+    lhs.updates += rhs.updates;
+    lhs.inserts += rhs.inserts;
+    lhs.replacements += rhs.replacements;
+    return lhs;
+}
+
+inline bool
+operator==(const IndexTableStats &lhs, const IndexTableStats &rhs)
+{
+    return lhs.lookups == rhs.lookups &&
+           lhs.lookupHits == rhs.lookupHits &&
+           lhs.updates == rhs.updates && lhs.inserts == rhs.inserts &&
+           lhs.replacements == rhs.replacements;
+}
 
 /** Bucketized LRU hash table from block address to history pointer. */
 class IndexTable
@@ -85,26 +128,29 @@ class IndexTable
     bool unbounded() const { return buckets_ == 0; }
     std::uint64_t footprintBytes() const;
 
-    /** Total pairs currently stored (O(size); for tests/benches). */
-    std::uint64_t occupancy() const;
+    /** Total pairs currently stored. O(1): maintained live on
+     *  insert/replace (benches poll this per interval). */
+    std::uint64_t occupancy() const
+    {
+        return unbounded() ? map_.size() : pairs_;
+    }
+
+    /** The O(buckets x entries) recount of occupancy(); kept as a
+     *  debug cross-check of the live counter. */
+    std::uint64_t occupancyScan() const;
 
     const IndexTableStats &stats() const { return stats_; }
     void resetStats() { stats_ = IndexTableStats{}; }
 
   private:
-    struct Pair
-    {
-        Addr block = kInvalidAddr;
-        std::uint64_t pointer = 0;
-        bool valid = false;
-    };
-
     std::uint32_t entriesPerBucket_;
     std::uint64_t buckets_;
     /** Bounded storage: buckets_ x entriesPerBucket_, MRU first. */
-    std::vector<Pair> store_;
-    /** Unbounded (idealized) storage. */
+    std::vector<detail::IndexPair> store_;
+    /** Unbounded (idealized) storage, keyed by block number. */
     std::unordered_map<Addr, std::uint64_t> map_;
+    /** Live pair count of the bounded store (the O(1) occupancy). */
+    std::uint64_t pairs_ = 0;
     IndexTableStats stats_;
 };
 

@@ -1,0 +1,188 @@
+#include "core/sharded_index_table.hh"
+
+#include "common/hash.hh"
+#include "common/log.hh"
+
+namespace stms
+{
+
+ShardedIndexTable::ShardedIndexTable(std::uint64_t total_bytes,
+                                     std::uint32_t entries_per_bucket,
+                                     std::uint32_t shards)
+    : entriesPerBucket_(entries_per_bucket)
+{
+    stms_assert(entries_per_bucket > 0, "bucket needs entries");
+    stms_assert(shards > 0, "index table needs at least one shard");
+    if (total_bytes != 0) {
+        buckets_ = total_bytes / kBlockBytes;
+        stms_assert(buckets_ > 0,
+                    "index table smaller than one bucket");
+    }
+    shards_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        if (buckets_ != 0) {
+            // Shard s owns every global bucket b with b % shards == s,
+            // stored densely at local index b / shards.
+            const std::uint64_t owned =
+                buckets_ / shards + (s < buckets_ % shards ? 1 : 0);
+            shard->store.assign(owned * entriesPerBucket_,
+                                detail::IndexPair{});
+        }
+        shards_.push_back(std::move(shard));
+    }
+}
+
+std::uint64_t
+ShardedIndexTable::bucketOf(Addr block) const
+{
+    return unbounded() ? 0 : hashToBucket(blockNumber(block), buckets_);
+}
+
+std::uint32_t
+ShardedIndexTable::shardOf(Addr block) const
+{
+    const std::uint32_t count = numShards();
+    if (count == 1)
+        return 0;
+    if (unbounded()) {
+        return static_cast<std::uint32_t>(
+            hashToBucket(blockNumber(block), count));
+    }
+    return static_cast<std::uint32_t>(bucketOf(block) % count);
+}
+
+std::optional<HistoryPointer>
+ShardedIndexTable::lookup(Addr block)
+{
+    const Addr key = blockNumber(block);
+    Shard &shard = shardFor(block);
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    ++shard.stats.lookups;
+    if (unbounded()) {
+        auto it = shard.map.find(key);
+        if (it == shard.map.end())
+            return std::nullopt;
+        ++shard.stats.lookupHits;
+        return HistoryPointer::unpack(it->second);
+    }
+    const std::uint64_t local = bucketOf(block) / numShards();
+    detail::IndexPair *base =
+        &shard.store[local * entriesPerBucket_];
+    const auto pointer =
+        detail::bucketLookup(base, entriesPerBucket_, key);
+    if (!pointer)
+        return std::nullopt;
+    ++shard.stats.lookupHits;
+    return HistoryPointer::unpack(*pointer);
+}
+
+void
+ShardedIndexTable::update(Addr block, HistoryPointer pointer)
+{
+    const Addr key = blockNumber(block);
+    Shard &shard = shardFor(block);
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    ++shard.stats.updates;
+    if (unbounded()) {
+        auto [it, inserted] =
+            shard.map.insert_or_assign(key, pointer.packed());
+        (void)it;
+        if (inserted)
+            ++shard.stats.inserts;
+        return;
+    }
+    const std::uint64_t local = bucketOf(block) / numShards();
+    detail::IndexPair *base =
+        &shard.store[local * entriesPerBucket_];
+    switch (detail::bucketUpdate(base, entriesPerBucket_, key,
+                                 pointer.packed())) {
+    case detail::BucketUpdate::Refreshed:
+        break;
+    case detail::BucketUpdate::Inserted:
+        ++shard.stats.inserts;
+        ++shard.pairs;
+        break;
+    case detail::BucketUpdate::Replaced:
+        ++shard.stats.replacements;
+        break;
+    }
+}
+
+std::uint64_t
+ShardedIndexTable::footprintBytes() const
+{
+    if (!unbounded())
+        return buckets_ * kBlockBytes;
+    std::uint64_t pairs = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard->mutex);
+        pairs += shard->map.size();
+    }
+    // 5.33 bytes/pair at the paper's packing density.
+    return divCeil(pairs, entriesPerBucket_) * kBlockBytes;
+}
+
+std::uint64_t
+ShardedIndexTable::occupancy() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard->mutex);
+        total += unbounded() ? shard->map.size() : shard->pairs;
+    }
+    return total;
+}
+
+std::uint64_t
+ShardedIndexTable::occupancyScan() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard->mutex);
+        if (unbounded()) {
+            total += shard->map.size();
+            continue;
+        }
+        for (const detail::IndexPair &pair : shard->store)
+            total += pair.valid ? 1 : 0;
+    }
+    return total;
+}
+
+IndexTableStats
+ShardedIndexTable::stats() const
+{
+    IndexTableStats merged;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard->mutex);
+        merged += shard->stats;
+    }
+    return merged;
+}
+
+IndexTableStats
+ShardedIndexTable::shardStats(std::uint32_t shard) const
+{
+    stms_assert(shard < numShards(), "shard index out of range");
+    std::lock_guard<std::mutex> guard(shards_[shard]->mutex);
+    return shards_[shard]->stats;
+}
+
+std::uint64_t
+ShardedIndexTable::shardOps(std::uint32_t shard) const
+{
+    const IndexTableStats stats = shardStats(shard);
+    return stats.lookups + stats.updates;
+}
+
+void
+ShardedIndexTable::resetStats()
+{
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard->mutex);
+        shard->stats = IndexTableStats{};
+    }
+}
+
+} // namespace stms

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Lock-striped sharded index table (Sec. 4.3 structure, parallelized).
+ *
+ * The index table is the one structure every core's lookups and
+ * updates funnel through; a single map under one lock serializes
+ * concurrent runs on real multi-core hosts. ShardedIndexTable
+ * partitions the buckets across N shards, each guarded by its own
+ * mutex, while keeping the *model* bit-identical to IndexTable for
+ * every shard count:
+ *
+ *  - a block still hashes to the same global bucket
+ *    (hashToBucket(blockNumber(block), numBuckets())),
+ *  - global bucket b lives in shard b % N at local index b / N, so
+ *    bucket contents and LRU order never depend on N,
+ *  - per-shard IndexTableStats merge field-wise into the aggregate,
+ *    and the per-shard counts sum exactly to it.
+ *
+ * Sharding therefore changes only who contends on which lock when
+ * threads share one table — never what any lookup returns. This is
+ * asserted against IndexTable in tests and gated in CI.
+ */
+
+#ifndef STMS_CORE_SHARDED_INDEX_TABLE_HH
+#define STMS_CORE_SHARDED_INDEX_TABLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/index_bucket.hh"
+#include "core/index_table.hh"
+
+namespace stms
+{
+
+/** Bucketized LRU hash table partitioned into lock-striped shards. */
+class ShardedIndexTable
+{
+  public:
+    /**
+     * @param total_bytes main-memory footprint; 0 = unbounded (ideal).
+     * @param entries_per_bucket pairs packed into one 64B block (12).
+     * @param shards lock stripes; 1 = the unsharded legacy structure.
+     */
+    explicit ShardedIndexTable(std::uint64_t total_bytes,
+                               std::uint32_t entries_per_bucket = 12,
+                               std::uint32_t shards = 1);
+
+    /** Find the pointer for @p block; refreshes bucket LRU on hit.
+     *  Thread-safe: locks only the owning shard. */
+    std::optional<HistoryPointer> lookup(Addr block);
+
+    /** Insert or refresh the mapping for @p block; evicts the
+     *  bucket's LRU pair when full. Thread-safe per shard. */
+    void update(Addr block, HistoryPointer pointer);
+
+    /** Global bucket number (identical to IndexTable::bucketOf). */
+    std::uint64_t bucketOf(Addr block) const;
+
+    /** Shard owning @p block's bucket. */
+    std::uint32_t shardOf(Addr block) const;
+
+    std::uint64_t numBuckets() const { return buckets_; }
+    std::uint32_t
+    numShards() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+    bool unbounded() const { return buckets_ == 0; }
+    std::uint64_t footprintBytes() const;
+
+    /** Total pairs currently stored; O(shards). */
+    std::uint64_t occupancy() const;
+
+    /** The full recount of occupancy(); debug cross-check. */
+    std::uint64_t occupancyScan() const;
+
+    /** Aggregate statistics, merged field-wise across shards. */
+    IndexTableStats stats() const;
+
+    /** One shard's statistics; the shards sum exactly to stats(). */
+    IndexTableStats shardStats(std::uint32_t shard) const;
+
+    /** Operations (lookups + updates) routed to @p shard so far —
+     *  the imbalance input of the contention bench. */
+    std::uint64_t shardOps(std::uint32_t shard) const;
+
+    void resetStats();
+
+  private:
+    /**
+     * One lock stripe. Shards are heap-allocated (the mutex pins
+     * them) and each starts on its own cache line via make_unique's
+     * allocation granularity; the hot mutex and store pointer sit
+     * together at the front.
+     */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Bounded storage: owned global buckets, local-dense. */
+        std::vector<detail::IndexPair> store;
+        /** Unbounded (idealized) storage, keyed by block number. */
+        std::unordered_map<Addr, std::uint64_t> map;
+        IndexTableStats stats;
+        /** Live pair count of the bounded store. */
+        std::uint64_t pairs = 0;
+    };
+
+    Shard &shardFor(Addr block) { return *shards_[shardOf(block)]; }
+
+    std::uint32_t entriesPerBucket_;
+    std::uint64_t buckets_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace stms
+
+#endif // STMS_CORE_SHARDED_INDEX_TABLE_HH

@@ -20,7 +20,8 @@ makeIdealTmsConfig()
 
 StmsPrefetcher::StmsPrefetcher(const StmsConfig &config)
     : config_(config),
-      index_(config.indexBytes, config.entriesPerBucket),
+      index_(config.indexBytes, config.entriesPerBucket,
+             config.indexShards),
       bucketBuffer_(config.bucketBufferBuckets),
       sampler_(config.samplingProbability, config.seed)
 {

@@ -16,9 +16,9 @@ namespace
 
 const char kUsage[] =
     "usage: driver [--list] [--experiment NAME]... [--threads N]\n"
-    "              [--trace PATH[,format=...]]... [--json PATH|-]\n"
-    "              [--store DIR] [--rerun] [--shard I/N]\n"
-    "              [--results CMD] [--baseline PATH]\n"
+    "              [--index-shards N] [--trace PATH[,format=...]]...\n"
+    "              [--json PATH|-] [--store DIR] [--rerun]\n"
+    "              [--shard I/N] [--results CMD] [--baseline PATH]\n"
     "              [--csv] [--verbose] [key=value]...\n"
     "\n"
     "  --list            list registered experiments and exit\n"
@@ -26,6 +26,13 @@ const char kUsage[] =
     "  --threads N       worker threads for independent runs "
     "(default 1;\n"
     "                    results are bit-identical to serial)\n"
+    "  --index-shards N  lock-striped index-table shards per STMS "
+    "instance\n"
+    "                    (default 1 = the unsharded legacy structure; "
+    "model\n"
+    "                    results are bit-identical for every N; "
+    "N > 1 joins\n"
+    "                    the result-store fingerprint)\n"
     "  --trace SPEC      ingest an on-disk trace: "
     "PATH[,format=native|champsim]\n"
     "                    (repeatable: each ChampSim file is one "
@@ -72,6 +79,30 @@ appendTraceSpec(Options &options, const std::string &spec)
     const std::string existing = options.get("trace", "");
     options.set("trace",
                 existing.empty() ? spec : existing + ";" + spec);
+}
+
+/**
+ * Apply --index-shards: the value flows to the experiments as the
+ * "index-shards" option, so a sharded sweep participates in the
+ * result-store fingerprint like any other parameter. One shard IS
+ * the legacy structure, so it is canonicalized away — `--index-shards
+ * 1` fingerprints (and outputs) byte-identically to not passing the
+ * flag, keeping every archived record reachable.
+ */
+bool
+applyIndexShards(const std::string &value, DriverArgs &args,
+                 std::string &error)
+{
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(value.c_str(), &end, 0);
+    if (value.empty() || *end != '\0' || parsed < 1 ||
+        parsed > (1UL << 16)) {
+        error = "--index-shards needs an integer in [1, 65536]";
+        return false;
+    }
+    if (parsed > 1)
+        args.options.set("index-shards", std::to_string(parsed));
+    return true;
 }
 
 /**
@@ -301,6 +332,11 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
                     args.jsonPath = value;
                     continue;
                 }
+                if (key == "index-shards") {
+                    if (!applyIndexShards(value, args, error))
+                        return false;
+                    continue;
+                }
                 if (key == "trace") {
                     appendTraceSpec(args.options, value);
                     continue;
@@ -364,6 +400,12 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
             if (!value)
                 return false;
             args.jsonPath = value;
+        } else if (token == "--index-shards") {
+            const char *value = nextValue("--index-shards");
+            if (!value)
+                return false;
+            if (!applyIndexShards(value, args, error))
+                return false;
         } else if (token == "--trace") {
             const char *value = nextValue("--trace");
             if (!value)
@@ -390,6 +432,15 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
             if (!value)
                 return false;
             args.resultsCmd = value;
+        } else if (token.rfind("index-shards=", 0) == 0) {
+            // The bare key=value spelling of --index-shards routes
+            // through the same validation and one-shard
+            // canonicalization, so every spelling fingerprints
+            // consistently.
+            if (!applyIndexShards(
+                    token.substr(sizeof("index-shards=") - 1), args,
+                    error))
+                return false;
         } else if (args.options.parseToken(token)) {
             // key=value (or --key=value) passthrough.
         } else if (!args.resultsCmd.empty() && !token.empty() &&

@@ -127,6 +127,15 @@ class ExperimentBase : public Experiment
 std::uint64_t plannedRecords(const Options &options,
                              std::uint64_t fallback);
 
+/**
+ * Index-table shard count for a plan: the "index-shards" option
+ * (set by the driver's --index-shards flag) when present, else 1 —
+ * the unsharded legacy structure. Sharding never changes model
+ * results, so every STMS experiment threads this through its
+ * StmsConfig unconditionally.
+ */
+std::uint32_t plannedIndexShards(const Options &options);
+
 } // namespace stms::driver
 
 #endif // STMS_DRIVER_EXPERIMENT_HH

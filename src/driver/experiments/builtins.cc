@@ -17,6 +17,7 @@ registerBuiltinExperiments(ExperimentRegistry &registry)
     registry.add(makeFig8Sampling());
     registry.add(makeFig9Performance());
     registry.add(makeTable2Mlp());
+    registry.add(makeIndexContention());
     registry.add(makeIngestReplay());
     registry.add(makeSynthVsIngest());
     registry.add(makeAblateBucket());

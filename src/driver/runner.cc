@@ -30,7 +30,21 @@ ExperimentRunner::execute(const Experiment &experiment,
                           const Options &options,
                           ExecStats *stats) const
 {
-    const std::vector<RunSpec> plan = experiment.plan(options);
+    std::vector<RunSpec> plan = experiment.plan(options);
+
+    // Cross-cutting STMS knobs apply here, after plan(), so every
+    // experiment honors them without threading them through each
+    // definition. Sharding the index table never changes model
+    // results (core/sharded_index_table.hh), so this cannot
+    // invalidate a plan's figure semantics.
+    const std::uint32_t index_shards = plannedIndexShards(options);
+    if (index_shards > 1) {
+        for (RunSpec &spec : plan) {
+            if (spec.config.stms)
+                spec.config.stms->indexShards = index_shards;
+        }
+    }
+
     ExecStats local;
     local.planned = plan.size();
 

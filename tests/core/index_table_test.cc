@@ -25,6 +25,99 @@ TEST(HistoryPointer, PackUnpackRoundTrip)
     }
 }
 
+TEST(HistoryPointer, PackedMasksSeqAtThe48BitBoundary)
+{
+    // Regression: packed() used to OR seq unmasked into the low 48
+    // bits, so a seq >= 2^48 silently corrupted the core field.
+    const SeqNum boundary = HistoryPointer::kSeqMask;  // 2^48 - 1.
+    HistoryPointer original{0xabcd, boundary};
+    const HistoryPointer copy =
+        HistoryPointer::unpack(original.packed());
+    EXPECT_EQ(copy.core, 0xabcdu);
+    EXPECT_EQ(copy.seq, boundary);
+}
+
+TEST(HistoryPointerDeathTest, PackedOverflowPanics)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    HistoryPointer overflow{3, SeqNum{1} << HistoryPointer::kSeqBits};
+    EXPECT_DEATH((void)overflow.packed(), "overflows");
+}
+
+TEST(IndexTable, BoundedAndUnboundedAgreeOnSubBlockOffsets)
+{
+    // Regression: bounded mode hashed blockNumber(block) but tagged
+    // the raw byte address, while unbounded mode keyed the raw
+    // address — two addresses inside one cache block aliased
+    // differently between the modes. Both now key by block number.
+    IndexTable bounded(1 << 16);
+    IndexTable unbounded(0);
+    const Addr base = blockAddress(777);
+    for (IndexTable *table : {&bounded, &unbounded}) {
+        table->update(base + 7, HistoryPointer{0, 42});
+        // Any byte inside the block names the same miss stream.
+        auto hit = table->lookup(base + 13);
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(hit->seq, 42u);
+        // The neighboring block stays a distinct key.
+        EXPECT_FALSE(table->lookup(base + kBlockBytes).has_value());
+        EXPECT_EQ(table->occupancy(), 1u);
+    }
+}
+
+TEST(IndexTable, LiveOccupancyMatchesScanUnderChurn)
+{
+    // Regression: occupancy() was an O(buckets x entries) scan that
+    // benches polled per interval; it is now a live counter, with the
+    // scan kept as this cross-check.
+    IndexTable table(1 << 10, 4);  // 16 buckets: plenty of eviction.
+    for (Addr i = 0; i < 2000; ++i) {
+        table.update(blockAddress(i % 300), HistoryPointer{0, i});
+        if (i % 3 == 0)
+            table.lookup(blockAddress(i % 150));
+        if (i % 97 == 0)
+            EXPECT_EQ(table.occupancy(), table.occupancyScan());
+    }
+    EXPECT_EQ(table.occupancy(), table.occupancyScan());
+    EXPECT_GT(table.stats().replacements, 0u);
+}
+
+TEST(IndexTable, HitReshufflePreservesRelativeOrderOfUntouched)
+{
+    // One bucket, four slots. After touching B, the untouched pairs
+    // must keep their relative age (A still oldest, then C, then D),
+    // so evictions under pressure come out A first, then C.
+    IndexTable table(kBlockBytes, 4);
+    for (Addr i = 1; i <= 4; ++i)  // A=1 B=2 C=3 D=4; MRU: D,C,B,A.
+        table.update(blockAddress(i), HistoryPointer{0, i});
+    EXPECT_TRUE(table.lookup(blockAddress(2)).has_value());  // B MRU.
+    table.update(blockAddress(5), HistoryPointer{0, 5});  // Evicts A.
+    EXPECT_FALSE(table.lookup(blockAddress(1)).has_value());
+    table.update(blockAddress(6), HistoryPointer{0, 6});  // Evicts C.
+    EXPECT_FALSE(table.lookup(blockAddress(3)).has_value());
+    for (Addr i : {Addr{2}, Addr{4}, Addr{5}, Addr{6}})
+        EXPECT_TRUE(table.lookup(blockAddress(i)).has_value()) << i;
+}
+
+TEST(IndexTable, UpdateRefreshMovesToMruWithoutOccupancyChange)
+{
+    IndexTable table(kBlockBytes, 3);
+    for (Addr i = 1; i <= 3; ++i)  // MRU order: 3,2,1.
+        table.update(blockAddress(i), HistoryPointer{0, i});
+    EXPECT_EQ(table.occupancy(), 3u);
+    table.update(blockAddress(1), HistoryPointer{0, 99});  // Refresh.
+    EXPECT_EQ(table.occupancy(), 3u);
+    EXPECT_EQ(table.stats().inserts, 3u);
+    EXPECT_EQ(table.stats().replacements, 0u);
+    // 1 is now MRU (order 1,3,2): the next insert evicts 2, not 1.
+    table.update(blockAddress(4), HistoryPointer{0, 4});
+    EXPECT_FALSE(table.lookup(blockAddress(2)).has_value());
+    auto refreshed = table.lookup(blockAddress(1));
+    ASSERT_TRUE(refreshed.has_value());
+    EXPECT_EQ(refreshed->seq, 99u);
+    EXPECT_EQ(table.occupancy(), 3u);
+}
+
 TEST(IndexTable, UpdateThenLookup)
 {
     IndexTable table(1 << 20);
