@@ -15,6 +15,9 @@
 #include "prefetch/prefetch_buffer.hh"
 #include "sim/cache.hh"
 #include "sim/event_queue.hh"
+#include "sim/run.hh"
+#include "workload/generators.hh"
+#include "workload/workloads.hh"
 
 using namespace stms;
 
@@ -138,6 +141,56 @@ BM_CacheAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheAccess);
+
+/**
+ * The cache-probe fast path: repeated hits on a hot set, i.e. the
+ * per-record L1 probe every simulated access pays (inlined
+ * access()/findLine()/LRU touch). A regression here is a regression
+ * on every record of every sweep, visible without running one.
+ */
+void
+BM_CacheProbeHit(benchmark::State &state)
+{
+    Cache cache(CacheConfig{"bench-l1", 64 * 1024, 2,
+                            ReplPolicy::Lru, 7});
+    // Resident hot set, as the L1 sees between misses.
+    constexpr std::uint64_t kHotBlocks = 256;
+    for (std::uint64_t b = 0; b < kHotBlocks; ++b)
+        cache.fill(blockAddress(b));
+    Rng rng(8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(blockAddress(rng.below(kHotBlocks)), false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheProbeHit);
+
+/**
+ * The batched record-dispatch loop, end to end: one functional-mode
+ * runTrace() over a pregenerated trace — TraceCore walking cursor
+ * chunks with a plain pointer, the warmup-barrier counter, the L1
+ * fast path, and the event queue behind it. Items = trace records,
+ * so items/sec here is the same records/sec unit perf_suite tracks;
+ * this is the bench that catches inner-loop regressions without a
+ * full sweep.
+ */
+void
+BM_RecordDispatch(benchmark::State &state)
+{
+    WorkloadSpec spec = makeWorkload("oltp-db2", 16384);
+    const Trace trace = WorkloadGenerator(spec).generate();
+    RunConfig config;
+    config.sim = defaultSimConfig(true);
+    for (auto _ : state) {
+        RunOutput out = runTrace(trace, config);
+        benchmark::DoNotOptimize(out.sim.mem.accesses);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.totalRecords()));
+}
+BENCHMARK(BM_RecordDispatch);
 
 void
 BM_EventQueue(benchmark::State &state)

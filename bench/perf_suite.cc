@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Stub: the simulator-throughput bench is the "perf_suite"
+ * experiment of the unified driver (src/driver). Equivalent:
+ *
+ *   driver --experiment perf_suite records=65536 threads=2
+ *
+ * tools/bench_report.py owns the canonical invocation and the
+ * BENCH_*.json trajectory artifact (docs/PERF.md).
+ */
+
+#include "driver/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return stms::driver::experimentMain("perf_suite", argc, argv);
+}

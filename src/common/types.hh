@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/inplace_function.hh"
+
 namespace stms
 {
 
@@ -123,6 +125,16 @@ enum class Priority : std::uint8_t
     High,  ///< Processor-initiated demand requests.
     Low,   ///< Prefetch and predictor meta-data traffic.
 };
+
+/**
+ * Completion callback of a timed memory/meta request, carrying the
+ * finish tick. Inline storage (no heap allocation per request): the
+ * largest producer is the STMS lookup continuation at exactly 40
+ * captured bytes, and the memory controller re-wraps a TimedCallback
+ * plus a tick into a 64-byte EventQueue callback — both capacities
+ * are sized so that chain never allocates.
+ */
+using TimedCallback = InplaceFunction<void(Cycle), 40>;
 
 } // namespace stms
 

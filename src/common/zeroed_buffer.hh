@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lazily-zeroed flat storage for the big simulated-memory tables.
+ *
+ * The index table and history buffers model tens of megabytes of main
+ * memory per run. Building them from std::vector::assign() memsets the
+ * whole region up front — the profile showed ~40% of a short sweep's
+ * wall time spent zero-filling pages most runs never touch. calloc()
+ * instead hands back copy-on-write zero pages from the kernel: the
+ * allocation is O(1), untouched buckets never fault in, and the
+ * observable contents are bytewise identical (all-zero), so model
+ * results cannot change.
+ *
+ * Restricted to trivially-copyable, trivially-destructible element
+ * types whose all-zero byte pattern is a valid "empty" state (the
+ * structures above guard every read behind a `valid` flag or a head
+ * counter, so their zero state never leaks).
+ */
+
+#ifndef STMS_COMMON_ZEROED_BUFFER_HH
+#define STMS_COMMON_ZEROED_BUFFER_HH
+
+#include <cstddef>
+#include <cstdlib>
+#include <type_traits>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace stms
+{
+
+/** calloc-backed array of @p T, zero pages faulted in on first use. */
+template <typename T>
+class ZeroedBuffer
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ZeroedBuffer requires trivial element types");
+
+  public:
+    ZeroedBuffer() = default;
+
+    explicit ZeroedBuffer(std::size_t count) { reset(count); }
+
+    ZeroedBuffer(ZeroedBuffer &&other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0))
+    {}
+
+    ZeroedBuffer &
+    operator=(ZeroedBuffer &&other) noexcept
+    {
+        if (this != &other) {
+            std::free(data_);
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+        }
+        return *this;
+    }
+
+    ZeroedBuffer(const ZeroedBuffer &) = delete;
+    ZeroedBuffer &operator=(const ZeroedBuffer &) = delete;
+
+    ~ZeroedBuffer() { std::free(data_); }
+
+    /** Replace the contents with @p count zeroed elements. */
+    void
+    reset(std::size_t count)
+    {
+        std::free(data_);
+        data_ = nullptr;
+        size_ = 0;
+        if (count == 0)
+            return;
+        data_ = static_cast<T *>(std::calloc(count, sizeof(T)));
+        stms_assert(data_ != nullptr,
+                    "ZeroedBuffer: out of memory (%zu x %zu bytes)",
+                    count, sizeof(T));
+        size_ = count;
+    }
+
+    T &operator[](std::size_t index) { return data_[index]; }
+    const T &operator[](std::size_t index) const { return data_[index]; }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+  private:
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace stms
+
+#endif // STMS_COMMON_ZEROED_BUFFER_HH

@@ -11,7 +11,7 @@ HistoryBuffer::HistoryBuffer(std::uint64_t capacity_entries,
 {
     stms_assert(entries_per_block > 0, "entriesPerBlock must be nonzero");
     if (capacity_ > 0)
-        store_.assign(capacity_, HistoryEntry{});
+        store_ = std::make_unique_for_overwrite<HistoryEntry[]>(capacity_);
 }
 
 SeqNum
@@ -19,7 +19,7 @@ HistoryBuffer::append(Addr block)
 {
     const SeqNum seq = head_++;
     if (unbounded()) {
-        store_.push_back(HistoryEntry{block, false});
+        grow_.push_back(HistoryEntry{block, false});
     } else {
         store_[seq % capacity_] = HistoryEntry{block, false};
     }
@@ -42,7 +42,7 @@ HistoryBuffer::at(SeqNum seq) const
     stms_assert(valid(seq), "history read of invalid seq %llu (head %llu)",
                 static_cast<unsigned long long>(seq),
                 static_cast<unsigned long long>(head_));
-    return unbounded() ? store_[seq] : store_[seq % capacity_];
+    return unbounded() ? grow_[seq] : store_[seq % capacity_];
 }
 
 bool
@@ -50,7 +50,7 @@ HistoryBuffer::setEndMark(SeqNum seq)
 {
     if (!valid(seq))
         return false;
-    (unbounded() ? store_[seq] : store_[seq % capacity_]).endMark = true;
+    (unbounded() ? grow_[seq] : store_[seq % capacity_]).endMark = true;
     return true;
 }
 

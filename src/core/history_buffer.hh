@@ -23,6 +23,7 @@
 #define STMS_CORE_HISTORY_BUFFER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
@@ -89,7 +90,13 @@ class HistoryBuffer
   private:
     std::uint64_t capacity_;
     std::uint32_t entriesPerBlock_;
-    std::vector<HistoryEntry> store_;
+    /** Bounded (circular) storage. Allocated uninitialized: an entry
+     *  is written by append() before any read can see it (valid()
+     *  bounds every access by head_), so the multi-megabyte window
+     *  costs no zero-fill and faults in only as the log grows. */
+    std::unique_ptr<HistoryEntry[]> store_;
+    /** Unbounded (idealized) storage, grown on append. */
+    std::vector<HistoryEntry> grow_;
     SeqNum head_ = 0;
 };
 

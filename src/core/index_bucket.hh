@@ -2,32 +2,42 @@
  * @file
  * In-bucket storage and LRU mechanics of the index table (Sec. 4.3).
  *
- * One bucket is a single 64-byte memory block holding up to twelve
- * {key, pointer} pairs kept in LRU order, MRU at slot 0. These
- * helpers are shared by IndexTable and ShardedIndexTable so the two
+ * One bucket models a single 64-byte memory block holding up to
+ * twelve {key, pointer} pairs kept in LRU order, MRU at slot 0. The
+ * mechanics are shared by IndexTable and ShardedIndexTable so the two
  * structures cannot drift: the sharded table must stay bit-identical
  * to the unsharded one for any shard count, and that guarantee is
  * structural (same code), not just tested.
+ *
+ * Storage is structure-of-arrays, tuned for the probe fast path:
+ *
+ *  - a dense byte of live-pair count per bucket (valid pairs always
+ *    form a prefix, because every insert and refresh promotes to MRU),
+ *  - the keys of one bucket contiguous (96 bytes at the paper's
+ *    packing), so a miss scan touches 1-2 cache lines instead of the
+ *    5 lines the old array-of-structs layout spread a bucket over,
+ *  - pointers in a parallel array, touched only on a hit.
+ *
+ * Only the count array needs zero-initialization (count 0 == empty
+ * bucket); keys and pointers are allocated uninitialized and never
+ * read beyond the count, which makes constructing a multi-megabyte
+ * table nearly free — the profile showed eager zero-fill of the old
+ * layout costing ~40% of a short sweep.
  */
 
 #ifndef STMS_CORE_INDEX_BUCKET_HH
 #define STMS_CORE_INDEX_BUCKET_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
+#include "common/log.hh"
 #include "common/types.hh"
+#include "common/zeroed_buffer.hh"
 
 namespace stms::detail
 {
-
-/** One {key, packed-pointer} pair of a 64-byte index bucket. */
-struct IndexPair
-{
-    Addr key = kInvalidAddr;
-    std::uint64_t pointer = 0;
-    bool valid = false;
-};
 
 /** What an in-bucket update did (drives stat and occupancy counters). */
 enum class BucketUpdate : std::uint8_t
@@ -37,48 +47,105 @@ enum class BucketUpdate : std::uint8_t
     Replaced,   ///< Key absent: the LRU pair was displaced.
 };
 
-/** Shift slots [0, index) down one and write @p pair at MRU. */
-inline void
-bucketPromote(IndexPair *bucket, std::uint32_t index,
-              const IndexPair &pair)
+/** SoA bucket array with exact in-bucket LRU (MRU at slot 0). */
+class BucketStore
 {
-    for (std::uint32_t j = index; j > 0; --j)
-        bucket[j] = bucket[j - 1];
-    bucket[0] = pair;
-}
+  public:
+    BucketStore() = default;
 
-/** Find @p key in the bucket; a hit refreshes the LRU order. */
-inline std::optional<std::uint64_t>
-bucketLookup(IndexPair *bucket, std::uint32_t entries, Addr key)
-{
-    for (std::uint32_t i = 0; i < entries; ++i) {
-        if (bucket[i].valid && bucket[i].key == key) {
-            const IndexPair hit = bucket[i];
-            bucketPromote(bucket, i, hit);
-            return hit.pointer;
-        }
+    /** Allocate @p buckets empty buckets of @p entries pairs each. */
+    void
+    reset(std::uint64_t buckets, std::uint32_t entries)
+    {
+        stms_assert(entries > 0 && entries <= 255,
+                    "entries per bucket %u outside [1, 255]", entries);
+        entries_ = entries;
+        buckets_ = buckets;
+        counts_.reset(buckets);
+        keys_ = std::make_unique_for_overwrite<std::uint64_t[]>(
+            buckets * entries);
+        pointers_ = std::make_unique_for_overwrite<std::uint64_t[]>(
+            buckets * entries);
     }
-    return std::nullopt;
-}
 
-/** Insert or refresh {key, pointer}: MRU insertion, LRU displacement
- *  when the bucket is full. */
-inline BucketUpdate
-bucketUpdate(IndexPair *bucket, std::uint32_t entries, Addr key,
-             std::uint64_t pointer)
-{
-    for (std::uint32_t i = 0; i < entries; ++i) {
-        if (bucket[i].valid && bucket[i].key == key) {
-            bucketPromote(bucket, i, IndexPair{key, pointer, true});
-            return BucketUpdate::Refreshed;
+    /** Find @p key in @p bucket; a hit refreshes the LRU order. */
+    std::optional<std::uint64_t>
+    lookup(std::uint64_t bucket, std::uint64_t key)
+    {
+        const std::uint32_t count = counts_[bucket];
+        std::uint64_t *keys = &keys_[bucket * entries_];
+        for (std::uint32_t i = 0; i < count; ++i) {
+            if (keys[i] == key) {
+                std::uint64_t *pointers = &pointers_[bucket * entries_];
+                const std::uint64_t hit = pointers[i];
+                promote(keys, pointers, i, key, hit);
+                return hit;
+            }
         }
+        return std::nullopt;
     }
-    const BucketUpdate kind = bucket[entries - 1].valid
-                                  ? BucketUpdate::Replaced
-                                  : BucketUpdate::Inserted;
-    bucketPromote(bucket, entries - 1, IndexPair{key, pointer, true});
-    return kind;
-}
+
+    /** Insert or refresh {key, pointer}: MRU insertion, LRU
+     *  displacement when the bucket is full. */
+    BucketUpdate
+    update(std::uint64_t bucket, std::uint64_t key,
+           std::uint64_t pointer)
+    {
+        const std::uint32_t count = counts_[bucket];
+        std::uint64_t *keys = &keys_[bucket * entries_];
+        std::uint64_t *pointers = &pointers_[bucket * entries_];
+        for (std::uint32_t i = 0; i < count; ++i) {
+            if (keys[i] == key) {
+                promote(keys, pointers, i, key, pointer);
+                return BucketUpdate::Refreshed;
+            }
+        }
+        if (count < entries_) {
+            promote(keys, pointers, count, key, pointer);
+            counts_[bucket] = static_cast<std::uint8_t>(count + 1);
+            return BucketUpdate::Inserted;
+        }
+        promote(keys, pointers, entries_ - 1, key, pointer);
+        return BucketUpdate::Replaced;
+    }
+
+    /** Total live pairs (O(buckets) recount; debug cross-check). */
+    std::uint64_t
+    occupancyScan() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t b = 0; b < buckets_; ++b)
+            total += counts_[b];
+        return total;
+    }
+
+    std::uint64_t numBuckets() const { return buckets_; }
+
+  private:
+    /** Shift slots [0, index) down one; write the pair at MRU. */
+    static void
+    promote(std::uint64_t *keys, std::uint64_t *pointers,
+            std::uint32_t index, std::uint64_t key,
+            std::uint64_t pointer)
+    {
+        for (std::uint32_t j = index; j > 0; --j) {
+            keys[j] = keys[j - 1];
+            pointers[j] = pointers[j - 1];
+        }
+        keys[0] = key;
+        pointers[0] = pointer;
+    }
+
+    std::uint32_t entries_ = 0;
+    std::uint64_t buckets_ = 0;
+    /** Live-pair count per bucket; zero = empty, the only state that
+     *  needs initialization. */
+    ZeroedBuffer<std::uint8_t> counts_;
+    /** keys_[bucket * entries_ + slot], MRU-first; uninitialized
+     *  beyond each bucket's count. */
+    std::unique_ptr<std::uint64_t[]> keys_;
+    std::unique_ptr<std::uint64_t[]> pointers_;
+};
 
 } // namespace stms::detail
 

@@ -17,7 +17,7 @@ IndexTable::IndexTable(std::uint64_t total_bytes,
     }
     buckets_ = total_bytes / kBlockBytes;
     stms_assert(buckets_ > 0, "index table smaller than one bucket");
-    store_.assign(buckets_ * entriesPerBucket_, detail::IndexPair{});
+    store_.reset(buckets_, entriesPerBucket_);
 }
 
 std::uint64_t
@@ -42,10 +42,7 @@ IndexTable::lookup(Addr block)
         return HistoryPointer::unpack(it->second);
     }
 
-    detail::IndexPair *base =
-        &store_[bucketOf(block) * entriesPerBucket_];
-    const auto pointer =
-        detail::bucketLookup(base, entriesPerBucket_, key);
+    const auto pointer = store_.lookup(bucketOf(block), key);
     if (!pointer)
         return std::nullopt;
     ++stats_.lookupHits;
@@ -66,10 +63,7 @@ IndexTable::update(Addr block, HistoryPointer pointer)
         return;
     }
 
-    detail::IndexPair *base =
-        &store_[bucketOf(block) * entriesPerBucket_];
-    switch (detail::bucketUpdate(base, entriesPerBucket_, key,
-                                 pointer.packed())) {
+    switch (store_.update(bucketOf(block), key, pointer.packed())) {
     case detail::BucketUpdate::Refreshed:
         break;
     case detail::BucketUpdate::Inserted:
@@ -97,10 +91,7 @@ IndexTable::occupancyScan() const
 {
     if (unbounded())
         return map_.size();
-    std::uint64_t count = 0;
-    for (const detail::IndexPair &pair : store_)
-        count += pair.valid ? 1 : 0;
-    return count;
+    return store_.occupancyScan();
 }
 
 } // namespace stms

@@ -30,6 +30,7 @@
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "common/zeroed_buffer.hh"
 #include "core/index_bucket.hh"
 
 namespace stms
@@ -145,8 +146,8 @@ class IndexTable
   private:
     std::uint32_t entriesPerBucket_;
     std::uint64_t buckets_;
-    /** Bounded storage: buckets_ x entriesPerBucket_, MRU first. */
-    std::vector<detail::IndexPair> store_;
+    /** Bounded storage (SoA buckets; see core/index_bucket.hh). */
+    detail::BucketStore store_;
     /** Unbounded (idealized) storage, keyed by block number. */
     std::unordered_map<Addr, std::uint64_t> map_;
     /** Live pair count of the bounded store (the O(1) occupancy). */

@@ -26,8 +26,7 @@ ShardedIndexTable::ShardedIndexTable(std::uint64_t total_bytes,
             // stored densely at local index b / shards.
             const std::uint64_t owned =
                 buckets_ / shards + (s < buckets_ % shards ? 1 : 0);
-            shard->store.assign(owned * entriesPerBucket_,
-                                detail::IndexPair{});
+            shard->store.reset(owned, entriesPerBucket_);
         }
         shards_.push_back(std::move(shard));
     }
@@ -56,21 +55,25 @@ std::optional<HistoryPointer>
 ShardedIndexTable::lookup(Addr block)
 {
     const Addr key = blockNumber(block);
-    Shard &shard = shardFor(block);
-    std::lock_guard<std::mutex> guard(shard.mutex);
-    ++shard.stats.lookups;
     if (unbounded()) {
+        Shard &shard = shardFor(block);
+        std::lock_guard<std::mutex> guard(shard.mutex);
+        ++shard.stats.lookups;
         auto it = shard.map.find(key);
         if (it == shard.map.end())
             return std::nullopt;
         ++shard.stats.lookupHits;
         return HistoryPointer::unpack(it->second);
     }
-    const std::uint64_t local = bucketOf(block) / numShards();
-    detail::IndexPair *base =
-        &shard.store[local * entriesPerBucket_];
-    const auto pointer =
-        detail::bucketLookup(base, entriesPerBucket_, key);
+    // Hash once: the global bucket determines both the owning shard
+    // and the shard-local index (this is the probe fast path — one
+    // mixHash64 + mod, then exactly one bucket block touched).
+    const std::uint64_t bucket = hashToBucket(key, buckets_);
+    const std::uint32_t count = numShards();
+    Shard &shard = *shards_[count == 1 ? 0 : bucket % count];
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    ++shard.stats.lookups;
+    const auto pointer = shard.store.lookup(bucket / count, key);
     if (!pointer)
         return std::nullopt;
     ++shard.stats.lookupHits;
@@ -81,10 +84,10 @@ void
 ShardedIndexTable::update(Addr block, HistoryPointer pointer)
 {
     const Addr key = blockNumber(block);
-    Shard &shard = shardFor(block);
-    std::lock_guard<std::mutex> guard(shard.mutex);
-    ++shard.stats.updates;
     if (unbounded()) {
+        Shard &shard = shardFor(block);
+        std::lock_guard<std::mutex> guard(shard.mutex);
+        ++shard.stats.updates;
         auto [it, inserted] =
             shard.map.insert_or_assign(key, pointer.packed());
         (void)it;
@@ -92,11 +95,13 @@ ShardedIndexTable::update(Addr block, HistoryPointer pointer)
             ++shard.stats.inserts;
         return;
     }
-    const std::uint64_t local = bucketOf(block) / numShards();
-    detail::IndexPair *base =
-        &shard.store[local * entriesPerBucket_];
-    switch (detail::bucketUpdate(base, entriesPerBucket_, key,
-                                 pointer.packed())) {
+    const std::uint64_t bucket = hashToBucket(key, buckets_);
+    const std::uint32_t count = numShards();
+    Shard &shard = *shards_[count == 1 ? 0 : bucket % count];
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    ++shard.stats.updates;
+    switch (shard.store.update(bucket / count, key,
+                               pointer.packed())) {
     case detail::BucketUpdate::Refreshed:
         break;
     case detail::BucketUpdate::Inserted:
@@ -144,8 +149,7 @@ ShardedIndexTable::occupancyScan() const
             total += shard->map.size();
             continue;
         }
-        for (const detail::IndexPair &pair : shard->store)
-            total += pair.valid ? 1 : 0;
+        total += shard->store.occupancyScan();
     }
     return total;
 }

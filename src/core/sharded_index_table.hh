@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "common/zeroed_buffer.hh"
 #include "core/index_bucket.hh"
 #include "core/index_table.hh"
 
@@ -102,8 +103,9 @@ class ShardedIndexTable
     struct Shard
     {
         mutable std::mutex mutex;
-        /** Bounded storage: owned global buckets, local-dense. */
-        std::vector<detail::IndexPair> store;
+        /** Bounded storage: owned global buckets, local-dense (SoA
+         *  buckets; see core/index_bucket.hh). */
+        detail::BucketStore store;
         /** Unbounded (idealized) storage, keyed by block number. */
         std::unordered_map<Addr, std::uint64_t> map;
         IndexTableStats stats;

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Bounded MPMC hand-off queue for the pipelined run scheduler.
+ *
+ * Stages of the run pipeline (acquire -> simulate -> encode) hand
+ * work over through these queues. The bound is what makes the
+ * pipeline memory-safe: the acquire stage can run at most `capacity`
+ * items ahead of the simulators, so the set of pinned traces — and
+ * with it peak RSS — stays constant no matter how long the sweep is.
+ *
+ * close() ends the stream: blocked producers give up, and consumers
+ * drain the remaining items before pop() returns nullopt.
+ */
+
+#ifndef STMS_DRIVER_BOUNDED_QUEUE_HH
+#define STMS_DRIVER_BOUNDED_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace stms::driver
+{
+
+/** Blocking bounded queue; any number of producers and consumers. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        stms_assert(capacity > 0, "queue capacity must be nonzero");
+    }
+
+    /**
+     * Block until there is room, then enqueue @p item.
+     * @return false if the queue was closed (item dropped).
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available or the queue is closed and
+     * drained. @return the item, or nullopt at end of stream.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock,
+                       [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return item;
+    }
+
+    /** End the stream: producers stop, consumers drain then finish. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+  private:
+    const std::size_t capacity_;
+    std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace stms::driver
+
+#endif // STMS_DRIVER_BOUNDED_QUEUE_HH

@@ -16,16 +16,33 @@ namespace
 
 const char kUsage[] =
     "usage: driver [--list] [--experiment NAME]... [--threads N]\n"
+    "              [--pipeline] [--trace-cache-mb N]\n"
     "              [--index-shards N] [--trace PATH[,format=...]]...\n"
-    "              [--json PATH|-] [--store DIR] [--rerun]\n"
-    "              [--shard I/N] [--results CMD] [--baseline PATH]\n"
-    "              [--csv] [--verbose] [key=value]...\n"
+    "              [--json PATH|-] [--no-timing] [--store DIR]\n"
+    "              [--rerun] [--shard I/N] [--results CMD]\n"
+    "              [--baseline PATH] [--csv] [--verbose]\n"
+    "              [key=value]...\n"
     "\n"
     "  --list            list registered experiments and exit\n"
     "  --experiment NAME run NAME (repeatable; 'all' runs everything)\n"
     "  --threads N       worker threads for independent runs "
     "(default 1;\n"
-    "                    results are bit-identical to serial)\n"
+    "                    0 = auto-detect hardware concurrency; "
+    "results are\n"
+    "                    bit-identical to serial for every N)\n"
+    "  --pipeline        stage-pipelined scheduling: trace "
+    "generation for\n"
+    "                    run k+1 overlaps simulation of run k over "
+    "bounded\n"
+    "                    queues (results stay bit-identical to "
+    "serial)\n"
+    "  --trace-cache-mb N  bound the synthetic-trace cache to N MiB "
+    "(LRU\n"
+    "                    eviction of unpinned traces; 0 = no "
+    "caching;\n"
+    "                    default unbounded); evicted traces "
+    "regenerate\n"
+    "                    bit-identically on demand\n"
     "  --index-shards N  lock-striped index-table shards per STMS "
     "instance\n"
     "                    (default 1 = the unsharded legacy structure; "
@@ -43,7 +60,15 @@ const char kUsage[] =
     "('-' = JSON only\n"
     "                    on stdout, suppressing the text report); "
     "writes are\n"
-    "                    atomic (temp file + rename)\n"
+    "                    atomic (temp file + rename); includes a "
+    "'timing' key\n"
+    "                    (wall clock + per-run stage timings) that "
+    "never joins\n"
+    "                    store fingerprints or snapshot diffs\n"
+    "  --no-timing       omit the timing key (timing is wall-clock "
+    "noise;\n"
+    "                    determinism gates byte-compare timing-free "
+    "reports)\n"
     "  --store DIR       archive completed runs in the result store "
     "at DIR:\n"
     "                    exact-fingerprint duplicates are skipped and\n"
@@ -70,6 +95,52 @@ const char kUsage[] =
     "  --verbose         per-run progress on stderr\n"
     "  key=value         experiment options (e.g. records=65536, "
     "chunk=4096)\n";
+
+/** Strict unsigned parse: the whole token must be a number. */
+bool
+parseUint(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 0);
+    return *end == '\0';
+}
+
+/**
+ * Apply --threads: a strict non-negative integer. 0 is the auto
+ * spelling (resolve std::thread::hardware_concurrency() at run
+ * time); the resolved count is reported in the timing metadata and
+ * never joins fingerprints, so stored results stay
+ * thread-count-independent.
+ */
+bool
+applyThreads(const std::string &value, DriverArgs &args,
+             std::string &error)
+{
+    std::uint64_t parsed = 0;
+    if (!parseUint(value, parsed) || parsed > 4096) {
+        error = "--threads needs an integer in [0, 4096] "
+                "(0 = auto-detect)";
+        return false;
+    }
+    args.threads = static_cast<std::uint32_t>(parsed);
+    return true;
+}
+
+/** Apply --trace-cache-mb: MiB bound, 0 = no caching. */
+bool
+applyTraceCacheMb(const std::string &value, DriverArgs &args,
+                  std::string &error)
+{
+    std::uint64_t parsed = 0;
+    if (!parseUint(value, parsed) || parsed > (1ULL << 24)) {
+        error = "--trace-cache-mb needs an integer in [0, 2^24]";
+        return false;
+    }
+    args.traceCacheMb = parsed;
+    return true;
+}
 
 /** Append one --trace spec to the joined "trace" option the
  *  experiments consume (';'-separated, see trace_io::parseIngestSpec). */
@@ -130,6 +201,25 @@ parseShard(const std::string &text, DriverArgs &args,
     }
     error = "--shard needs I/N with 1 <= I <= N";
     return false;
+}
+
+/** Fold runner ExecStats into the report's timing metadata. */
+ReportTiming
+makeReportTiming(const ExecStats &stats)
+{
+    ReportTiming timing;
+    timing.present = true;
+    timing.wallSeconds = stats.wallSeconds;
+    timing.acquireSeconds = stats.acquireSeconds;
+    timing.simulateSeconds = stats.simulateSeconds;
+    timing.encodeSeconds = stats.encodeSeconds;
+    timing.threads = stats.threadsResolved;
+    timing.pipelined = stats.pipelined;
+    timing.records = stats.recordsProcessed;
+    timing.recordsPerSecond = stats.recordsPerSecond();
+    timing.peakRssKb = peakRssKb();
+    timing.runs = stats.runs;
+    return timing;
 }
 
 void
@@ -200,8 +290,14 @@ runExperiments(const DriverArgs &args)
         }
     }
 
+    if (args.traceCacheMb != DriverArgs::kCacheUnset) {
+        globalTraceCache().setCapacity(args.traceCacheMb *
+                                       (1ULL << 20));
+    }
+
     RunnerConfig runner_config;
     runner_config.threads = args.threads;
+    runner_config.pipeline = args.pipeline;
     runner_config.verbose = args.verbose;
     runner_config.store = store.get();
     runner_config.rerun = args.rerun;
@@ -233,8 +329,9 @@ runExperiments(const DriverArgs &args)
     for (std::size_t i = 0; i < selected.size(); ++i) {
         const Experiment &experiment = *selected[i];
         ExecStats stats;
-        const Report report =
-            runner.run(experiment, args.options, &stats);
+        Report report = runner.run(experiment, args.options, &stats);
+        if (args.timing)
+            report.setTiming(makeReportTiming(stats));
         if (store) {
             std::fprintf(stderr,
                          "[%s] store: %zu of %zu runs resumed, %zu "
@@ -319,13 +416,13 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
                     continue;
                 }
                 if (key == "threads" || key == "j") {
-                    const long parsed =
-                        std::strtol(value.c_str(), nullptr, 0);
-                    if (parsed < 1) {
-                        error = "--threads needs a positive integer";
+                    if (!applyThreads(value, args, error))
                         return false;
-                    }
-                    args.threads = static_cast<std::uint32_t>(parsed);
+                    continue;
+                }
+                if (key == "trace-cache-mb") {
+                    if (!applyTraceCacheMb(value, args, error))
+                        return false;
                     continue;
                 }
                 if (key == "json") {
@@ -363,7 +460,8 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
                 // the same silent fallthrough this block prevents.
                 if (key == "list" || key == "csv" || key == "help" ||
                     key == "h" || key == "verbose" || key == "v" ||
-                    key == "rerun") {
+                    key == "rerun" || key == "pipeline" ||
+                    key == "no-timing") {
                     error = "--" + key + " does not take a value";
                     return false;
                 }
@@ -380,6 +478,16 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
             args.verbose = true;
         } else if (token == "--rerun") {
             args.rerun = true;
+        } else if (token == "--pipeline") {
+            args.pipeline = true;
+        } else if (token == "--no-timing") {
+            args.timing = false;
+        } else if (token == "--trace-cache-mb") {
+            const char *value = nextValue("--trace-cache-mb");
+            if (!value)
+                return false;
+            if (!applyTraceCacheMb(value, args, error))
+                return false;
         } else if (token == "--experiment" || token == "-e") {
             const char *value = nextValue("--experiment");
             if (!value)
@@ -389,12 +497,8 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
             const char *value = nextValue("--threads");
             if (!value)
                 return false;
-            const long parsed = std::strtol(value, nullptr, 0);
-            if (parsed < 1) {
-                error = "--threads needs a positive integer";
+            if (!applyThreads(value, args, error))
                 return false;
-            }
-            args.threads = static_cast<std::uint32_t>(parsed);
         } else if (token == "--json") {
             const char *value = nextValue("--json");
             if (!value)

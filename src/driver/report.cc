@@ -49,6 +49,46 @@ Report::toJson() const
     }
     out += metrics_.empty() ? "},\n" : "\n  },\n";
 
+    // Timing renders before the model output and only when attached:
+    // reports without timing are byte-identical to the pre-timing
+    // format, and determinism gates compare timing-free reports.
+    if (timing_.present) {
+        out += "  \"timing\": {\n";
+        out += "    \"wall_s\": " + jsonNumber(timing_.wallSeconds) +
+               ",\n";
+        out += "    \"threads\": " +
+               std::to_string(timing_.threads) + ",\n";
+        out += std::string("    \"pipeline\": ") +
+               (timing_.pipelined ? "true" : "false") + ",\n";
+        out += "    \"records\": " +
+               std::to_string(timing_.records) + ",\n";
+        out += "    \"records_per_sec\": " +
+               jsonNumber(timing_.recordsPerSecond) + ",\n";
+        out += "    \"peak_rss_kb\": " +
+               std::to_string(timing_.peakRssKb) + ",\n";
+        out += "    \"stages\": {\"acquire_s\": " +
+               jsonNumber(timing_.acquireSeconds) +
+               ", \"simulate_s\": " +
+               jsonNumber(timing_.simulateSeconds) +
+               ", \"encode_s\": " +
+               jsonNumber(timing_.encodeSeconds) + "},\n";
+        out += "    \"runs\": [";
+        for (std::size_t r = 0; r < timing_.runs.size(); ++r) {
+            const ReportRunTiming &run = timing_.runs[r];
+            out += r == 0 ? "\n" : ",\n";
+            out += "      {\"id\": \"" + jsonEscape(run.id) +
+                   "\", \"acquire_s\": " +
+                   jsonNumber(run.acquireSeconds) +
+                   ", \"simulate_s\": " +
+                   jsonNumber(run.simulateSeconds) +
+                   ", \"encode_s\": " +
+                   jsonNumber(run.encodeSeconds) + ", \"wall_s\": " +
+                   jsonNumber(run.wallSeconds) + "}";
+        }
+        out += timing_.runs.empty() ? "]\n" : "\n    ]\n";
+        out += "  },\n";
+    }
+
     out += "  \"tables\": [";
     for (std::size_t t = 0; t < tables_.size(); ++t) {
         const auto &entry = tables_[t];

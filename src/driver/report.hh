@@ -37,6 +37,43 @@ struct ReportTable
     Table table;
 };
 
+/** Stage timings of one executed run (seconds), for the timing key.
+ *  Also the runner's per-run accounting record (runner.hh aliases
+ *  this as RunTiming). */
+struct ReportRunTiming
+{
+    std::string id;
+    double acquireSeconds = 0;   ///< Trace pin/generation (or open).
+    double simulateSeconds = 0;  ///< System construction + run.
+    double encodeSeconds = 0;    ///< Store record build + append.
+    double wallSeconds = 0;      ///< Sum of the stages.
+    std::uint64_t records = 0;   ///< Trace records simulated.
+};
+
+/**
+ * Execution timing metadata attached to a report.
+ *
+ * Rendered under the JSON "timing" key, and ONLY there: timing is
+ * noise, not model output, so it is deliberately excluded from
+ * toResultRecord() — and with it from result-store fingerprints and
+ * snapshot diffs. Determinism gates that byte-compare reports must
+ * run the driver with --no-timing (or strip the key).
+ */
+struct ReportTiming
+{
+    bool present = false;
+    double wallSeconds = 0;
+    double acquireSeconds = 0;
+    double simulateSeconds = 0;
+    double encodeSeconds = 0;
+    std::uint32_t threads = 0;  ///< Resolved worker count.
+    bool pipelined = false;
+    std::uint64_t records = 0;  ///< Trace records simulated.
+    double recordsPerSecond = 0;
+    std::uint64_t peakRssKb = 0;
+    std::vector<ReportRunTiming> runs;
+};
+
 /** Everything one experiment reports. */
 class Report
 {
@@ -53,6 +90,14 @@ class Report
 
     /** Append a line of commentary (rendered after the tables). */
     void addNote(const std::string &note);
+
+    /** Attach execution timing (rendered under the "timing" key). */
+    void setTiming(ReportTiming timing)
+    {
+        timing_ = std::move(timing);
+    }
+
+    const ReportTiming &timing() const { return timing_; }
 
     const std::string &experiment() const { return experiment_; }
     const std::vector<std::pair<std::string, double>> &
@@ -81,6 +126,7 @@ class Report
     std::vector<std::pair<std::string, double>> metrics_;
     std::vector<ReportTable> tables_;
     std::vector<std::string> notes_;
+    ReportTiming timing_;
 };
 
 } // namespace stms::driver

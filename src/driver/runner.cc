@@ -1,16 +1,57 @@
 #include "driver/runner.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "common/log.hh"
+#include "driver/bounded_queue.hh"
 #include "results/fingerprint.hh"
 #include "results/run_codec.hh"
 
 namespace stms::driver
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+std::uint64_t
+peakRssKb()
+{
+    // VmHWM is exact on Linux; ru_maxrss is the portable fallback.
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0)
+            return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#ifdef __APPLE__
+        // ru_maxrss is bytes on macOS, KiB elsewhere.
+        return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+#else
+        return static_cast<std::uint64_t>(usage.ru_maxrss);
+#endif
+    }
+    return 0;
+}
 
 ExperimentRunner::ExperimentRunner(TraceCache &traces,
                                    RunnerConfig config)
@@ -23,6 +64,15 @@ ExperimentRunner::ExperimentRunner(TraceCache &traces,
         stms_assert(config_.store != nullptr,
                     "sharding requires a result store");
     }
+    // threads == 0 auto-detects. The resolved count is execution
+    // metadata only — it never reaches plans, options, or
+    // fingerprints, so stored results stay thread-count-independent.
+    resolvedThreads_ = config_.threads;
+    if (resolvedThreads_ == 0) {
+        resolvedThreads_ = std::thread::hardware_concurrency();
+        if (resolvedThreads_ == 0)
+            resolvedThreads_ = 1;
+    }
 }
 
 RunSet
@@ -30,6 +80,7 @@ ExperimentRunner::execute(const Experiment &experiment,
                           const Options &options,
                           ExecStats *stats) const
 {
+    const Clock::time_point wall_start = Clock::now();
     std::vector<RunSpec> plan = experiment.plan(options);
 
     // Cross-cutting STMS knobs apply here, after plan(), so every
@@ -96,39 +147,64 @@ ExperimentRunner::execute(const Experiment &experiment,
         }
     }
 
+    std::vector<std::size_t> pending;
+    pending.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        if (actions[i] == Action::Run)
+            pending.push_back(i);
+    local.executed = pending.size();
+
+    std::vector<RunTiming> timings(plan.size());
     std::atomic<std::size_t> appended{0};
-    auto executeOne = [&](std::size_t index) {
+
+    // --- Stage bodies -------------------------------------------------
+
+    // acquire: pin the synthetic trace (generating on first use).
+    // Ingest runs open their readers in the simulate stage instead, so
+    // the one-bounded-chunk-per-lane residency guarantee starts only
+    // when the run actually executes.
+    auto acquireOne = [&](std::size_t index) -> TraceCache::Handle {
+        const RunSpec &spec = plan[index];
+        if (spec.ingest)
+            return TraceCache::Handle();
+        const Clock::time_point start = Clock::now();
+        TraceCache::Handle handle =
+            traces_.acquire(spec.workload, spec.records);
+        timings[index].acquireSeconds = secondsSince(start);
+        return handle;
+    };
+
+    // simulate: one isolated System/EventQueue per run.
+    auto simulateOne = [&](std::size_t index,
+                           TraceCache::Handle handle) {
         const RunSpec &spec = plan[index];
         if (spec.ingest) {
             // Ingested traces stream per run — a fresh reader per
             // RunSpec, one bounded chunk per lane resident — and
             // never enter the TraceCache.
+            const Clock::time_point open_start = Clock::now();
             std::string error;
             auto source = trace_io::openSource(*spec.ingest, error);
             if (!source) {
                 stms_fatal("run '%s': %s", spec.id.c_str(),
                            error.c_str());
             }
+            timings[index].acquireSeconds = secondsSince(open_start);
+            const Clock::time_point start = Clock::now();
             outputs[index] = runTrace(*source, spec.config);
+            timings[index].simulateSeconds = secondsSince(start);
+            // A streaming source may not know its length up front
+            // (ChampSim through a decompressor pipe reports 0); the
+            // simulated access count is the records actually driven.
+            timings[index].records = source->totalRecords();
+            if (timings[index].records == 0)
+                timings[index].records =
+                    outputs[index].sim.mem.accesses;
         } else {
-            const Trace &trace =
-                traces_.get(spec.workload, spec.records);
-            outputs[index] = runTrace(trace, spec.config);
-        }
-        if (config_.store) {
-            results::ResultRecord record;
-            record.kind = results::kKindRun;
-            record.fingerprint = fingerprints[index];
-            record.experiment = experiment.name();
-            record.run = spec.id;
-            record.params = results::normalizedParams(options.items());
-            record.gitDescribe = results::gitDescribe();
-            record.timestamp = results::utcTimestamp();
-            record.scalars = results::encodeRunOutput(outputs[index]);
-            if (config_.store->append(record,
-                                      config_.rerun ||
-                                          force_store[index] != 0))
-                appended.fetch_add(1);
+            timings[index].records = handle.trace().totalRecords();
+            const Clock::time_point start = Clock::now();
+            outputs[index] = runTrace(handle.trace(), spec.config);
+            timings[index].simulateSeconds = secondsSince(start);
         }
         if (config_.verbose) {
             std::fprintf(stderr, "[%s] run %zu/%zu done: %s\n",
@@ -137,35 +213,125 @@ ExperimentRunner::execute(const Experiment &experiment,
         }
     };
 
-    std::vector<std::size_t> pending;
-    pending.reserve(plan.size());
-    for (std::size_t i = 0; i < plan.size(); ++i)
-        if (actions[i] == Action::Run)
-            pending.push_back(i);
-    local.executed = pending.size();
+    // encode: serialize into the store.
+    auto encodeOne = [&](std::size_t index) {
+        if (!config_.store)
+            return;
+        const Clock::time_point start = Clock::now();
+        results::ResultRecord record;
+        record.kind = results::kKindRun;
+        record.fingerprint = fingerprints[index];
+        record.experiment = experiment.name();
+        record.run = plan[index].id;
+        record.params = results::normalizedParams(options.items());
+        record.gitDescribe = results::gitDescribe();
+        record.timestamp = results::utcTimestamp();
+        record.scalars = results::encodeRunOutput(outputs[index]);
+        if (config_.store->append(record,
+                                  config_.rerun ||
+                                      force_store[index] != 0))
+            appended.fetch_add(1);
+        timings[index].encodeSeconds = secondsSince(start);
+    };
+
+    // --- Schedules ----------------------------------------------------
 
     const std::size_t workers = std::min<std::size_t>(
-        config_.threads > 0 ? config_.threads : 1, pending.size());
-    if (workers <= 1) {
-        for (const std::size_t index : pending)
-            executeOne(index);
+        std::max<std::uint32_t>(resolvedThreads_, 1), pending.size());
+
+    // Report the execution actually used, not the one requested: a
+    // <= 1-run plan degenerates to fan-out, and the pool never
+    // exceeds the pending work.
+    const bool pipelined = config_.pipeline && pending.size() > 1;
+    local.pipelined = pipelined;
+    local.threadsResolved =
+        static_cast<std::uint32_t>(std::max<std::size_t>(workers, 1));
+
+    if (!pipelined) {
+        // Fan-out: each worker runs all three stages back to back.
+        auto executeOne = [&](std::size_t index) {
+            simulateOne(index, acquireOne(index));
+            encodeOne(index);
+        };
+        if (workers <= 1) {
+            for (const std::size_t index : pending)
+                executeOne(index);
+        } else {
+            std::atomic<std::size_t> next{0};
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (std::size_t w = 0; w < workers; ++w) {
+                pool.emplace_back([&] {
+                    for (std::size_t i = next.fetch_add(1);
+                         i < pending.size(); i = next.fetch_add(1)) {
+                        executeOne(pending[i]);
+                    }
+                });
+            }
+            for (auto &thread : pool)
+                thread.join();
+        }
     } else {
-        std::atomic<std::size_t> next{0};
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
+        // Pipelined: acquire runs ahead over a bounded queue (the
+        // bound caps the pinned-trace working set), the simulator
+        // pool consumes, and a dedicated encoder drains into the
+        // store.
+        struct AcquiredRun
+        {
+            std::size_t index;
+            TraceCache::Handle trace;
+        };
+        BoundedQueue<AcquiredRun> acquired(workers + 2);
+        BoundedQueue<std::size_t> simulated(2 * workers + 2);
+
+        std::thread acquirer([&] {
+            for (const std::size_t index : pending) {
+                if (!acquired.push(
+                        AcquiredRun{index, acquireOne(index)}))
+                    break;
+            }
+            acquired.close();
+        });
+
+        std::vector<std::thread> simulators;
+        simulators.reserve(workers);
         for (std::size_t w = 0; w < workers; ++w) {
-            pool.emplace_back([&] {
-                for (std::size_t i = next.fetch_add(1);
-                     i < pending.size(); i = next.fetch_add(1)) {
-                    executeOne(pending[i]);
+            simulators.emplace_back([&] {
+                while (auto item = acquired.pop()) {
+                    simulateOne(item->index, std::move(item->trace));
+                    simulated.push(item->index);
                 }
             });
         }
-        for (auto &thread : pool)
+
+        std::thread encoder([&] {
+            while (auto index = simulated.pop())
+                encodeOne(*index);
+        });
+
+        acquirer.join();
+        for (auto &thread : simulators)
             thread.join();
+        simulated.close();
+        encoder.join();
     }
 
     local.stored = appended.load();
+
+    // Fold per-run timings (plan order) into the stats.
+    for (const std::size_t index : pending) {
+        RunTiming &timing = timings[index];
+        timing.id = plan[index].id;
+        timing.wallSeconds = timing.acquireSeconds +
+                             timing.simulateSeconds +
+                             timing.encodeSeconds;
+        local.acquireSeconds += timing.acquireSeconds;
+        local.simulateSeconds += timing.simulateSeconds;
+        local.encodeSeconds += timing.encodeSeconds;
+        local.recordsProcessed += timing.records;
+        local.runs.push_back(std::move(timing));
+    }
+    local.wallSeconds = secondsSince(wall_start);
 
     RunSet runs;
     for (std::size_t i = 0; i < plan.size(); ++i)

@@ -2,31 +2,48 @@
  * @file
  * ExperimentRunner — executes an experiment's plan.
  *
- * The runner turns a plan into completed outputs: it resolves each
- * RunSpec's trace through the TraceCache (generated once, shared
- * read-only) — or, for specs carrying an IngestSpec, streams the
- * records from disk in bounded chunks, bypassing the cache — then
- * executes the independent runs on a pool of worker threads and
- * hands the assembled RunSet to report().
+ * The runner turns a plan into completed outputs. Each run passes
+ * through three stages:
+ *
+ *   acquire   pin the synthetic trace in the TraceCache (generating
+ *             it on first use), or note an ingest spec;
+ *   simulate  build an isolated System/EventQueue and run it;
+ *   encode    serialize the RunOutput into the result store.
+ *
+ * Two schedules execute those stages:
+ *
+ *  - fan-out (default): a pool of worker threads, each running all
+ *    three stages of one run back to back — the PR-1 behavior.
+ *  - pipelined (RunnerConfig::pipeline): a dedicated acquire thread
+ *    generates traces ahead of use and hands pinned handles to the
+ *    simulator pool over a bounded queue, while a dedicated encode
+ *    thread drains finished runs into the store. Trace generation
+ *    for run k+1 overlaps simulation of run k, and the queue bound
+ *    caps the pinned-trace working set (pair with a TraceCache
+ *    capacity to bound total residency).
+ *
+ * Either way, outputs are stored by plan index and keyed by id, so a
+ * report assembled from them is bit-identical to serial execution —
+ * the same gate discipline as `--threads N` since PR 1.
  *
  * With a ResultStore attached the runner becomes resumable: each
  * RunSpec is fingerprinted, already-stored points are decoded from
  * their run records instead of re-simulated, and freshly simulated
- * points are appended — so an interrupted sweep re-invoked with the
- * same store executes only the missing fingerprints. Sharding
- * (`--shard i/n`) deterministically partitions the plan by run
- * fingerprint so N machines can split one sweep and merge stores.
+ * points are appended. Sharding (`--shard i/n`) deterministically
+ * partitions the plan by run fingerprint so N machines can split one
+ * sweep and merge stores.
  *
- * Determinism: each run builds its own System/EventQueue from const
- * inputs and all randomness is config-seeded, so a run's output is a
- * pure function of its RunSpec. Outputs are stored by plan index and
- * keyed by id, making `--threads N` bit-identical to `--threads 1`.
+ * Wall-clock timing of every stage is collected into ExecStats; it is
+ * reporting metadata only and never participates in result-store
+ * fingerprints (timing is noise, not model output).
  */
 
 #ifndef STMS_DRIVER_RUNNER_HH
 #define STMS_DRIVER_RUNNER_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "driver/experiment.hh"
 #include "driver/trace_cache.hh"
@@ -38,8 +55,11 @@ namespace stms::driver
 /** Runner knobs (shared by the CLI and tests). */
 struct RunnerConfig
 {
-    /** Worker threads; 0 or 1 runs on the calling thread. */
+    /** Worker threads; 1 runs on the calling thread, 0 auto-detects
+     *  std::thread::hardware_concurrency(). */
     std::uint32_t threads = 1;
+    /** Stage-pipelined scheduling (acquire ahead of simulate). */
+    bool pipeline = false;
     /** Print one progress line per completed run to stderr. */
     bool verbose = false;
     /** Archive runs here (and resume from it) when non-null. The
@@ -54,7 +74,12 @@ struct RunnerConfig
     std::uint32_t shardCount = 0;
 };
 
-/** What execute() did with a plan (store/shard accounting). */
+/** Wall-clock stage timings of one executed run (seconds). The same
+ *  struct the Report renders under its timing key, so the runner's
+ *  accounting and the JSON cannot drift. */
+using RunTiming = ReportRunTiming;
+
+/** What execute() did with a plan (store/shard/timing accounting). */
 struct ExecStats
 {
     std::size_t planned = 0;   ///< RunSpecs in the full plan.
@@ -62,7 +87,30 @@ struct ExecStats
     std::size_t resumed = 0;   ///< Decoded from stored run records.
     std::size_t sharded = 0;   ///< Skipped: belong to other shards.
     std::size_t stored = 0;    ///< Run records appended.
+
+    // Timing metadata (never fingerprinted; see file comment).
+    std::uint32_t threadsResolved = 1;  ///< Actual worker count.
+    bool pipelined = false;
+    double wallSeconds = 0;       ///< Whole execute() duration.
+    double acquireSeconds = 0;    ///< Sum over executed runs.
+    double simulateSeconds = 0;
+    double encodeSeconds = 0;
+    std::uint64_t recordsProcessed = 0;  ///< Trace records simulated.
+    std::vector<RunTiming> runs;  ///< Executed runs, plan order.
+
+    /** Aggregate simulation throughput (records / wall second). */
+    double
+    recordsPerSecond() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(recordsProcessed) /
+                         wallSeconds
+                   : 0.0;
+    }
 };
+
+/** Peak resident set size of this process so far, in KiB. */
+std::uint64_t peakRssKb();
 
 /** Executes experiment plans over a shared trace cache. */
 class ExperimentRunner
@@ -86,9 +134,13 @@ class ExperimentRunner
 
     const RunnerConfig &config() const { return config_; }
 
+    /** Worker threads actually used (0 in config = auto-detected). */
+    std::uint32_t resolvedThreads() const { return resolvedThreads_; }
+
   private:
     TraceCache &traces_;
     RunnerConfig config_;
+    std::uint32_t resolvedThreads_;
 };
 
 } // namespace stms::driver

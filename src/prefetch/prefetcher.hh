@@ -13,7 +13,6 @@
 #define STMS_PREFETCH_PREFETCHER_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "common/types.hh"
@@ -52,7 +51,7 @@ class PrefetchPort
      * @p done fires when the access completes (null for posted writes).
      */
     virtual void metaRequest(TrafficClass cls, std::uint32_t blocks,
-                             std::function<void(Cycle)> done) = 0;
+                             TimedCallback done) = 0;
 
     /** Current simulated time. */
     virtual Cycle now() const = 0;

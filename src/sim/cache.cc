@@ -21,60 +21,6 @@ Cache::Cache(const CacheConfig &config)
         repl_.emplace_back(config.policy, ways_, config.seed + s);
 }
 
-std::uint64_t
-Cache::setIndex(Addr block_addr) const
-{
-    return blockNumber(block_addr) & (sets_ - 1);
-}
-
-Cache::Line *
-Cache::findLine(Addr block_addr, std::uint32_t *way_out)
-{
-    const std::uint64_t set = setIndex(block_addr);
-    Line *base = &lines_[set * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].tag == block_addr) {
-            if (way_out)
-                *way_out = w;
-            return &base[w];
-        }
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(Addr block_addr) const
-{
-    const std::uint64_t set = setIndex(block_addr);
-    const Line *base = &lines_[set * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w)
-        if (base[w].valid && base[w].tag == block_addr)
-            return &base[w];
-    return nullptr;
-}
-
-bool
-Cache::access(Addr block_addr, bool is_write)
-{
-    block_addr = blockAlign(block_addr);
-    std::uint32_t way = 0;
-    Line *line = findLine(block_addr, &way);
-    if (line) {
-        ++stats_.hits;
-        line->dirty |= is_write;
-        repl_[setIndex(block_addr)].touch(way);
-        return true;
-    }
-    ++stats_.misses;
-    return false;
-}
-
-bool
-Cache::contains(Addr block_addr) const
-{
-    return findLine(blockAlign(block_addr)) != nullptr;
-}
-
 Eviction
 Cache::fill(Addr block_addr, bool dirty)
 {

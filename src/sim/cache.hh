@@ -67,12 +67,31 @@ class Cache
     /**
      * Access a block. On a hit, recency is updated and dirtiness is
      * accumulated for writes. Returns true on hit. Does not allocate;
-     * callers fill separately once the block arrives.
+     * callers fill separately once the block arrives. Inline: this is
+     * the per-record probe fast path (every L1 access runs it).
      */
-    bool access(Addr block_addr, bool is_write);
+    bool
+    access(Addr block_addr, bool is_write)
+    {
+        block_addr = blockAlign(block_addr);
+        std::uint32_t way = 0;
+        Line *line = findLine(block_addr, &way);
+        if (line) {
+            ++stats_.hits;
+            line->dirty |= is_write;
+            repl_[setIndex(block_addr)].touch(way);
+            return true;
+        }
+        ++stats_.misses;
+        return false;
+    }
 
     /** Probe without disturbing replacement state or stats. */
-    bool contains(Addr block_addr) const;
+    bool
+    contains(Addr block_addr) const
+    {
+        return findLine(blockAlign(block_addr)) != nullptr;
+    }
 
     /**
      * Install a block, evicting a victim if the set is full.
@@ -105,9 +124,37 @@ class Cache
         bool dirty = false;
     };
 
-    std::uint64_t setIndex(Addr block_addr) const;
-    Line *findLine(Addr block_addr, std::uint32_t *way_out = nullptr);
-    const Line *findLine(Addr block_addr) const;
+    std::uint64_t
+    setIndex(Addr block_addr) const
+    {
+        return blockNumber(block_addr) & (sets_ - 1);
+    }
+
+    Line *
+    findLine(Addr block_addr, std::uint32_t *way_out = nullptr)
+    {
+        const std::uint64_t set = setIndex(block_addr);
+        Line *base = &lines_[set * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (base[w].valid && base[w].tag == block_addr) {
+                if (way_out)
+                    *way_out = w;
+                return &base[w];
+            }
+        }
+        return nullptr;
+    }
+
+    const Line *
+    findLine(Addr block_addr) const
+    {
+        const std::uint64_t set = setIndex(block_addr);
+        const Line *base = &lines_[set * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            if (base[w].valid && base[w].tag == block_addr)
+                return &base[w];
+        return nullptr;
+    }
 
     std::string name_;
     std::uint64_t sets_;

@@ -17,9 +17,9 @@ TraceCore::TraceCore(EventQueue &events, MemorySystem &memory, CoreId id,
     stms_assert(config.window + 2 < kRingSize,
                 "core window %u too large for completion ring",
                 config.window);
-    // Priming the cursor here pre-loads a streaming lane's first
+    // Priming the batch here pre-loads a streaming lane's first
     // chunk and makes done() correct for empty lanes before start().
-    atEnd_ = cursor_.peek() == nullptr;
+    refillBatch();
 }
 
 TraceCore::TraceCore(EventQueue &events, MemorySystem &memory, CoreId id,
@@ -33,7 +33,20 @@ TraceCore::TraceCore(EventQueue &events, MemorySystem &memory, CoreId id,
     stms_assert(config.window + 2 < kRingSize,
                 "core window %u too large for completion ring",
                 config.window);
-    atEnd_ = cursor_.peek() == nullptr;
+    refillBatch();
+}
+
+void
+TraceCore::refillBatch()
+{
+    if (batchTaken_ > 0) {
+        cursor_.consume(batchTaken_);
+        batchTaken_ = 0;
+    }
+    const std::span<const TraceRecord> window = cursor_.chunk();
+    batchPos_ = window.data();
+    batchEnd_ = batchPos_ + window.size();
+    atEnd_ = window.empty();
 }
 
 void
@@ -60,10 +73,13 @@ TraceCore::advance()
             return;
         }
 
-        // Copy the record out: once the cursor advances, a streaming
-        // chunk buffer may be overwritten. Stall paths below return
-        // WITHOUT consuming, so the record is re-peeked on resume.
-        const TraceRecord rec = *cursor_.peek();
+        // Read the record through the batch pointer. Stall paths below
+        // return WITHOUT taking it, so it is re-read on resume; the
+        // fields are copied to locals before takeRecord() because a
+        // refill may recycle a streaming cursor's chunk buffer.
+        const TraceRecord &rec = *batchPos_;
+        const Addr addr = rec.addr;
+        const std::uint16_t think = rec.think;
 
         // Pointer-chasing dependence: wait for the previous record.
         Cycle dep_ready = 0;
@@ -84,21 +100,22 @@ TraceCore::advance()
             return;
         }
 
-        const Cycle issue_tick = std::max(localTime_, dep_ready) + rec.think;
+        const Cycle issue_tick = std::max(localTime_, dep_ready) + think;
         const std::uint64_t rec_idx = index_;
 
         ++index_;
         ++stats_.records;
-        stats_.instructions += static_cast<std::uint64_t>(rec.think) + 1;
-        cursor_.next();
-        atEnd_ = cursor_.peek() == nullptr;
+        stats_.instructions += static_cast<std::uint64_t>(think) + 1;
+        takeRecord();
         localTime_ = issue_tick;
+        if (barrier_ && ++barrier_->issued == barrier_->threshold)
+            barrier_->fire(barrier_->context);
         if (issueCallback_)
             issueCallback_();
 
         // Fast path: L1 hits are core-private and need no global
         // ordering, so they complete inline, possibly ahead of time.
-        if (memory_.tryL1(id_, rec.addr, is_write)) {
+        if (memory_.tryL1(id_, addr, is_write)) {
             const Cycle done_tick = issue_tick + memory_.l1Latency();
             completion_[rec_idx % kRingSize] = done_tick;
             noteRetired(done_tick);
@@ -110,7 +127,6 @@ TraceCore::advance()
             // not wait, but the access still moves data underneath.
             const Cycle done_tick = issue_tick + memory_.l1Latency();
             completion_[rec_idx % kRingSize] = done_tick;
-            const Addr addr = rec.addr;
             events_.scheduleAt(std::max(issue_tick, events_.now()),
                                [this, addr]() {
                                    memory_.demandAccess(id_, addr, true,
@@ -124,7 +140,6 @@ TraceCore::advance()
         // shared L2 and memory controller see them in time order.
         completion_[rec_idx % kRingSize] = kPending;
         ++outstanding_;
-        const Addr addr = rec.addr;
         events_.scheduleAt(
             std::max(issue_tick, events_.now()),
             [this, addr, rec_idx]() {

@@ -16,9 +16,12 @@
  * stays time-ordered.
  *
  * The core consumes its records through a trace_io::RecordCursor —
- * strictly forward, one record at a time — so the same model runs
- * in-memory synthetic traces and traces streamed from disk in
- * bounded chunks without ever materializing the whole lane.
+ * strictly forward — so the same model runs in-memory synthetic
+ * traces and traces streamed from disk in bounded chunks without ever
+ * materializing the whole lane. Records are dispatched in batches:
+ * the core walks the cursor's current contiguous window with a plain
+ * pointer and pays the virtual chunk()/consume() pair once per chunk
+ * instead of a peek()/next() pair per record.
  */
 
 #ifndef STMS_SIM_CORE_HH
@@ -44,6 +47,27 @@ struct CoreConfig
     std::uint32_t window = 16;
     /** Max cycles a synchronous burst may run ahead of global time. */
     Cycle burstQuantum = 2048;
+};
+
+/**
+ * Issue-count barrier shared by the cores of one system.
+ *
+ * The warmup reset must trigger on the exact issue that crosses the
+ * threshold, systemwide. Routing every issue through a std::function
+ * hook cost an indirect call per record; this is a bare counter
+ * compare instead, with the (one-shot) crossing action behind a plain
+ * function pointer. After firing, the threshold is parked at kNever
+ * so the compare stays a never-taken branch.
+ */
+struct IssueBarrier
+{
+    static constexpr std::uint64_t kNever =
+        std::numeric_limits<std::uint64_t>::max();
+
+    std::uint64_t issued = 0;        ///< Records issued, all cores.
+    std::uint64_t threshold = kNever;
+    void (*fire)(void *) = nullptr;  ///< Crossing action (one-shot).
+    void *context = nullptr;
 };
 
 /** Per-core performance statistics. */
@@ -96,7 +120,11 @@ class TraceCore
         finishedCallback_ = std::move(callback);
     }
 
-    /** Invoked after every issued record (for warmup accounting). */
+    /** Count issues into @p barrier (systemwide warmup accounting). */
+    void attachBarrier(IssueBarrier *barrier) { barrier_ = barrier; }
+
+    /** Invoked after every issued record (test hook; production code
+     *  uses the cheaper IssueBarrier). */
     void onIssue(std::function<void()> callback)
     {
         issueCallback_ = std::move(callback);
@@ -110,6 +138,19 @@ class TraceCore
     void accessDone(std::uint64_t record_index, Cycle done_tick);
     void noteRetired(Cycle done_tick);
 
+    /** Retire the current record and step the batch window; refills
+     *  from the cursor when the window empties. */
+    void
+    takeRecord()
+    {
+        ++batchPos_;
+        ++batchTaken_;
+        if (batchPos_ == batchEnd_)
+            refillBatch();
+    }
+
+    void refillBatch();
+
     EventQueue &events_;
     MemorySystem &memory_;
     CoreId id_;
@@ -117,6 +158,11 @@ class TraceCore
     /** Owns the cursor only for the vector-convenience constructor. */
     std::unique_ptr<trace_io::RecordCursor> ownedCursor_;
     trace_io::RecordCursor &cursor_;
+    /** Current batch window [batchPos_, batchEnd_) of the cursor. */
+    const TraceRecord *batchPos_ = nullptr;
+    const TraceRecord *batchEnd_ = nullptr;
+    /** Records taken from the window but not yet consume()d. */
+    std::size_t batchTaken_ = 0;
     bool atEnd_ = false;         ///< Cursor exhausted (all issued).
 
     std::uint64_t index_ = 0;    ///< Next record to issue.
@@ -132,6 +178,7 @@ class TraceCore
     std::vector<Cycle> completion_;
 
     CoreStats stats_;
+    IssueBarrier *barrier_ = nullptr;
     std::function<void()> finishedCallback_;
     std::function<void()> issueCallback_;
 };

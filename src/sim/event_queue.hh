@@ -11,9 +11,9 @@
 #define STMS_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/inplace_function.hh"
 #include "common/types.hh"
 
 namespace stms
@@ -23,7 +23,14 @@ namespace stms
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Inline-storage callback: scheduling an event never allocates.
+     * 64 bytes covers every simulator capture (the largest is a
+     * memory-controller completion callback plus its data-ready
+     * tick); larger captures fail to compile rather than silently
+     * regressing to per-event mallocs.
+     */
+    using Callback = InplaceFunction<void(), 64>;
 
     /** Initial heap capacity: big enough that steady-state simulation
      *  never regrows the backing vector, small enough (~48KB) to be

@@ -18,7 +18,6 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "common/types.hh"
 #include "sim/event_queue.hh"
@@ -76,7 +75,8 @@ struct MemCtrlStats
 class MemController
 {
   public:
-    using Callback = std::function<void(Cycle done)>;
+    /** Inline-storage completion callback (no per-request malloc). */
+    using Callback = TimedCallback;
 
     MemController(EventQueue &events, const MemCtrlConfig &config);
 

@@ -190,7 +190,7 @@ MemorySystem::handleMiss(CoreId core, Addr block, bool is_write,
         }
         if (done)
             mlpMeters_[core].start(now);
-        mshr.waiters.emplace_back(core, std::move(done));
+        mshr.addWaiter(core, std::move(done));
         return;
     }
 
@@ -206,7 +206,7 @@ MemorySystem::handleMiss(CoreId core, Addr block, bool is_write,
     mshr.write = is_write;
     if (done)
         mlpMeters_[core].start(now);
-    mshr.waiters.emplace_back(core, std::move(done));
+    mshr.addWaiter(core, std::move(done));
     mshrs_.emplace(block, std::move(mshr));
 
     mem_.request(TrafficClass::DemandRead, Priority::High, 1,
@@ -250,7 +250,7 @@ MemorySystem::finishDemandFill(Addr block, Mshr &&mshr, Cycle done_tick)
 {
     Eviction l2_victim = l2_.fill(block, mshr.write);
     handleL2Eviction(l2_victim);
-    for (auto &[core, callback] : mshr.waiters) {
+    mshr.forEachWaiter([&](CoreId core, AccessCallback &callback) {
         Eviction l1_victim = l1s_[core]->fill(block, mshr.write);
         if (l1_victim.valid && l1_victim.dirty)
             l2_.markDirty(l1_victim.blockAddr);
@@ -258,7 +258,7 @@ MemorySystem::finishDemandFill(Addr block, Mshr &&mshr, Cycle done_tick)
             mlpMeters_[core].finish(done_tick);
             callback(done_tick, AccessOutcome::Mem);
         }
-    }
+    });
 }
 
 void
@@ -274,7 +274,7 @@ MemorySystem::finishPrefetchFill(Addr block, Mshr &&mshr, Cycle done_tick)
         // to the caches, bypassing the prefetch buffer.
         Eviction l2_victim = l2_.fill(block, mshr.write);
         handleL2Eviction(l2_victim);
-        for (auto &[core, callback] : mshr.waiters) {
+        mshr.forEachWaiter([&](CoreId core, AccessCallback &callback) {
             Eviction l1_victim = l1s_[core]->fill(block, mshr.write);
             if (l1_victim.valid && l1_victim.dirty)
                 l2_.markDirty(l1_victim.blockAddr);
@@ -282,7 +282,7 @@ MemorySystem::finishPrefetchFill(Addr block, Mshr &&mshr, Cycle done_tick)
                 mlpMeters_[core].finish(done_tick);
                 callback(done_tick, AccessOutcome::MemPartial);
             }
-        }
+        });
         return;
     }
 
@@ -337,7 +337,7 @@ MemorySystem::issuePrefetch(Prefetcher &owner, CoreId core, Addr block)
 
 void
 MemorySystem::metaRequest(TrafficClass cls, std::uint32_t blocks,
-                          std::function<void(Cycle)> done)
+                          TimedCallback done)
 {
     const Priority prio = config_.metaHighPriority ? Priority::High
                                                    : Priority::Low;

@@ -152,7 +152,7 @@ class MemorySystem : public PrefetchPort
     IssueResult issuePrefetch(Prefetcher &owner, CoreId core,
                               Addr block) override;
     void metaRequest(TrafficClass cls, std::uint32_t blocks,
-                     std::function<void(Cycle)> done) override;
+                     TimedCallback done) override;
     Cycle now() const override { return events_.now(); }
     std::uint32_t prefetchRoom(const Prefetcher &owner,
                                CoreId core) const override;
@@ -182,7 +182,38 @@ class MemorySystem : public PrefetchPort
         CoreId core = 0;                 ///< Issuer.
         bool demandWaiting = false;      ///< A demand merged in.
         bool write = false;
-        std::vector<std::pair<CoreId, AccessCallback>> waiters;
+        /**
+         * Waiters in arrival order. The overwhelmingly common case is
+         * a single demand waiter, stored inline so registering an MSHR
+         * does not allocate; merges spill into the vector.
+         */
+        bool hasFirstWaiter = false;
+        CoreId firstCore = 0;
+        AccessCallback firstDone;
+        std::vector<std::pair<CoreId, AccessCallback>> moreWaiters;
+
+        void
+        addWaiter(CoreId waiter, AccessCallback done)
+        {
+            if (!hasFirstWaiter) {
+                hasFirstWaiter = true;
+                firstCore = waiter;
+                firstDone = std::move(done);
+            } else {
+                moreWaiters.emplace_back(waiter, std::move(done));
+            }
+        }
+
+        /** Visit waiters in arrival order. */
+        template <typename Fn>
+        void
+        forEachWaiter(Fn &&fn)
+        {
+            if (hasFirstWaiter)
+                fn(firstCore, firstDone);
+            for (auto &[waiter, done] : moreWaiters)
+                fn(waiter, done);
+        }
     };
 
     void handleMiss(CoreId core, Addr block, bool is_write,

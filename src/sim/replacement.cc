@@ -27,7 +27,7 @@ ReplacementState::ReplacementState(ReplPolicy policy, std::uint32_t ways,
 }
 
 void
-ReplacementState::touch(std::uint32_t way)
+ReplacementState::touchSlow(std::uint32_t way)
 {
     stms_assert(way < ways_, "touch of way %u >= %u", way, ways_);
     switch (policy_) {

@@ -40,8 +40,17 @@ class ReplacementState
     ReplacementState(ReplPolicy policy, std::uint32_t ways,
                      std::uint64_t seed = 1);
 
-    /** Record a touch (hit or fill) of @p way. */
-    void touch(std::uint32_t way);
+    /** Record a touch (hit or fill) of @p way. Inline: this runs once
+     *  per cache access on the simulation's hottest path. */
+    void
+    touch(std::uint32_t way)
+    {
+        if (policy_ == ReplPolicy::Lru) {
+            age_[way] = ++clock_;
+            return;
+        }
+        touchSlow(way);
+    }
 
     /** Pick a victim among valid ways; all ways assumed valid. */
     std::uint32_t victim();
@@ -53,6 +62,8 @@ class ReplacementState
     std::uint32_t recencyRank(std::uint32_t way) const;
 
   private:
+    void touchSlow(std::uint32_t way);
+
     ReplPolicy policy_;
     std::uint32_t ways_;
     std::vector<std::uint64_t> age_;

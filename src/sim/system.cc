@@ -29,16 +29,23 @@ CmpSystem::build(trace_io::TraceSource &source)
     config_.memory.numCores = num_cores;
 
     memory_ = std::make_unique<MemorySystem>(events_, config_.memory);
+    // The warmup barrier fires on the exact systemwide issue that
+    // crosses warmupRecords; cores bump the shared counter inline
+    // (no per-record callback).
+    barrier_.threshold = config_.warmupRecords > 0
+                             ? config_.warmupRecords
+                             : IssueBarrier::kNever;
+    barrier_.context = this;
+    barrier_.fire = [](void *context) {
+        static_cast<CmpSystem *>(context)->warmupReached();
+    };
     cursors_.reserve(num_cores);
     cores_.reserve(num_cores);
     for (CoreId c = 0; c < num_cores; ++c) {
         cursors_.push_back(source.openLane(c));
         cores_.push_back(std::make_unique<TraceCore>(
             events_, *memory_, c, config_.core, *cursors_.back()));
-        cores_.back()->onIssue([this]() {
-            ++issuedRecords_;
-            maybeWarmupReset();
-        });
+        cores_.back()->attachBarrier(&barrier_);
     }
     instrSnapshot_.assign(num_cores, 0);
 }
@@ -51,9 +58,12 @@ CmpSystem::addPrefetcher(Prefetcher *prefetcher)
 }
 
 void
-CmpSystem::maybeWarmupReset()
+CmpSystem::warmupReached()
 {
-    if (warmupDone_ || issuedRecords_ < config_.warmupRecords)
+    // One-shot: park the threshold so the cores' compare never fires
+    // again.
+    barrier_.threshold = IssueBarrier::kNever;
+    if (warmupDone_)
         return;
     warmupDone_ = true;
     measureStart_ = events_.now();

@@ -86,7 +86,7 @@ class CmpSystem
 
   private:
     void build(trace_io::TraceSource &source);
-    void maybeWarmupReset();
+    void warmupReached();
 
     SimConfig config_;
     /** Owns the source only for the Trace-convenience constructor. */
@@ -97,7 +97,7 @@ class CmpSystem
     std::vector<std::unique_ptr<TraceCore>> cores_;
     std::uint32_t numPrefetchers_ = 0;
 
-    std::uint64_t issuedRecords_ = 0;
+    IssueBarrier barrier_;
     bool warmupDone_ = false;
     Cycle measureStart_ = 0;
     std::vector<std::uint64_t> instrSnapshot_;

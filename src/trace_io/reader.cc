@@ -30,6 +30,16 @@ class ChunkedCursor final : public RecordCursor
 
     void next() override { ++index_; }
 
+    std::span<const TraceRecord>
+    chunk() override
+    {
+        if (index_ >= chunk_.size() && !exhausted_)
+            refill();
+        return {chunk_.data() + index_, chunk_.size() - index_};
+    }
+
+    void consume(std::size_t count) override { index_ += count; }
+
   private:
     void refill();
 

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,33 @@ class RecordCursor
 
     /** Advance past the record peek() returned. */
     virtual void next() = 0;
+
+    /**
+     * Batched access: the contiguous window of records at the cursor
+     * (at least one record unless the lane is done, when the span is
+     * empty). The window stays valid until consume() retires its last
+     * record; consume(n) advances the cursor past n records of the
+     * current window. This lets the core model dispatch a whole chunk
+     * with two virtual calls instead of a peek/next pair per record.
+     *
+     * The default implementations fall back to peek()/next(), so
+     * single-record cursors need not override them.
+     */
+    virtual std::span<const TraceRecord>
+    chunk()
+    {
+        const TraceRecord *record = peek();
+        return record ? std::span<const TraceRecord>(record, 1)
+                      : std::span<const TraceRecord>();
+    }
+
+    /** Retire @p count records of the window chunk() returned. */
+    virtual void
+    consume(std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            next();
+    }
 };
 
 /** Cursor over a record vector the caller keeps alive (no copy). */
@@ -68,6 +96,14 @@ class VectorCursor final : public RecordCursor
     }
 
     void next() override { ++index_; }
+
+    std::span<const TraceRecord>
+    chunk() override
+    {
+        return {records_.data() + index_, records_.size() - index_};
+    }
+
+    void consume(std::size_t count) override { index_ += count; }
 
   private:
     const std::vector<TraceRecord> &records_;

@@ -28,7 +28,7 @@ class ScriptedPort : public PrefetchPort
 
     void
     metaRequest(TrafficClass cls, std::uint32_t blocks,
-                std::function<void(Cycle)> done) override
+                TimedCallback done) override
     {
         metaBlocks[static_cast<std::size_t>(cls)] += blocks;
         ++metaRequests;
@@ -60,7 +60,7 @@ class ScriptedPort : public PrefetchPort
     std::vector<Addr> issued;
     std::array<std::uint64_t, kNumTrafficClasses> metaBlocks{};
     std::uint64_t metaRequests = 0;
-    std::deque<std::function<void(Cycle)>> pending;
+    std::deque<TimedCallback> pending;
     bool delayMeta = false;
     std::uint32_t room = 16;
     Cycle now_ = 0;

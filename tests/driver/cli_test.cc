@@ -92,11 +92,41 @@ TEST(DriverCli, EqualsOnBooleanFlagsRejected)
     parse({"--verbose=true"}, /*expect_ok=*/false);
 }
 
+TEST(DriverCli, ThreadsZeroMeansAutoDetect)
+{
+    // 0 is the auto spelling (hardware_concurrency at run time).
+    EXPECT_EQ(parse({"--threads", "0"}).threads, 0u);
+    EXPECT_EQ(parse({"--threads=0"}).threads, 0u);
+}
+
 TEST(DriverCli, BadThreadsRejected)
 {
-    parse({"--threads", "0"}, /*expect_ok=*/false);
-    parse({"--threads=0"}, /*expect_ok=*/false);
     parse({"--threads"}, /*expect_ok=*/false);
+    parse({"--threads", "abc"}, /*expect_ok=*/false);
+    parse({"--threads", "8x"}, /*expect_ok=*/false);
+    parse({"--threads", "-2"}, /*expect_ok=*/false);
+    parse({"--threads", "5000"}, /*expect_ok=*/false);
+}
+
+TEST(DriverCli, PipelineAndCacheFlags)
+{
+    const DriverArgs args = parse(
+        {"--pipeline", "--trace-cache-mb", "256", "--no-timing"});
+    EXPECT_TRUE(args.pipeline);
+    EXPECT_EQ(args.traceCacheMb, 256u);
+    EXPECT_FALSE(args.timing);
+
+    const DriverArgs defaults = parse({});
+    EXPECT_FALSE(defaults.pipeline);
+    EXPECT_EQ(defaults.traceCacheMb, DriverArgs::kCacheUnset);
+    EXPECT_TRUE(defaults.timing);
+
+    EXPECT_EQ(parse({"--trace-cache-mb=0"}).traceCacheMb, 0u);
+    parse({"--trace-cache-mb", "junk"}, /*expect_ok=*/false);
+    // Boolean flags take no value (the =value spelling must not
+    // fall through to the option store).
+    parse({"--pipeline=1"}, /*expect_ok=*/false);
+    parse({"--no-timing=1"}, /*expect_ok=*/false);
 }
 
 TEST(DriverCli, UnknownTokensRejected)

@@ -1,0 +1,199 @@
+/** @file Determinism tests of the pipelined run scheduler: every
+ *  combination of threads x pipeline (x shard slices, store-backed)
+ *  must produce byte-identical reports and identical store
+ *  fingerprints — the acceptance gate of the pipeline PR. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <unistd.h>
+
+#include "driver/registry.hh"
+#include "driver/runner.hh"
+#include "driver/trace_cache.hh"
+#include "results/store.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+const Experiment *
+testExperiment()
+{
+    const Experiment *experiment =
+        ExperimentRegistry::global().find("table2");
+    EXPECT_NE(experiment, nullptr);
+    return experiment;
+}
+
+Options
+testOptions()
+{
+    Options options;
+    options.set("records", "1024");
+    return options;
+}
+
+std::string
+runSchedule(std::uint32_t threads, bool pipeline)
+{
+    TraceCache cache;
+    RunnerConfig config;
+    config.threads = threads;
+    config.pipeline = pipeline;
+    ExperimentRunner runner(cache, config);
+    ExecStats stats;
+    const Report report =
+        runner.run(*testExperiment(), testOptions(), &stats);
+    EXPECT_EQ(stats.pipelined, pipeline);
+    EXPECT_EQ(stats.executed, stats.planned);
+    return report.toJson();
+}
+
+TEST(PipelineDeterminism, ThreadsByPipelineMatrixIsBitIdentical)
+{
+    const std::string reference =
+        runSchedule(/*threads=*/1, /*pipeline=*/false);
+    ASSERT_FALSE(reference.empty());
+    for (std::uint32_t threads : {1u, 2u, 4u}) {
+        for (bool pipeline : {false, true}) {
+            EXPECT_EQ(runSchedule(threads, pipeline), reference)
+                << "threads=" << threads
+                << " pipeline=" << pipeline;
+        }
+    }
+}
+
+TEST(PipelineDeterminism, BoundedTraceCacheDoesNotChangeResults)
+{
+    const std::string reference = runSchedule(1, false);
+    // A cache too small to hold anything (every acquire regenerates)
+    // and the no-cache mode both reproduce the reference bytes.
+    for (std::uint64_t capacity : {std::uint64_t{1}, std::uint64_t{0}}) {
+        TraceCache cache(capacity);
+        RunnerConfig config;
+        config.threads = 2;
+        config.pipeline = true;
+        ExperimentRunner runner(cache, config);
+        const Report report =
+            runner.run(*testExperiment(), testOptions());
+        EXPECT_EQ(report.toJson(), reference)
+            << "capacity=" << capacity;
+    }
+}
+
+TEST(PipelineDeterminism, TimingNeverEntersTheModelReport)
+{
+    // setTiming changes toJson (the timing key) but leaves the store
+    // record — what fingerprints and snapshot diffs consume —
+    // untouched.
+    TraceCache cache;
+    ExperimentRunner runner(cache);
+    ExecStats stats;
+    Report report =
+        runner.run(*testExperiment(), testOptions(), &stats);
+    const results::ResultRecord before = report.toResultRecord();
+    const std::string json_before = report.toJson();
+
+    ReportTiming timing;
+    timing.present = true;
+    timing.wallSeconds = stats.wallSeconds;
+    timing.threads = stats.threadsResolved;
+    report.setTiming(timing);
+
+    const results::ResultRecord after = report.toResultRecord();
+    EXPECT_EQ(before.scalars, after.scalars);
+    EXPECT_NE(report.toJson(), json_before);
+    EXPECT_NE(report.toJson().find("\"timing\""), std::string::npos);
+    EXPECT_EQ(json_before.find("\"timing\""), std::string::npos);
+}
+
+class PipelineShardTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("stms_pipeline_shard_" +
+                 std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+TEST_F(PipelineShardTest, ShardedPipelinedSweepMergesBitIdentically)
+{
+    // Execute the sweep as two pipelined, multi-threaded shard
+    // slices into one store, then fold the store into a report: the
+    // bytes and the archived fingerprints must match a serial
+    // store-free sweep exactly.
+    std::string error;
+    auto store = results::ResultStore::open(dir_, error);
+    ASSERT_NE(store, nullptr) << error;
+
+    for (std::uint32_t shard = 1; shard <= 2; ++shard) {
+        TraceCache cache;
+        RunnerConfig config;
+        config.threads = 2;
+        config.pipeline = true;
+        config.store = store.get();
+        config.shardIndex = shard;
+        config.shardCount = 2;
+        ExperimentRunner slice(cache, config);
+        ExecStats stats;
+        slice.execute(*testExperiment(), testOptions(), &stats);
+        EXPECT_EQ(stats.executed + stats.sharded, stats.planned);
+    }
+
+    // The two slices covered the plan exactly once each.
+    TraceCache cache;
+    RunnerConfig merged_config;
+    merged_config.store = store.get();
+    ExperimentRunner merged(cache, merged_config);
+    ExecStats merged_stats;
+    const Report merged_report = merged.run(
+        *testExperiment(), testOptions(), &merged_stats);
+    EXPECT_EQ(merged_stats.resumed, merged_stats.planned);
+    EXPECT_EQ(merged_stats.executed, 0u);
+
+    const std::string serial = runSchedule(1, false);
+    EXPECT_EQ(merged_report.toJson(), serial);
+
+    // Store fingerprints are schedule-independent: a serial
+    // store-backed sweep into a fresh store archives the same
+    // fingerprint set.
+    const std::string other_dir = dir_ + "_serial";
+    fs::remove_all(other_dir);
+    auto serial_store = results::ResultStore::open(other_dir, error);
+    ASSERT_NE(serial_store, nullptr) << error;
+    TraceCache serial_cache;
+    RunnerConfig serial_config;
+    serial_config.store = serial_store.get();
+    ExperimentRunner serial_runner(serial_cache, serial_config);
+    serial_runner.execute(*testExperiment(), testOptions());
+
+    auto fingerprints = [](results::ResultStore &from) {
+        std::vector<std::string> values;
+        for (const auto &record : from.loadAll())
+            values.push_back(record.fingerprint.hex());
+        std::sort(values.begin(), values.end());
+        return values;
+    };
+    EXPECT_EQ(fingerprints(*store), fingerprints(*serial_store));
+    fs::remove_all(other_dir);
+}
+
+} // namespace
+} // namespace stms::driver

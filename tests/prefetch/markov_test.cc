@@ -19,7 +19,7 @@ class RecordingPort : public PrefetchPort
         return IssueResult::Issued;
     }
     void metaRequest(TrafficClass, std::uint32_t,
-                     std::function<void(Cycle)> done) override
+                     TimedCallback done) override
     {
         if (done)
             done(0);

@@ -21,7 +21,7 @@ class RecordingPort : public PrefetchPort
     }
     void
     metaRequest(TrafficClass cls, std::uint32_t blocks,
-                std::function<void(Cycle)> done) override
+                TimedCallback done) override
     {
         metaBlocks[static_cast<std::size_t>(cls)] += blocks;
         if (done)

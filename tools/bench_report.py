@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Canonical perf_suite invocation + BENCH_*.json trajectory writer.
+
+This script owns how the repo measures its own throughput:
+
+  python3 tools/bench_report.py --driver build/driver
+
+runs the pinned perf_suite sweep (fig7 plan, records=65536 unless
+overridden), prints the throughput table, and appends one entry to the
+repo-root trajectory artifact (BENCH_5.json by default).
+
+Gating policy (docs/PERF.md): only *determinism* gates — the model
+metrics (everything not ending in a timing suffix: _s, _per_sec,
+_kb, or _ratio) must be bit-identical across thread counts and
+schedules. Throughput numbers
+are informational: they are recorded in the trajectory, never asserted
+against, because shared CI runners make wall-clock assertions flaky.
+
+Options:
+  --records N            sweep length per core (default 65536; CI
+                         smoke uses something small like 8192)
+  --threads N            pipelined-schedule worker pool (default 2)
+  --gate                 run the sweep at two pipeline thread counts
+                         and fail unless all model metrics match
+  --reference-binary P   also time an older driver binary on the same
+                         pinned sweep (plain `--experiment fig7`) and
+                         record the speedup of the current binary
+  --out PATH             trajectory file (default BENCH_5.json next
+                         to this repo's root)
+  --no-write             measure and print, do not touch the artifact
+"""
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TIMING_SUFFIXES = ("_s", "_per_sec", "_kb", "_ratio")
+
+
+def is_timing_metric(name: str) -> bool:
+    return name.endswith(TIMING_SUFFIXES)
+
+
+def run_perf_suite(driver, records, threads, extra=()):
+    """Run perf_suite once; return its metrics dict."""
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        cmd = [
+            str(driver), "--experiment", "perf_suite", "--json",
+            tmp.name, f"records={records}", f"threads={threads}",
+            *extra,
+        ]
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        report = json.load(open(tmp.name))
+    return report["metrics"]
+
+
+def time_reference_sweep(binary, records):
+    """Wall-time a plain fig7 sweep — the invocation shape every
+    driver version supports, so old binaries can be compared."""
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        cmd = [
+            str(binary), "--experiment", "fig7", "--json", tmp.name,
+            f"records={records}",
+        ]
+        start = time.monotonic()
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        return time.monotonic() - start
+
+
+def model_metrics(metrics):
+    return {k: v for k, v in metrics.items() if not is_timing_metric(k)}
+
+
+def print_table(metrics):
+    rows = [("schedule", "records/s", "wall s", "peak RSS MB")]
+    for mode in ("serial", "pipeline"):
+        rows.append((
+            mode,
+            f"{metrics[f'{mode}.records_per_sec']:,.0f}",
+            f"{metrics[f'{mode}.wall_s']:.2f}",
+            f"{metrics[f'{mode}.peak_rss_kb'] / 1024:.1f}",
+        ))
+    widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+    for r in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--driver", default=REPO_ROOT / "build/driver")
+    parser.add_argument("--records", type=int, default=65536)
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--gate", action="store_true")
+    parser.add_argument("--reference-binary")
+    parser.add_argument("--out", default=REPO_ROOT / "BENCH_5.json")
+    parser.add_argument("--no-write", action="store_true")
+    args = parser.parse_args()
+
+    metrics = run_perf_suite(args.driver, args.records, args.threads)
+    print_table(metrics)
+
+    if args.gate:
+        # Determinism gate: a different pipelined worker count must
+        # reproduce every model metric bit for bit. (perf_suite
+        # additionally asserts serial == pipelined internally.)
+        other = run_perf_suite(args.driver, args.records,
+                               args.threads + 1)
+        a, b = model_metrics(metrics), model_metrics(other)
+        if not a or a != b:
+            print("determinism gate FAILED:", file=sys.stderr)
+            for key in sorted(set(a) | set(b)):
+                if a.get(key) != b.get(key):
+                    print(f"  {key}: {a.get(key)} != {b.get(key)}",
+                          file=sys.stderr)
+            return 1
+        print(f"determinism gate OK: {len(a)} model metrics "
+              f"bit-identical across pipeline thread counts "
+              f"{args.threads} and {args.threads + 1}")
+
+    entry = {
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "git": git_describe(),
+        "records": int(metrics["records"]),
+        "runs": int(metrics["runs"]),
+        "model_digest": "%08x%08x" % (int(metrics["model_digest_hi"]),
+                                      int(metrics["model_digest_lo"])),
+    }
+    for mode in ("serial", "pipeline"):
+        for field in ("records_per_sec", "wall_s", "acquire_s",
+                      "simulate_s", "encode_s", "peak_rss_kb"):
+            entry[f"{mode}_{field}"] = metrics[f"{mode}.{field}"]
+
+    if args.reference_binary:
+        # Same pinned sweep, same machine, both binaries, identical
+        # external invocation (plain fig7) — the apples-to-apples
+        # basis of the speedup claim.
+        ref_wall = time_reference_sweep(args.reference_binary,
+                                        args.records)
+        new_wall = time_reference_sweep(args.driver, args.records)
+        entry["reference"] = {
+            "binary": str(args.reference_binary),
+            "fig7_wall_s": ref_wall,
+            "current_fig7_wall_s": new_wall,
+            "speedup": ref_wall / new_wall if new_wall > 0 else 0.0,
+        }
+        print(f"reference sweep: {ref_wall:.2f}s -> {new_wall:.2f}s "
+              f"({ref_wall / new_wall:.2f}x)")
+
+    if args.no_write:
+        return 0
+
+    out = pathlib.Path(args.out)
+    trajectory = {"bench": "perf_suite",
+                  "pinned_sweep": "fig7 (standard suite x {1.0, "
+                                  "0.125} sampling, functional mode)",
+                  "entries": []}
+    if out.exists() and out.stat().st_size > 0:
+        trajectory = json.load(open(out))
+    trajectory["entries"].append(entry)
+    tmp = out.with_suffix(".tmp")
+    tmp.write_text(json.dumps(trajectory, indent=2) + "\n")
+    tmp.replace(out)
+    print(f"recorded entry {len(trajectory['entries'])} in {out}")
+    return 0
+
+
+def git_describe():
+    try:
+        return subprocess.run(
+            ["git", "-C", str(REPO_ROOT), "describe", "--always",
+             "--dirty"],
+            check=True, capture_output=True,
+            text=True).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+if __name__ == "__main__":
+    sys.exit(main())
