@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -102,6 +103,12 @@ operator==(const IndexTableStats &lhs, const IndexTableStats &rhs)
            lhs.replacements == rhs.replacements;
 }
 
+/** Probe distance of the batched index APIs: while element i is
+ *  probed, element i + kProbeAhead's bucket is software-prefetched.
+ *  Far enough to cover a memory round trip at ~10ns/probe, near
+ *  enough that prefetched lines survive until their probe. */
+inline constexpr std::size_t kIndexProbeAhead = 8;
+
 /** Bucketized LRU hash table from block address to history pointer. */
 class IndexTable
 {
@@ -121,6 +128,26 @@ class IndexTable
      * LRU pair when the bucket is full.
      */
     void update(Addr block, HistoryPointer pointer);
+
+    /**
+     * Probe a batch of blocks: bit-identical to calling lookup() on
+     * each element in order (same results, stats, and LRU motion),
+     * but each probe's bucket lines are software-prefetched
+     * kIndexProbeAhead probes early, hiding the host cache misses a
+     * multi-megabyte table takes on every random probe.
+     * @p out must hold at least blocks.size() elements.
+     */
+    void lookupBatch(std::span<const Addr> blocks,
+                     std::span<std::optional<HistoryPointer>> out);
+
+    /** Batched update(): bit-identical to the element-wise loop, with
+     *  the same one-batch-ahead bucket prefetch as lookupBatch. */
+    void updateBatch(std::span<const Addr> blocks,
+                     std::span<const HistoryPointer> pointers);
+
+    /** Software-prefetch the buckets @p blocks hash to (host cache
+     *  warm-up hint; no architectural effect, no stats). */
+    void prefetchBatch(std::span<const Addr> blocks) const;
 
     /** Bucket number @p block hashes to (for bucket-buffer modeling). */
     std::uint64_t bucketOf(Addr block) const;

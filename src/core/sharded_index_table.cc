@@ -1,5 +1,7 @@
 #include "core/sharded_index_table.hh"
 
+#include <algorithm>
+
 #include "common/hash.hh"
 #include "common/log.hh"
 
@@ -112,6 +114,74 @@ ShardedIndexTable::update(Addr block, HistoryPointer pointer)
         ++shard.stats.replacements;
         break;
     }
+}
+
+void
+ShardedIndexTable::prefetchOne(Addr block) const
+{
+    // Hash exactly like lookup(): global bucket -> owning shard ->
+    // shard-local index. The store's array bases are set once at
+    // construction and never reallocated, so reading them without the
+    // shard lock is safe; the prefetch itself touches no data
+    // architecturally.
+    const std::uint64_t bucket =
+        hashToBucket(blockNumber(block), buckets_);
+    const std::uint32_t count = numShards();
+    const Shard &shard = *shards_[count == 1 ? 0 : bucket % count];
+    shard.store.prefetchBucket(bucket / count);
+}
+
+void
+ShardedIndexTable::lookupBatch(
+    std::span<const Addr> blocks,
+    std::span<std::optional<HistoryPointer>> out)
+{
+    stms_assert(out.size() >= blocks.size(),
+                "lookupBatch output smaller than input");
+    // Literal lookup() calls in element order: results, per-shard
+    // stats, and LRU motion are bit-identical to the scalar loop for
+    // every shard count by construction.
+    const bool bounded = !unbounded();
+    const std::size_t ahead =
+        std::min(kIndexProbeAhead, blocks.size());
+    if (bounded) {
+        for (std::size_t i = 0; i < ahead; ++i)
+            prefetchOne(blocks[i]);
+    }
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        if (bounded && i + kIndexProbeAhead < blocks.size())
+            prefetchOne(blocks[i + kIndexProbeAhead]);
+        out[i] = lookup(blocks[i]);
+    }
+}
+
+void
+ShardedIndexTable::updateBatch(std::span<const Addr> blocks,
+                               std::span<const HistoryPointer> pointers)
+{
+    stms_assert(pointers.size() >= blocks.size(),
+                "updateBatch pointer span smaller than input");
+    const bool bounded = !unbounded();
+    const std::size_t ahead =
+        std::min(kIndexProbeAhead, blocks.size());
+    if (bounded) {
+        for (std::size_t i = 0; i < ahead; ++i)
+            prefetchOne(blocks[i]);
+    }
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        if (bounded && i + kIndexProbeAhead < blocks.size())
+            prefetchOne(blocks[i + kIndexProbeAhead]);
+        update(blocks[i], pointers[i]);
+    }
+}
+
+void
+ShardedIndexTable::prefetchBatch(std::span<const Addr> blocks) const
+{
+    if (unbounded())
+        return;  // Nothing to warm: the maps' layout is opaque.
+    for (const Addr block : blocks)
+        prefetchOne(block);
 }
 
 std::uint64_t

@@ -28,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +60,27 @@ class ShardedIndexTable
     /** Insert or refresh the mapping for @p block; evicts the
      *  bucket's LRU pair when full. Thread-safe per shard. */
     void update(Addr block, HistoryPointer pointer);
+
+    /**
+     * Probe a batch of blocks: bit-identical to calling lookup() on
+     * each element in order — same results, per-shard stats, and LRU
+     * motion for every shard count — with each probe's bucket lines
+     * software-prefetched kIndexProbeAhead probes early. Prefetches
+     * read only the constructor-pinned array bases, so they are safe
+     * without taking the shard locks. @p out must hold at least
+     * blocks.size() elements.
+     */
+    void lookupBatch(std::span<const Addr> blocks,
+                     std::span<std::optional<HistoryPointer>> out);
+
+    /** Batched update(): bit-identical to the element-wise loop, with
+     *  the same one-batch-ahead bucket prefetch as lookupBatch. */
+    void updateBatch(std::span<const Addr> blocks,
+                     std::span<const HistoryPointer> pointers);
+
+    /** Software-prefetch the buckets @p blocks hash to (host cache
+     *  warm-up hint; no architectural effect, no stats, no locks). */
+    void prefetchBatch(std::span<const Addr> blocks) const;
 
     /** Global bucket number (identical to IndexTable::bucketOf). */
     std::uint64_t bucketOf(Addr block) const;
@@ -114,6 +136,9 @@ class ShardedIndexTable
     };
 
     Shard &shardFor(Addr block) { return *shards_[shardOf(block)]; }
+
+    /** Lock-free bucket prefetch for one block (bounded mode only). */
+    void prefetchOne(Addr block) const;
 
     std::uint32_t entriesPerBucket_;
     std::uint64_t buckets_ = 0;

@@ -524,6 +524,17 @@ StmsPrefetcher::onForeignCovered(CoreId core, Addr block)
 }
 
 void
+StmsPrefetcher::onAccessHint(CoreId core, std::span<const Addr> addrs)
+{
+    (void)core;
+    // Warm the bucket lines the upcoming accesses would probe if they
+    // miss off-chip. prefetchBatch is __builtin_prefetch only — no
+    // stats, no locks, no simulated traffic — so this hook cannot
+    // perturb model output no matter how chunks are cut.
+    index_.prefetchBatch(addrs);
+}
+
+void
 StmsPrefetcher::endStream(CoreId core, std::uint32_t slot_index,
                           bool write_end_mark)
 {

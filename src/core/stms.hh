@@ -178,6 +178,12 @@ class StmsPrefetcher : public Prefetcher
     void onPrefetchUnused(CoreId core, Addr block) override;
     void onForeignCovered(CoreId core, Addr block) override;
 
+    /** Chunk-dispatch hint: warm the index buckets the upcoming
+     *  accesses would probe (ShardedIndexTable::prefetchBatch).
+     *  Host-side only; never touches model state or stats. */
+    void onAccessHint(CoreId core,
+                      std::span<const Addr> addrs) override;
+
     void resetStats() override;
 
     const StmsStats &stats() const { return stats_; }

@@ -17,6 +17,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -26,6 +27,14 @@
 
 namespace stms::driver
 {
+
+/** Outcome of a non-blocking tryPush. */
+enum class PushResult : std::uint8_t
+{
+    Ok,      ///< Item enqueued.
+    Full,    ///< No room; the item was left with the caller.
+    Closed,  ///< Stream ended; the item was left with the caller.
+};
 
 /** Blocking bounded queue; any number of producers and consumers. */
 template <typename T>
@@ -53,6 +62,27 @@ class BoundedQueue
         items_.push_back(std::move(item));
         notEmpty_.notify_one();
         return true;
+    }
+
+    /**
+     * Enqueue @p item if there is room, without blocking. On Full or
+     * Closed the item is not consumed (the caller keeps it and may
+     * retry). A producer feeding several queues uses this to skip a
+     * full one instead of blocking on it — the starvation-free pacing
+     * the chunked pipeline needs when one consumer lane runs ahead of
+     * another.
+     */
+    PushResult
+    tryPush(T &item)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return PushResult::Closed;
+        if (items_.size() >= capacity_)
+            return PushResult::Full;
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return PushResult::Ok;
     }
 
     /**

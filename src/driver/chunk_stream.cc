@@ -1,0 +1,249 @@
+#include "driver/chunk_stream.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "common/log.hh"
+
+namespace stms::driver
+{
+
+/** One lane's consuming end: holds exactly the chunk being simulated
+ *  and refills from the lane queue when it drains. */
+class ChunkedWorkloadSource::LaneCursor final
+    : public trace_io::RecordCursor
+{
+  public:
+    LaneCursor(ChunkedWorkloadSource &source, ChunkQueue &queue)
+        : source_(source), queue_(queue)
+    {
+        refill();
+    }
+
+    ~LaneCursor() override { dropChunk(); }
+
+    const TraceRecord *
+    peek() override
+    {
+        if (index_ >= chunk_.size() && !exhausted_)
+            refill();
+        return index_ < chunk_.size() ? &chunk_[index_] : nullptr;
+    }
+
+    void next() override { ++index_; }
+
+    std::span<const TraceRecord>
+    chunk() override
+    {
+        if (index_ >= chunk_.size() && !exhausted_)
+            refill();
+        return {chunk_.data() + index_, chunk_.size() - index_};
+    }
+
+    void consume(std::size_t count) override { index_ += count; }
+
+  private:
+    void
+    refill()
+    {
+        dropChunk();
+        if (auto next = queue_.pop()) {
+            chunk_ = std::move(*next);
+            source_.notePop();
+        } else {
+            exhausted_ = true;
+        }
+        index_ = 0;
+    }
+
+    void
+    dropChunk()
+    {
+        if (!chunk_.empty()) {
+            chunk_.clear();
+            source_.noteChunkDead();
+        }
+    }
+
+    ChunkedWorkloadSource &source_;
+    ChunkQueue &queue_;
+    std::vector<TraceRecord> chunk_;
+    std::size_t index_ = 0;
+    bool exhausted_ = false;
+};
+
+ChunkedWorkloadSource::ChunkedWorkloadSource(
+    const WorkloadSpec &spec, std::uint64_t chunk_records,
+    ChunkAccounting *shared)
+    : spec_(spec), chunkRecords_(chunk_records), shared_(shared)
+{
+    stms_assert(chunkRecords_ > 0, "chunk size must be nonzero");
+    queues_.reserve(spec_.numCores);
+    for (CoreId lane = 0; lane < spec_.numCores; ++lane)
+        queues_.push_back(std::make_unique<ChunkQueue>(kChunksPerLane));
+    producer_ = std::thread([this] { produce(); });
+}
+
+ChunkedWorkloadSource::~ChunkedWorkloadSource()
+{
+    // An abandoned source (simulation never drained it) leaves the
+    // producer parked; closing the queues and flagging the abort lets
+    // it exit from either the tryPush or the wait.
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        aborted_ = true;
+    }
+    for (auto &queue : queues_)
+        queue->close();
+    wake_.notify_all();
+    if (producer_.joinable())
+        producer_.join();
+}
+
+std::unique_ptr<trace_io::RecordCursor>
+ChunkedWorkloadSource::openLane(CoreId lane)
+{
+    stms_assert(lane < spec_.numCores,
+                "lane %u out of range (workload has %u lanes)", lane,
+                spec_.numCores);
+    return std::make_unique<LaneCursor>(*this, *queues_[lane]);
+}
+
+void
+ChunkedWorkloadSource::produce()
+{
+    std::vector<LaneGenerator> lanes;
+    lanes.reserve(spec_.numCores);
+    for (CoreId lane = 0; lane < spec_.numCores; ++lane)
+        lanes.emplace_back(spec_, lane);
+
+    // A chunk that found its lane queue full is parked here and
+    // retried next pass — the producer never blocks on one specific
+    // lane, because the simulator thread may itself be blocked
+    // waiting on a *different* lane's queue (lanes consume at
+    // different record rates; with tiny chunks the skew exceeds any
+    // fixed queue bound almost immediately).
+    std::vector<std::optional<std::vector<TraceRecord>>> parked(
+        spec_.numCores);
+
+    // A lane's queue is closed the moment the lane is fully produced
+    // and flushed — NOT at end of stream. Waiting for every lane
+    // would deadlock: the simulator can block popping an exhausted
+    // lane while the remaining lanes' queues are full, leaving the
+    // producer asleep waiting for a pop that can never come (the
+    // consumer-side mirror of the parked-chunk hazard above).
+    std::vector<bool> closed(spec_.numCores, false);
+
+    while (true) {
+        std::uint64_t pops_before;
+        {
+            std::lock_guard<std::mutex> lock(wakeMutex_);
+            pops_before = pops_;
+        }
+        bool progressed = false;
+        bool work_left = false;
+        for (CoreId lane = 0; lane < spec_.numCores; ++lane) {
+            if (parked[lane]) {
+                switch (queues_[lane]->tryPush(*parked[lane])) {
+                case PushResult::Ok:
+                    parked[lane].reset();
+                    progressed = true;
+                    break;
+                case PushResult::Full:
+                    work_left = true;
+                    continue;
+                case PushResult::Closed:
+                    noteChunkDead();
+                    return;
+                }
+            }
+            if (lanes[lane].done()) {
+                if (!closed[lane] && !parked[lane]) {
+                    queues_[lane]->close();
+                    closed[lane] = true;
+                }
+                continue;
+            }
+            std::vector<TraceRecord> chunk;
+            chunk.reserve(static_cast<std::size_t>(
+                std::min<std::uint64_t>(chunkRecords_,
+                                        spec_.recordsPerCore)));
+            const auto fill_start = std::chrono::steady_clock::now();
+            lanes[lane].fill(chunk,
+                             static_cast<std::size_t>(chunkRecords_));
+            produceNanos_.fetch_add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - fill_start)
+                        .count()),
+                std::memory_order_relaxed);
+            noteChunkLive();
+            switch (queues_[lane]->tryPush(chunk)) {
+            case PushResult::Ok:
+                progressed = true;
+                break;
+            case PushResult::Full:
+                parked[lane] = std::move(chunk);
+                break;
+            case PushResult::Closed:
+                noteChunkDead();
+                return;
+            }
+            work_left = true;
+        }
+        if (!work_left)
+            break;
+        if (!progressed) {
+            // Every queue is full: sleep until a cursor pops (or the
+            // source is torn down).
+            std::unique_lock<std::mutex> lock(wakeMutex_);
+            wake_.wait(lock, [&] {
+                return pops_ != pops_before || aborted_;
+            });
+            if (aborted_) {
+                for (auto &chunk : parked)
+                    if (chunk)
+                        noteChunkDead();
+                return;
+            }
+        }
+    }
+    for (auto &queue : queues_)
+        queue->close();
+}
+
+void
+ChunkedWorkloadSource::noteChunkLive()
+{
+    const std::uint64_t live =
+        resident_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = peakResident_.load(std::memory_order_relaxed);
+    while (live > peak &&
+           !peakResident_.compare_exchange_weak(
+               peak, live, std::memory_order_relaxed)) {
+    }
+    if (shared_)
+        shared_->noteLive();
+}
+
+void
+ChunkedWorkloadSource::noteChunkDead()
+{
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+    if (shared_)
+        shared_->noteDead();
+}
+
+void
+ChunkedWorkloadSource::notePop()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        ++pops_;
+    }
+    wake_.notify_one();
+}
+
+} // namespace stms::driver

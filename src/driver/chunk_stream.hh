@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Chunked streaming of synthetic workloads into the run pipeline.
+ *
+ * The PR-5 pipeline materialized whole multi-core traces between the
+ * acquire and simulate stages; a sweep's pinned working set was the
+ * queue bound times a full trace, which BENCH_5 measured as a 2.9x
+ * peak-RSS blow-up and a 0.71x throughput loss. This source replaces
+ * that hand-off with the same residency model trace_io uses for
+ * on-disk ingest: bounded fixed-size record chunks, at most a few per
+ * lane in flight, produced ahead of the simulator through
+ * BoundedQueue.
+ *
+ * A ChunkedWorkloadSource owns one producer thread that resumes the
+ * workload's per-lane generators (workload/generators.hh,
+ * LaneGenerator) round-robin, pushing each finished chunk into that
+ * lane's queue; simulate-side cursors pop chunks and expose them
+ * through the standard RecordCursor chunk()/consume() interface, so
+ * TraceCore's batch dispatch runs unmodified. Generation is
+ * deterministic per lane, so the record stream — and therefore every
+ * model output — is byte-identical to simulating the fully
+ * materialized trace; only residency and overlap change.
+ *
+ * Peak residency per run is bounded by
+ *   lanes x (queue capacity + 2) x chunk bytes
+ * (one chunk being produced, up to `capacity` queued, one held by the
+ * consuming cursor), independent of trace length. The observed peak
+ * is tracked and reported into the run's timing metadata so RSS
+ * regressions show up in CI artifacts.
+ */
+
+#ifndef STMS_DRIVER_CHUNK_STREAM_HH
+#define STMS_DRIVER_CHUNK_STREAM_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "driver/bounded_queue.hh"
+#include "trace_io/trace_source.hh"
+#include "workload/generators.hh"
+
+namespace stms::driver
+{
+
+/**
+ * Records per pipeline chunk when no knob is given. Deliberately much
+ * smaller than a typical sweep's per-lane record count: a chunk that
+ * covers a whole lane degenerates to whole-trace handoff and the
+ * residency bound evaporates (the pinned fig7 sweep runs 64 Ki
+ * records per lane — a 64 Ki default chunk reproduced PR 5's 3x RSS
+ * blow-up exactly). 8 Ki records ~= 128 KiB per lane chunk keeps a
+ * 16-lane run's full in-flight residency in the low megabytes while
+ * still amortizing the per-chunk queue handoff over thousands of
+ * records.
+ */
+constexpr std::uint64_t kDefaultPipelineChunkRecords = 8 * 1024;
+
+/**
+ * Live/peak chunk counters shared by every source of one schedule, so
+ * the runner can report the *global* peak residency across all runs
+ * in flight, not just the worst single run.
+ */
+struct ChunkAccounting
+{
+    std::atomic<std::uint64_t> resident{0};
+    std::atomic<std::uint64_t> peak{0};
+
+    void
+    noteLive()
+    {
+        const std::uint64_t live =
+            resident.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::uint64_t seen = peak.load(std::memory_order_relaxed);
+        while (live > seen &&
+               !peak.compare_exchange_weak(
+                   seen, live, std::memory_order_relaxed)) {
+        }
+    }
+
+    void
+    noteDead()
+    {
+        resident.fetch_sub(1, std::memory_order_relaxed);
+    }
+};
+
+/** Streams a synthetic workload as bounded per-lane record chunks. */
+class ChunkedWorkloadSource final : public trace_io::TraceSource
+{
+  public:
+    /**
+     * Start streaming @p spec. The producer thread begins generating
+     * immediately and blocks once the per-lane queues fill, so an
+     * unconsumed source holds only the bounded residency above.
+     * @p shared, when given, additionally receives every live/dead
+     * chunk transition (schedule-global accounting).
+     */
+    explicit ChunkedWorkloadSource(
+        const WorkloadSpec &spec,
+        std::uint64_t chunk_records = kDefaultPipelineChunkRecords,
+        ChunkAccounting *shared = nullptr);
+
+    /** Unblocks and joins the producer; safe mid-stream. */
+    ~ChunkedWorkloadSource() override;
+
+    const std::string &name() const override { return spec_.name; }
+    std::uint32_t numCores() const override { return spec_.numCores; }
+    std::uint64_t totalRecords() const override
+    {
+        return static_cast<std::uint64_t>(spec_.numCores) *
+               spec_.recordsPerCore;
+    }
+    std::unique_ptr<trace_io::RecordCursor> openLane(CoreId lane)
+        override;
+
+    std::uint64_t chunkRecords() const { return chunkRecords_; }
+
+    /** Most chunks resident at once (produced or queued, all lanes)
+     *  so far — the pipeline RSS accounting hook. */
+    std::uint64_t peakResidentChunks() const
+    {
+        return peakResident_.load(std::memory_order_relaxed);
+    }
+
+    /** Producer-thread time spent generating records so far — the
+     *  acquire-stage cost of this run (overlapped with simulation). */
+    double produceSeconds() const
+    {
+        return static_cast<double>(
+                   produceNanos_.load(std::memory_order_relaxed)) *
+               1e-9;
+    }
+
+  private:
+    class LaneCursor;
+    using ChunkQueue = BoundedQueue<std::vector<TraceRecord>>;
+
+    /** Queued chunks per lane; +2 for produced/consumed chunks gives
+     *  the residency bound in the file comment. */
+    static constexpr std::size_t kChunksPerLane = 2;
+
+    void produce();
+    void noteChunkLive();
+    void noteChunkDead();
+    void notePop();
+
+    WorkloadSpec spec_;
+    std::uint64_t chunkRecords_;
+    ChunkAccounting *shared_;
+    std::vector<std::unique_ptr<ChunkQueue>> queues_;
+    std::atomic<std::uint64_t> resident_{0};
+    std::atomic<std::uint64_t> peakResident_{0};
+    std::atomic<std::uint64_t> produceNanos_{0};
+
+    /** Producer wakeup: cursors bump pops_ after every dequeue; the
+     *  producer sleeps here when every lane queue is full. */
+    std::mutex wakeMutex_;
+    std::condition_variable wake_;
+    std::uint64_t pops_ = 0;
+    bool aborted_ = false;
+
+    std::thread producer_;
+};
+
+} // namespace stms::driver
+
+#endif // STMS_DRIVER_CHUNK_STREAM_HH

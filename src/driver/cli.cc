@@ -16,7 +16,8 @@ namespace
 
 const char kUsage[] =
     "usage: driver [--list] [--experiment NAME]... [--threads N]\n"
-    "              [--pipeline] [--trace-cache-mb N]\n"
+    "              [--pipeline] [--pipeline-chunk N]\n"
+    "              [--trace-cache-mb N]\n"
     "              [--index-shards N] [--trace PATH[,format=...]]...\n"
     "              [--json PATH|-] [--no-timing] [--store DIR]\n"
     "              [--rerun] [--shard I/N] [--results CMD]\n"
@@ -36,6 +37,13 @@ const char kUsage[] =
     "bounded\n"
     "                    queues (results stay bit-identical to "
     "serial)\n"
+    "  --pipeline-chunk N  records per streamed chunk in the "
+    "pipelined\n"
+    "                    schedule (default 8192); bounds pipeline "
+    "residency\n"
+    "                    to O(lanes x N) records per run — model "
+    "output is\n"
+    "                    byte-identical for every N\n"
     "  --trace-cache-mb N  bound the synthetic-trace cache to N MiB "
     "(LRU\n"
     "                    eviction of unpinned traces; 0 = no "
@@ -125,6 +133,27 @@ applyThreads(const std::string &value, DriverArgs &args,
         return false;
     }
     args.threads = static_cast<std::uint32_t>(parsed);
+    return true;
+}
+
+/**
+ * Apply --pipeline-chunk: records per streamed chunk, strictly
+ * positive (a zero chunk could never make progress; 0 as "default"
+ * stays an internal RunnerConfig spelling, not a CLI one). The cap
+ * matches --threads-style sanity bounds: 2^30 records is ~16 GiB of
+ * chunk, far beyond any real use.
+ */
+bool
+applyPipelineChunk(const std::string &value, DriverArgs &args,
+                   std::string &error)
+{
+    std::uint64_t parsed = 0;
+    if (!parseUint(value, parsed) || parsed < 1 ||
+        parsed > (1ULL << 30)) {
+        error = "--pipeline-chunk needs an integer in [1, 2^30]";
+        return false;
+    }
+    args.pipelineChunk = parsed;
     return true;
 }
 
@@ -218,6 +247,8 @@ makeReportTiming(const ExecStats &stats)
     timing.records = stats.recordsProcessed;
     timing.recordsPerSecond = stats.recordsPerSecond();
     timing.peakRssKb = peakRssKb();
+    timing.chunkRecords = stats.chunkRecords;
+    timing.peakResidentChunks = stats.peakResidentChunks;
     timing.runs = stats.runs;
     return timing;
 }
@@ -298,6 +329,7 @@ runExperiments(const DriverArgs &args)
     RunnerConfig runner_config;
     runner_config.threads = args.threads;
     runner_config.pipeline = args.pipeline;
+    runner_config.pipelineChunkRecords = args.pipelineChunk;
     runner_config.verbose = args.verbose;
     runner_config.store = store.get();
     runner_config.rerun = args.rerun;
@@ -425,6 +457,11 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
                         return false;
                     continue;
                 }
+                if (key == "pipeline-chunk") {
+                    if (!applyPipelineChunk(value, args, error))
+                        return false;
+                    continue;
+                }
                 if (key == "json") {
                     args.jsonPath = value;
                     continue;
@@ -480,6 +517,12 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
             args.rerun = true;
         } else if (token == "--pipeline") {
             args.pipeline = true;
+        } else if (token == "--pipeline-chunk") {
+            const char *value = nextValue("--pipeline-chunk");
+            if (!value)
+                return false;
+            if (!applyPipelineChunk(value, args, error))
+                return false;
         } else if (token == "--no-timing") {
             args.timing = false;
         } else if (token == "--trace-cache-mb") {

@@ -35,6 +35,10 @@ struct DriverArgs
     std::uint32_t threads = 1;
     /** Stage-pipelined scheduling (acquire ahead of simulate). */
     bool pipeline = false;
+    /** Records per streamed pipeline chunk; 0 = the engine default
+     *  (kDefaultPipelineChunkRecords). Residency/overlap knob only —
+     *  model output is byte-identical for every value. */
+    std::uint64_t pipelineChunk = 0;
     /** Attach wall-clock timing to reports (--no-timing disables,
      *  for byte-compare determinism gates). */
     bool timing = true;

@@ -66,6 +66,10 @@ Report::toJson() const
                jsonNumber(timing_.recordsPerSecond) + ",\n";
         out += "    \"peak_rss_kb\": " +
                std::to_string(timing_.peakRssKb) + ",\n";
+        out += "    \"chunk_records\": " +
+               std::to_string(timing_.chunkRecords) + ",\n";
+        out += "    \"peak_resident_chunks\": " +
+               std::to_string(timing_.peakResidentChunks) + ",\n";
         out += "    \"stages\": {\"acquire_s\": " +
                jsonNumber(timing_.acquireSeconds) +
                ", \"simulate_s\": " +
@@ -83,7 +87,9 @@ Report::toJson() const
                    jsonNumber(run.simulateSeconds) +
                    ", \"encode_s\": " +
                    jsonNumber(run.encodeSeconds) + ", \"wall_s\": " +
-                   jsonNumber(run.wallSeconds) + "}";
+                   jsonNumber(run.wallSeconds) +
+                   ", \"peak_resident_chunks\": " +
+                   std::to_string(run.peakResidentChunks) + "}";
         }
         out += timing_.runs.empty() ? "]\n" : "\n    ]\n";
         out += "  },\n";

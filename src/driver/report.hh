@@ -48,6 +48,9 @@ struct ReportRunTiming
     double encodeSeconds = 0;    ///< Store record build + append.
     double wallSeconds = 0;      ///< Sum of the stages.
     std::uint64_t records = 0;   ///< Trace records simulated.
+    /** Peak record chunks resident for this run (chunked pipeline
+     *  schedule only; 0 elsewhere). */
+    std::uint64_t peakResidentChunks = 0;
 };
 
 /**
@@ -71,6 +74,14 @@ struct ReportTiming
     std::uint64_t records = 0;  ///< Trace records simulated.
     double recordsPerSecond = 0;
     std::uint64_t peakRssKb = 0;
+    /** Records per streamed chunk (chunked pipeline; 0 = whole-trace
+     *  hand-off / serial schedule). */
+    std::uint64_t chunkRecords = 0;
+    /** Peak chunks resident at once across all concurrent runs — the
+     *  pipeline's bounded-residency witness. A regression here is the
+     *  RSS blow-up BENCH_5 caught only post-hoc, now visible in every
+     *  timing artifact. */
+    std::uint64_t peakResidentChunks = 0;
     std::vector<ReportRunTiming> runs;
 };
 

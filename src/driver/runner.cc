@@ -9,11 +9,16 @@
 #include <vector>
 
 #include <sys/resource.h>
+#ifdef __GLIBC__
+#include <malloc.h>
+#endif
 
 #include "common/log.hh"
 #include "driver/bounded_queue.hh"
+#include "driver/chunk_stream.hh"
 #include "results/fingerprint.hh"
 #include "results/run_codec.hh"
+#include "workload/workloads.hh"
 
 namespace stms::driver
 {
@@ -51,6 +56,30 @@ peakRssKb()
 #endif
     }
     return 0;
+}
+
+bool
+resetPeakRss()
+{
+#ifdef __GLIBC__
+    // Return freed heap to the kernel first: malloc retains freed
+    // pages in its arenas, so without the trim the watermark resets
+    // to the previous phase's near-peak RSS and a later phase that
+    // allocates from *new* threads (fresh arenas) double-counts that
+    // retained floor on top of its own footprint.
+    malloc_trim(0);
+#endif
+    // Writing "5" to clear_refs resets VmHWM to the *current* RSS, so
+    // a measurement taken after this isolates one phase's high-water
+    // mark instead of inheriting every earlier allocation's. Linux
+    // only, and some sandboxes deny the write — callers must treat
+    // false as "peak is still the process-lifetime value".
+    std::ofstream clear("/proc/self/clear_refs");
+    if (!clear.is_open())
+        return false;
+    clear << "5";
+    clear.flush();
+    return clear.good();
 }
 
 ExperimentRunner::ExperimentRunner(TraceCache &traces,
@@ -272,22 +301,47 @@ ExperimentRunner::execute(const Experiment &experiment,
                 thread.join();
         }
     } else {
-        // Pipelined: acquire runs ahead over a bounded queue (the
-        // bound caps the pinned-trace working set), the simulator
-        // pool consumes, and a dedicated encoder drains into the
-        // store.
+        // Pipelined: stages exchange bounded record chunks, never
+        // whole traces. The acquire stage opens a ChunkedWorkloadSource
+        // per synthetic run — its producer thread generates lane
+        // chunks ahead of the simulator, paced by per-lane bounded
+        // queues — and hands sources (not traces) to the simulator
+        // pool over a bounded run-lookahead queue. A dedicated
+        // encoder drains into the store. Residency is therefore
+        // (runs in flight) x lanes x O(1) chunks, independent of
+        // trace length; ingest runs keep their existing bounded
+        // streaming path inside simulateOne.
+        const std::uint64_t chunk_records =
+            config_.pipelineChunkRecords != 0
+                ? config_.pipelineChunkRecords
+                : kDefaultPipelineChunkRecords;
+        local.chunkRecords = chunk_records;
+        ChunkAccounting chunk_accounting;
+
         struct AcquiredRun
         {
             std::size_t index;
-            TraceCache::Handle trace;
+            std::unique_ptr<ChunkedWorkloadSource> source;
         };
-        BoundedQueue<AcquiredRun> acquired(workers + 2);
+        // Run lookahead is a residency multiplier, not a throughput
+        // one: every queued source has a live producer thread holding
+        // lanes x O(1) chunks, so capacity here scales peak RSS with
+        // the worker count. One spare run is enough to keep the
+        // simulators from ever waiting on acquire.
+        BoundedQueue<AcquiredRun> acquired(2);
         BoundedQueue<std::size_t> simulated(2 * workers + 2);
 
         std::thread acquirer([&] {
             for (const std::size_t index : pending) {
-                if (!acquired.push(
-                        AcquiredRun{index, acquireOne(index)}))
+                const RunSpec &spec = plan[index];
+                AcquiredRun item{index, nullptr};
+                if (!spec.ingest) {
+                    item.source =
+                        std::make_unique<ChunkedWorkloadSource>(
+                            makeWorkload(spec.workload, spec.records),
+                            chunk_records, &chunk_accounting);
+                }
+                if (!acquired.push(std::move(item)))
                     break;
             }
             acquired.close();
@@ -298,8 +352,35 @@ ExperimentRunner::execute(const Experiment &experiment,
         for (std::size_t w = 0; w < workers; ++w) {
             simulators.emplace_back([&] {
                 while (auto item = acquired.pop()) {
-                    simulateOne(item->index, std::move(item->trace));
-                    simulated.push(item->index);
+                    const std::size_t index = item->index;
+                    if (item->source) {
+                        timings[index].records =
+                            item->source->totalRecords();
+                        const Clock::time_point start = Clock::now();
+                        outputs[index] =
+                            runTrace(*item->source,
+                                     plan[index].config);
+                        timings[index].simulateSeconds =
+                            secondsSince(start);
+                        // Generation ran on the producer thread,
+                        // overlapped with simulation; report it as
+                        // this run's acquire cost.
+                        timings[index].acquireSeconds =
+                            item->source->produceSeconds();
+                        timings[index].peakResidentChunks =
+                            item->source->peakResidentChunks();
+                        item->source.reset();
+                        if (config_.verbose) {
+                            std::fprintf(
+                                stderr, "[%s] run %zu/%zu done: %s\n",
+                                experiment.name().c_str(), index + 1,
+                                plan.size(),
+                                plan[index].id.c_str());
+                        }
+                    } else {
+                        simulateOne(index, TraceCache::Handle());
+                    }
+                    simulated.push(index);
                 }
             });
         }
@@ -314,6 +395,7 @@ ExperimentRunner::execute(const Experiment &experiment,
             thread.join();
         simulated.close();
         encoder.join();
+        local.peakResidentChunks = chunk_accounting.peak.load();
     }
 
     local.stored = appended.load();

@@ -14,13 +14,19 @@
  *
  *  - fan-out (default): a pool of worker threads, each running all
  *    three stages of one run back to back — the PR-1 behavior.
- *  - pipelined (RunnerConfig::pipeline): a dedicated acquire thread
- *    generates traces ahead of use and hands pinned handles to the
- *    simulator pool over a bounded queue, while a dedicated encode
- *    thread drains finished runs into the store. Trace generation
- *    for run k+1 overlaps simulation of run k, and the queue bound
- *    caps the pinned-trace working set (pair with a TraceCache
- *    capacity to bound total residency).
+ *  - pipelined (RunnerConfig::pipeline): stages exchange *bounded
+ *    record chunks*, never whole traces. Each synthetic run streams
+ *    through a ChunkedWorkloadSource (driver/chunk_stream.hh): a
+ *    per-run producer thread resumes the lane generators chunk by
+ *    chunk into bounded per-lane queues, the simulator pool consumes
+ *    through ordinary RecordCursors, and a dedicated encode thread
+ *    drains finished runs into the store. Generation of run k's next
+ *    chunk overlaps simulation of its current one (and of other
+ *    runs), while peak residency stays
+ *    runs-in-flight x lanes x O(1) chunks regardless of trace
+ *    length — the fix for the whole-trace hand-off that made the
+ *    PR-5 pipeline lose on both RSS and throughput. Ingest runs
+ *    already stream bounded chunks from disk and are unchanged.
  *
  * Either way, outputs are stored by plan index and keyed by id, so a
  * report assembled from them is bit-identical to serial execution —
@@ -60,6 +66,11 @@ struct RunnerConfig
     std::uint32_t threads = 1;
     /** Stage-pipelined scheduling (acquire ahead of simulate). */
     bool pipeline = false;
+    /** Records per streamed chunk in the pipelined schedule; 0 uses
+     *  kDefaultPipelineChunkRecords (driver/chunk_stream.hh). Chunk
+     *  size never changes model output — only residency and overlap
+     *  granularity — and the pipeline tests assert exactly that. */
+    std::uint64_t pipelineChunkRecords = 0;
     /** Print one progress line per completed run to stderr. */
     bool verbose = false;
     /** Archive runs here (and resume from it) when non-null. The
@@ -96,6 +107,11 @@ struct ExecStats
     double simulateSeconds = 0;
     double encodeSeconds = 0;
     std::uint64_t recordsProcessed = 0;  ///< Trace records simulated.
+    /** Records per streamed chunk (0 = whole-trace hand-off). */
+    std::uint64_t chunkRecords = 0;
+    /** Peak record chunks resident at once across concurrent runs —
+     *  the chunked pipeline's bounded-residency witness. */
+    std::uint64_t peakResidentChunks = 0;
     std::vector<RunTiming> runs;  ///< Executed runs, plan order.
 
     /** Aggregate simulation throughput (records / wall second). */
@@ -111,6 +127,14 @@ struct ExecStats
 
 /** Peak resident set size of this process so far, in KiB. */
 std::uint64_t peakRssKb();
+
+/**
+ * Reset the kernel's peak-RSS watermark to the current RSS (Linux
+ * /proc/self/clear_refs), so per-phase peaks can be measured in one
+ * process. Returns false when unsupported or denied — peakRssKb()
+ * then keeps reporting the process-lifetime high-water mark.
+ */
+bool resetPeakRss();
 
 /** Executes experiment plans over a shared trace cache. */
 class ExperimentRunner

@@ -13,6 +13,7 @@
 #define STMS_PREFETCH_PREFETCHER_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/types.hh"
@@ -140,6 +141,20 @@ class Prefetcher
     virtual void onPrefetchUnused(CoreId core, Addr block)
     {
         (void)core; (void)block;
+    }
+
+    /**
+     * Host-side hint: @p core's trace cursor just exposed a new chunk
+     * whose first accesses are @p addrs. Implementations may warm
+     * host caches for structures those accesses will probe (e.g.
+     * software-prefetching index-table buckets). The hook must have
+     * NO architectural effect — no stats, no state, no simulated
+     * traffic — because whether and when it fires depends on chunk
+     * boundaries, which must never change model output.
+     */
+    virtual void onAccessHint(CoreId core, std::span<const Addr> addrs)
+    {
+        (void)core; (void)addrs;
     }
 
     /** Reset internal statistics at the warmup barrier. */

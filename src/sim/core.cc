@@ -47,6 +47,20 @@ TraceCore::refillBatch()
     batchPos_ = window.data();
     batchEnd_ = batchPos_ + window.size();
     atEnd_ = window.empty();
+
+    // Hand the chunk's leading addresses to the prefetchers as a
+    // host-cache warm-up hint (batched index-bucket prefetch). The
+    // hint is bounded — warming more than the host cache holds would
+    // evict the very lines the next probes want — and architecturally
+    // inert, so chunk size still never changes model output.
+    if (!window.empty()) {
+        const std::size_t count =
+            std::min(window.size(), kHintRecords);
+        hintScratch_.clear();
+        for (std::size_t i = 0; i < count; ++i)
+            hintScratch_.push_back(window[i].addr);
+        memory_.hintUpcoming(id_, hintScratch_);
+    }
 }
 
 void

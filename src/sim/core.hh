@@ -133,6 +133,9 @@ class TraceCore
   private:
     static constexpr Cycle kPending = std::numeric_limits<Cycle>::max();
     static constexpr std::size_t kRingSize = 128;
+    /** Leading chunk addresses forwarded per refill as a host-cache
+     *  warm-up hint (MemorySystem::hintUpcoming). */
+    static constexpr std::size_t kHintRecords = 64;
 
     void advance();
     void accessDone(std::uint64_t record_index, Cycle done_tick);
@@ -164,6 +167,8 @@ class TraceCore
     /** Records taken from the window but not yet consume()d. */
     std::size_t batchTaken_ = 0;
     bool atEnd_ = false;         ///< Cursor exhausted (all issued).
+    /** Reused address scratch for the per-refill prefetch hint. */
+    std::vector<Addr> hintScratch_;
 
     std::uint64_t index_ = 0;    ///< Next record to issue.
     std::uint64_t retired_ = 0;  ///< Records fully complete.

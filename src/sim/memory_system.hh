@@ -171,6 +171,18 @@ class MemorySystem : public PrefetchPort
     std::uint32_t numCores() const { return config_.numCores; }
     Cycle l1Latency() const { return config_.l1Latency; }
 
+    /**
+     * Forward a chunk-dispatch access hint to every prefetcher (see
+     * Prefetcher::onAccessHint). Host-side only: no simulated state
+     * or time is touched.
+     */
+    void
+    hintUpcoming(CoreId core, std::span<const Addr> addrs)
+    {
+        for (Prefetcher *prefetcher : prefetchers_)
+            prefetcher->onAccessHint(core, addrs);
+    }
+
     /** Zero all statistics (warmup barrier). */
     void resetStats();
 

@@ -39,6 +39,236 @@ logUniform(Rng &rng, std::uint64_t lo, std::uint64_t hi)
 
 } // namespace
 
+/**
+ * The suspended per-lane state machine.
+ *
+ * This is the old generateCore() loop unrolled into an object: every
+ * lambda capture became a field, the implicit "inside the burst
+ * for-loop" position became burstLeft_, and the records.size() the
+ * loop consulted became emitted_. The RNG call order per emitted
+ * record is identical to the original loop — that order *is* the
+ * trace bytes, and every committed baseline depends on it.
+ */
+struct LaneGenerator::State
+{
+    State(const WorkloadSpec &spec, CoreId core)
+        : spec(spec), core(core),
+          rng(spec.seed * 0x9e3779b9ULL + core * 0x85ebca6bULL + 1),
+          maxReuse(std::min(
+              spec.maxReuseRecords,
+              std::max<std::uint64_t>(spec.recordsPerCore / 2, 2))),
+          minReuse(std::min(spec.minReuseRecords, maxReuse)),
+          lengthConfig{1, spec.minStreamLen, spec.maxStreamLen,
+                       spec.lengthLogMean, spec.lengthLogSigma, 0},
+          streamNext(blockNumber(regionBase(core, kStreamRegion))),
+          scanNext(blockNumber(regionBase(core, kScanRegion))),
+          pNoise(spec.noiseFraction),
+          pHot(pNoise + spec.hotFraction),
+          pScan(pHot + spec.scanFraction)
+    {
+    }
+
+    struct LiveStream
+    {
+        std::vector<Addr> body;
+        std::uint32_t visitsLeft;
+    };
+
+    std::uint32_t
+    makeStream()
+    {
+        const std::uint32_t length =
+            spec.loopSingleStream
+                ? spec.minStreamLen
+                : StreamLibrary::sampleLength(lengthConfig, rng);
+        LiveStream stream;
+        stream.body.resize(length);
+        for (std::uint32_t i = 0; i < length; ++i)
+            stream.body[i] = blockAddress(streamNext + i);
+        for (std::uint32_t i = length - 1; i > 0; --i) {
+            const auto j =
+                static_cast<std::uint32_t>(rng.below(i + 1));
+            std::swap(stream.body[i], stream.body[j]);
+        }
+        streamNext += length;
+        if (rng.chance(spec.onceFraction)) {
+            stream.visitsLeft = 0;  // Visited once, never again.
+        } else {
+            // Geometric total-visit count with the configured mean.
+            stream.visitsLeft = static_cast<std::uint32_t>(
+                rng.geometric(1.0 / spec.meanVisits));
+        }
+        streams.push_back(std::move(stream));
+        return static_cast<std::uint32_t>(streams.size() - 1);
+    }
+
+    Addr
+    nextStreamAddr(std::uint64_t idx)
+    {
+        if (spec.loopSingleStream) {
+            if (current < 0)
+                current = makeStream();
+            auto &body =
+                streams[static_cast<std::size_t>(current)].body;
+            if (position >= body.size())
+                position = 0;  // Next iteration of the computation.
+            return body[position++];
+        }
+
+        if (current >= 0 &&
+            position <
+                streams[static_cast<std::size_t>(current)]
+                    .body.size()) {
+            return streams[static_cast<std::size_t>(current)]
+                .body[position++];
+        }
+
+        // Current playback exhausted: prefer a due recurrence, else
+        // mint fresh data.
+        if (!pending.empty() && pending.top().first <= idx) {
+            current = pending.top().second;
+            pending.pop();
+        } else {
+            current = makeStream();
+        }
+        auto &stream = streams[static_cast<std::size_t>(current)];
+        if (stream.visitsLeft > 0) {
+            --stream.visitsLeft;
+            pending.emplace(idx + logUniform(rng, minReuse, maxReuse),
+                            static_cast<std::uint32_t>(current));
+        }
+        position = 0;
+        return stream.body[position++];
+    }
+
+    TraceRecord
+    finishRecord(Addr addr, std::uint16_t think, bool dependent)
+    {
+        TraceRecord record;
+        record.addr = addr;
+        record.think = think;
+        std::uint8_t flags = 0;
+        if (rng.chance(spec.writeFraction))
+            flags |= TraceRecord::kWrite;
+        if (dependent)
+            flags |= TraceRecord::kDependent;
+        record.flags = flags;
+        return record;
+    }
+
+    bool
+    next(TraceRecord &out)
+    {
+        if (emitted >= spec.recordsPerCore)
+            return false;
+
+        if (burstLeft > 0) {
+            // Burst continuation: further stream accesses issue
+            // back-to-back and independently. The original loop
+            // passed both draws as arguments of one call; the
+            // compiler evaluated the think draw before the stream
+            // address, and that order is load-bearing.
+            --burstLeft;
+            const auto think =
+                static_cast<std::uint16_t>(rng.range(2, 10));
+            const Addr addr = nextStreamAddr(emitted);
+            out = finishRecord(addr, think, false);
+            ++emitted;
+            return true;
+        }
+
+        const double roll = rng.uniform();
+        const auto think = static_cast<std::uint16_t>(
+            rng.range(spec.thinkMin, spec.thinkMax));
+        const bool dependent = rng.chance(spec.dependentProb);
+
+        if (roll < pNoise) {
+            out = finishRecord(
+                regionBase(core, kNoiseRegion) +
+                    blockAddress(rng.below(spec.noiseBlocks)),
+                think, dependent);
+        } else if (roll < pHot) {
+            out = finishRecord(
+                regionBase(core, kHotRegion) +
+                    blockAddress(rng.below(spec.hotBlocks)),
+                think, dependent);
+        } else if (roll < pScan) {
+            out = finishRecord(blockAddress(scanNext++), think,
+                               dependent);
+        } else {
+            out = finishRecord(nextStreamAddr(emitted), think,
+                               dependent);
+            if (spec.missBurstMax > 0) {
+                burstLeft = rng.below(spec.missBurstMax + 1);
+            }
+        }
+        ++emitted;
+        return true;
+    }
+
+    WorkloadSpec spec;
+    CoreId core;
+    Rng rng;
+
+    // Temporal-stream machinery: streams are created lazily; each
+    // gets a geometric number of total visits and recurrences
+    // scheduled at log-uniform reuse distances. A min-heap of
+    // (due record index, stream id) decides whether the next stream
+    // playback is a recurrence or fresh data.
+    std::vector<LiveStream> streams;
+    using Due = std::pair<std::uint64_t, std::uint32_t>;
+    std::priority_queue<Due, std::vector<Due>, std::greater<>> pending;
+
+    std::uint64_t maxReuse;
+    std::uint64_t minReuse;
+    LibraryConfig lengthConfig;
+    Addr streamNext;
+    Addr scanNext;
+    double pNoise;
+    double pHot;
+    double pScan;
+
+    std::int64_t current = -1;  ///< Stream being played back.
+    std::size_t position = 0;
+    std::uint64_t emitted = 0;
+    std::uint64_t burstLeft = 0;  ///< Burst records still owed.
+};
+
+LaneGenerator::LaneGenerator(const WorkloadSpec &spec, CoreId core)
+    : state_(std::make_unique<State>(spec, core))
+{
+}
+
+LaneGenerator::~LaneGenerator() = default;
+LaneGenerator::LaneGenerator(LaneGenerator &&) noexcept = default;
+LaneGenerator &
+LaneGenerator::operator=(LaneGenerator &&) noexcept = default;
+
+std::size_t
+LaneGenerator::fill(std::vector<TraceRecord> &out,
+                    std::size_t max_records)
+{
+    std::size_t appended = 0;
+    TraceRecord record;
+    while (appended < max_records && state_->next(record)) {
+        out.push_back(record);
+        ++appended;
+    }
+    return appended;
+}
+
+bool
+LaneGenerator::done() const
+{
+    return state_->emitted >= state_->spec.recordsPerCore;
+}
+
+std::uint64_t
+LaneGenerator::emitted() const
+{
+    return state_->emitted;
+}
+
 WorkloadGenerator::WorkloadGenerator(const WorkloadSpec &spec)
     : spec_(spec)
 {
@@ -65,150 +295,9 @@ void
 WorkloadGenerator::generateCore(CoreId core,
                                 std::vector<TraceRecord> &records) const
 {
-    Rng rng(spec_.seed * 0x9e3779b9ULL + core * 0x85ebca6bULL + 1);
     records.reserve(spec_.recordsPerCore);
-
-    // --- Temporal-stream machinery -------------------------------
-    // Streams are created lazily; each gets a geometric number of
-    // total visits and recurrences scheduled at log-uniform reuse
-    // distances. A min-heap of (due record index, stream id) decides
-    // whether the next stream playback is a recurrence or fresh data.
-    struct LiveStream
-    {
-        std::vector<Addr> body;
-        std::uint32_t visitsLeft;
-    };
-    std::vector<LiveStream> streams;
-    using Due = std::pair<std::uint64_t, std::uint32_t>;
-    std::priority_queue<Due, std::vector<Due>, std::greater<>> pending;
-
-    const std::uint64_t max_reuse =
-        std::min(spec_.maxReuseRecords,
-                 std::max<std::uint64_t>(spec_.recordsPerCore / 2, 2));
-    const std::uint64_t min_reuse =
-        std::min(spec_.minReuseRecords, max_reuse);
-
-    LibraryConfig length_config{
-        1, spec_.minStreamLen, spec_.maxStreamLen,
-        spec_.lengthLogMean, spec_.lengthLogSigma, 0};
-
-    Addr stream_next = blockNumber(regionBase(core, kStreamRegion));
-    Addr scan_next = blockNumber(regionBase(core, kScanRegion));
-
-    auto make_stream = [&]() -> std::uint32_t {
-        const std::uint32_t length =
-            spec_.loopSingleStream
-                ? spec_.minStreamLen
-                : StreamLibrary::sampleLength(length_config, rng);
-        LiveStream stream;
-        stream.body.resize(length);
-        for (std::uint32_t i = 0; i < length; ++i)
-            stream.body[i] = blockAddress(stream_next + i);
-        for (std::uint32_t i = length - 1; i > 0; --i) {
-            const auto j =
-                static_cast<std::uint32_t>(rng.below(i + 1));
-            std::swap(stream.body[i], stream.body[j]);
-        }
-        stream_next += length;
-        if (rng.chance(spec_.onceFraction)) {
-            stream.visitsLeft = 0;  // Visited once, never again.
-        } else {
-            // Geometric total-visit count with the configured mean.
-            stream.visitsLeft = static_cast<std::uint32_t>(
-                rng.geometric(1.0 / spec_.meanVisits));
-        }
-        streams.push_back(std::move(stream));
-        return static_cast<std::uint32_t>(streams.size() - 1);
-    };
-
-    std::int64_t current = -1;  // Stream being played back.
-    std::size_t position = 0;
-
-    auto next_stream_addr = [&](std::uint64_t idx) -> Addr {
-        if (spec_.loopSingleStream) {
-            if (current < 0)
-                current = make_stream();
-            auto &body = streams[static_cast<std::size_t>(current)].body;
-            if (position >= body.size())
-                position = 0;  // Next iteration of the computation.
-            return body[position++];
-        }
-
-        if (current >= 0 &&
-            position <
-                streams[static_cast<std::size_t>(current)].body.size()) {
-            return streams[static_cast<std::size_t>(current)]
-                .body[position++];
-        }
-
-        // Current playback exhausted: prefer a due recurrence, else
-        // mint fresh data.
-        if (!pending.empty() && pending.top().first <= idx) {
-            current = pending.top().second;
-            pending.pop();
-        } else {
-            current = make_stream();
-        }
-        auto &stream = streams[static_cast<std::size_t>(current)];
-        if (stream.visitsLeft > 0) {
-            --stream.visitsLeft;
-            pending.emplace(idx + logUniform(rng, min_reuse, max_reuse),
-                            static_cast<std::uint32_t>(current));
-        }
-        position = 0;
-        return stream.body[position++];
-    };
-
-    const double p_noise = spec_.noiseFraction;
-    const double p_hot = p_noise + spec_.hotFraction;
-    const double p_scan = p_hot + spec_.scanFraction;
-
-    auto emit = [&](Addr addr, std::uint16_t think, bool dependent) {
-        TraceRecord record;
-        record.addr = addr;
-        record.think = think;
-        std::uint8_t flags = 0;
-        if (rng.chance(spec_.writeFraction))
-            flags |= TraceRecord::kWrite;
-        if (dependent)
-            flags |= TraceRecord::kDependent;
-        record.flags = flags;
-        records.push_back(record);
-    };
-
-    while (records.size() < spec_.recordsPerCore) {
-        const double roll = rng.uniform();
-        const auto think = static_cast<std::uint16_t>(
-            rng.range(spec_.thinkMin, spec_.thinkMax));
-        const bool dependent = rng.chance(spec_.dependentProb);
-
-        if (roll < p_noise) {
-            emit(regionBase(core, kNoiseRegion) +
-                     blockAddress(rng.below(spec_.noiseBlocks)),
-                 think, dependent);
-        } else if (roll < p_hot) {
-            emit(regionBase(core, kHotRegion) +
-                     blockAddress(rng.below(spec_.hotBlocks)),
-                 think, dependent);
-        } else if (roll < p_scan) {
-            emit(blockAddress(scan_next++), think, dependent);
-        } else {
-            emit(next_stream_addr(records.size()), think, dependent);
-            // Burst: further stream accesses issue back-to-back and
-            // independently, overlapping in the core's miss window.
-            if (spec_.missBurstMax > 0) {
-                const std::uint64_t burst =
-                    rng.below(spec_.missBurstMax + 1);
-                for (std::uint64_t i = 0;
-                     i < burst &&
-                     records.size() < spec_.recordsPerCore; ++i) {
-                    emit(next_stream_addr(records.size()),
-                         static_cast<std::uint16_t>(rng.range(2, 10)),
-                         false);
-                }
-            }
-        }
-    }
+    LaneGenerator lane(spec_, core);
+    lane.fill(records, spec_.recordsPerCore);
 }
 
 } // namespace stms

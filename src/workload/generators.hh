@@ -22,8 +22,11 @@
 #ifndef STMS_WORKLOAD_GENERATORS_HH
 #define STMS_WORKLOAD_GENERATORS_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "workload/stream_library.hh"
@@ -95,6 +98,44 @@ struct WorkloadSpec
      * is the main MLP lever (Table 2) beyond dependence flags.
      */
     std::uint32_t missBurstMax = 0;
+};
+
+/**
+ * Resumable single-lane generator.
+ *
+ * Emits exactly the record sequence WorkloadGenerator::generate()
+ * produces for one core, but in caller-sized slices, so the pipeline
+ * can stream bounded chunks instead of materializing whole lanes.
+ * The RNG-driven state machine (stream library, recurrence heap,
+ * burst position) is suspended between fill() calls; slicing at any
+ * boundary — including mid-burst — yields the same bytes as one
+ * whole-lane fill. generateCore() delegates here, so the two paths
+ * cannot drift.
+ */
+class LaneGenerator
+{
+  public:
+    LaneGenerator(const WorkloadSpec &spec, CoreId core);
+    ~LaneGenerator();
+    LaneGenerator(LaneGenerator &&) noexcept;
+    LaneGenerator &operator=(LaneGenerator &&) noexcept;
+
+    /**
+     * Append up to @p max_records further lane records to @p out.
+     * @return the number appended; 0 once the lane is exhausted.
+     */
+    std::size_t fill(std::vector<TraceRecord> &out,
+                     std::size_t max_records);
+
+    /** All recordsPerCore records have been emitted. */
+    bool done() const;
+
+    /** Records emitted so far. */
+    std::uint64_t emitted() const;
+
+  private:
+    struct State;
+    std::unique_ptr<State> state_;
 };
 
 /** Deterministic trace synthesis from a WorkloadSpec. */

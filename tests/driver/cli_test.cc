@@ -129,6 +129,31 @@ TEST(DriverCli, PipelineAndCacheFlags)
     parse({"--no-timing=1"}, /*expect_ok=*/false);
 }
 
+TEST(DriverCli, PipelineChunkFlagParses)
+{
+    // Both spellings reach the runner knob; the value never leaks
+    // into the experiment options (it must not join fingerprints —
+    // chunk size is a residency knob, not a model parameter).
+    const DriverArgs space =
+        parse({"--pipeline", "--pipeline-chunk", "4096"});
+    EXPECT_EQ(space.pipelineChunk, 4096u);
+    EXPECT_FALSE(space.options.has("pipeline-chunk"));
+    const DriverArgs equals = parse({"--pipeline-chunk=7"});
+    EXPECT_EQ(equals.pipelineChunk, 7u);
+    EXPECT_FALSE(equals.options.has("pipeline-chunk"));
+
+    // Default: 0 = engine default (kDefaultPipelineChunkRecords).
+    EXPECT_EQ(parse({}).pipelineChunk, 0u);
+
+    // Strictly positive, strictly numeric, sanity-bounded.
+    parse({"--pipeline-chunk", "0"}, /*expect_ok=*/false);
+    parse({"--pipeline-chunk=0"}, /*expect_ok=*/false);
+    parse({"--pipeline-chunk", "junk"}, /*expect_ok=*/false);
+    parse({"--pipeline-chunk", "64k"}, /*expect_ok=*/false);
+    parse({"--pipeline-chunk"}, /*expect_ok=*/false);
+    parse({"--pipeline-chunk", "1073741825"}, /*expect_ok=*/false);
+}
+
 TEST(DriverCli, UnknownTokensRejected)
 {
     parse({"bogus"}, /*expect_ok=*/false);

@@ -39,12 +39,14 @@ testOptions()
 }
 
 std::string
-runSchedule(std::uint32_t threads, bool pipeline)
+runSchedule(std::uint32_t threads, bool pipeline,
+            std::uint64_t chunk_records = 0)
 {
     TraceCache cache;
     RunnerConfig config;
     config.threads = threads;
     config.pipeline = pipeline;
+    config.pipelineChunkRecords = chunk_records;
     ExperimentRunner runner(cache, config);
     ExecStats stats;
     const Report report =
@@ -64,6 +66,33 @@ TEST(PipelineDeterminism, ThreadsByPipelineMatrixIsBitIdentical)
             EXPECT_EQ(runSchedule(threads, pipeline), reference)
                 << "threads=" << threads
                 << " pipeline=" << pipeline;
+        }
+    }
+}
+
+TEST(PipelineDeterminism, ChunkSizeNeverChangesModelOutput)
+{
+    // The streamed chunk size is a residency/overlap knob only: a
+    // one-record chunk (maximum lane-queue churn and producer
+    // parking), a chunk that misaligns with every internal boundary
+    // (7), and the 64Ki default must all reproduce the serial bytes
+    // at every worker count. This is the satellite acceptance gate:
+    // digests byte-identical across chunk x threads x pipeline.
+    const std::string reference =
+        runSchedule(/*threads=*/1, /*pipeline=*/false);
+    ASSERT_FALSE(reference.empty());
+    for (std::uint64_t chunk :
+         {std::uint64_t{1}, std::uint64_t{7}, std::uint64_t{64 * 1024}}) {
+        for (std::uint32_t threads : {1u, 2u, 4u}) {
+            EXPECT_EQ(runSchedule(threads, /*pipeline=*/true, chunk),
+                      reference)
+                << "chunk=" << chunk << " threads=" << threads;
+            // Chunk size is ignored off-pipeline (whole-trace
+            // fan-out); it must not perturb that schedule either.
+            EXPECT_EQ(runSchedule(threads, /*pipeline=*/false, chunk),
+                      reference)
+                << "chunk=" << chunk << " threads=" << threads
+                << " (fan-out)";
         }
     }
 }

@@ -173,6 +173,45 @@ TEST(Generator, BurstsEmitBackToBackStreamRecords)
     EXPECT_GT(tiny_think, 0u);  // Burst members use think 2..10.
 }
 
+TEST(LaneGeneratorTest, ChunkedFillsReproduceGenerateExactly)
+{
+    // The chunked pipeline resumes a lane through arbitrary fill()
+    // boundaries; every record — addr, think, AND flags — must match
+    // the one-shot generate() stream bit for bit, or the streamed
+    // schedule silently diverges from every committed baseline.
+    // Chunk 1 cuts between every record (including mid-burst), 7
+    // misaligns with all internal state, 64Ki exceeds the lane.
+    const WorkloadSpec spec = tinySpec();
+    const Trace whole = WorkloadGenerator(spec).generate();
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                              std::size_t{64 * 1024}}) {
+        for (CoreId core = 0; core < spec.numCores; ++core) {
+            LaneGenerator lane(spec, core);
+            std::vector<TraceRecord> streamed;
+            std::vector<TraceRecord> buffer;
+            while (!lane.done()) {
+                buffer.clear();
+                const std::size_t got = lane.fill(buffer, chunk);
+                EXPECT_EQ(got, buffer.size());
+                streamed.insert(streamed.end(), buffer.begin(),
+                                buffer.end());
+            }
+            EXPECT_EQ(lane.emitted(), spec.recordsPerCore);
+            EXPECT_EQ(lane.fill(buffer, chunk), 0u) << "fill at eof";
+            const auto &reference = whole.perCore[core];
+            ASSERT_EQ(streamed.size(), reference.size())
+                << "chunk=" << chunk << " core=" << core;
+            for (std::size_t i = 0; i < reference.size(); ++i) {
+                ASSERT_EQ(streamed[i].addr, reference[i].addr)
+                    << "chunk=" << chunk << " core=" << core
+                    << " record=" << i;
+                ASSERT_EQ(streamed[i].think, reference[i].think);
+                ASSERT_EQ(streamed[i].flags, reference[i].flags);
+            }
+        }
+    }
+}
+
 TEST(StandardSuite, AllWorkloadsBuildAndAreKnown)
 {
     for (const auto &info : standardSuite()) {

@@ -7,25 +7,39 @@ This script owns how the repo measures its own throughput:
 
 runs the pinned perf_suite sweep (fig7 plan, records=65536 unless
 overridden), prints the throughput table, and appends one entry to the
-repo-root trajectory artifact (BENCH_5.json by default).
+repo-root trajectory artifact (BENCH_6.json by default; an absent
+artifact is seeded from the newest earlier BENCH_*.json so the
+trajectory stays one unbroken series across PRs).
 
-Gating policy (docs/PERF.md): only *determinism* gates — the model
-metrics (everything not ending in a timing suffix: _s, _per_sec,
-_kb, or _ratio) must be bit-identical across thread counts and
-schedules. Throughput numbers
-are informational: they are recorded in the trajectory, never asserted
+Gating policy (docs/PERF.md): determinism gates — the model metrics
+(everything not ending in a timing suffix: _s, _per_sec, _kb, _ratio,
+or _chunks) must be bit-identical across thread counts and
+schedules — plus one *resource* gate: the chunked pipeline's peak RSS
+must stay within 1.25x serial (the whole point of streaming bounded
+chunks instead of whole traces). Throughput numbers are
+informational: they are recorded in the trajectory, never asserted
 against, because shared CI runners make wall-clock assertions flaky.
 
 Options:
   --records N            sweep length per core (default 65536; CI
                          smoke uses something small like 8192)
-  --threads N            pipelined-schedule worker pool (default 2)
+  --threads N            pipelined-schedule simulator pool (default 1
+                         — same simulator count as the serial
+                         schedule, so the RSS gate compares
+                         inter-stage buffering, which is what the
+                         chunked pipeline changed, instead of the
+                         fan-out memory scaling any extra concurrent
+                         run brings)
   --gate                 run the sweep at two pipeline thread counts
-                         and fail unless all model metrics match
+                         and fail unless all model metrics match;
+                         also fail if pipeline peak RSS exceeds
+                         1.25x serial (requires per-schedule RSS
+                         isolation, i.e. writable /proc/self/clear_refs;
+                         skipped with a warning when unavailable)
   --reference-binary P   also time an older driver binary on the same
                          pinned sweep (plain `--experiment fig7`) and
                          record the speedup of the current binary
-  --out PATH             trajectory file (default BENCH_5.json next
+  --out PATH             trajectory file (default BENCH_6.json next
                          to this repo's root)
   --no-write             measure and print, do not touch the artifact
 """
@@ -40,7 +54,11 @@ import tempfile
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-TIMING_SUFFIXES = ("_s", "_per_sec", "_kb", "_ratio")
+TIMING_SUFFIXES = ("_s", "_per_sec", "_kb", "_ratio", "_chunks")
+
+# The chunked pipeline's resource gate: streaming bounded chunks must
+# keep pipelined peak RSS within this factor of the serial schedule.
+RSS_GATE_RATIO = 1.25
 
 
 def is_timing_metric(name: str) -> bool:
@@ -95,10 +113,10 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--driver", default=REPO_ROOT / "build/driver")
     parser.add_argument("--records", type=int, default=65536)
-    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--threads", type=int, default=1)
     parser.add_argument("--gate", action="store_true")
     parser.add_argument("--reference-binary")
-    parser.add_argument("--out", default=REPO_ROOT / "BENCH_5.json")
+    parser.add_argument("--out", default=REPO_ROOT / "BENCH_6.json")
     parser.add_argument("--no-write", action="store_true")
     args = parser.parse_args()
 
@@ -123,6 +141,27 @@ def main():
               f"bit-identical across pipeline thread counts "
               f"{args.threads} and {args.threads + 1}")
 
+        # Resource gate: the chunked pipeline exists to bound
+        # residency, so its peak RSS must stay within
+        # RSS_GATE_RATIO x serial. Only meaningful when the driver
+        # could isolate each schedule's watermark (clear_refs).
+        if metrics.get("rss_isolated_ratio", 0.0) >= 1.0:
+            serial_rss = metrics["serial.peak_rss_kb"]
+            pipeline_rss = metrics["pipeline.peak_rss_kb"]
+            ratio = pipeline_rss / max(serial_rss, 1.0)
+            if ratio > RSS_GATE_RATIO:
+                print(f"RSS gate FAILED: pipeline peak RSS "
+                      f"{pipeline_rss / 1024:.1f} MB is {ratio:.2f}x "
+                      f"serial ({serial_rss / 1024:.1f} MB), limit "
+                      f"{RSS_GATE_RATIO}x", file=sys.stderr)
+                return 1
+            print(f"RSS gate OK: pipeline peak RSS is {ratio:.2f}x "
+                  f"serial (limit {RSS_GATE_RATIO}x)")
+        else:
+            print("RSS gate skipped: /proc/self/clear_refs not "
+                  "writable, per-schedule RSS isolation unavailable",
+                  file=sys.stderr)
+
     entry = {
         "timestamp": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
@@ -136,6 +175,15 @@ def main():
         for field in ("records_per_sec", "wall_s", "acquire_s",
                       "simulate_s", "encode_s", "peak_rss_kb"):
             entry[f"{mode}_{field}"] = metrics[f"{mode}.{field}"]
+    # Chunked-pipeline residency telemetry (PR 6): the chunk size the
+    # sweep ran with, how many chunks were ever live at once, and the
+    # RSS ratio the gate above enforces (with whether the per-schedule
+    # watermark isolation that makes the ratio meaningful was active).
+    for field in ("pipeline.chunk_records_chunks",
+                  "pipeline.peak_resident_chunks",
+                  "pipeline_rss_ratio", "rss_isolated_ratio"):
+        if field in metrics:
+            entry[field.replace(".", "_")] = metrics[field]
 
     if args.reference_binary:
         # Same pinned sweep, same machine, both binaries, identical
@@ -163,12 +211,34 @@ def main():
                   "entries": []}
     if out.exists() and out.stat().st_size > 0:
         trajectory = json.load(open(out))
+    else:
+        seed = newest_earlier_trajectory(out)
+        if seed is not None:
+            trajectory = json.load(open(seed))
+            print(f"seeded {out.name} from {seed.name} "
+                  f"({len(trajectory['entries'])} prior entries)")
     trajectory["entries"].append(entry)
     tmp = out.with_suffix(".tmp")
     tmp.write_text(json.dumps(trajectory, indent=2) + "\n")
     tmp.replace(out)
     print(f"recorded entry {len(trajectory['entries'])} in {out}")
     return 0
+
+
+def newest_earlier_trajectory(out):
+    """The BENCH_*.json (other than @p out) with the highest numeric
+    suffix — the previous PR's artifact, whose entries seed this one
+    so the trajectory stays one unbroken series across PRs."""
+    candidates = []
+    for path in out.parent.glob("BENCH_*.json"):
+        if path.name == out.name:
+            continue
+        suffix = path.stem.removeprefix("BENCH_")
+        if suffix.isdigit():
+            candidates.append((int(suffix), path))
+    if not candidates:
+        return None
+    return max(candidates)[1]
 
 
 def git_describe():
