@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Back-compat stub: this bench is the "mem_tech_sweep" experiment of the
+ * unified driver (src/driver). Equivalent invocation:
+ *
+ *   driver --experiment mem_tech_sweep [--threads N] [--json out.json]
+ */
+
+#include "driver/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return stms::driver::experimentMain("mem_tech_sweep", argc, argv);
+}

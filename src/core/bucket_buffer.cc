@@ -25,7 +25,8 @@ BucketBuffer::probe(std::uint64_t bucket)
 }
 
 void
-BucketBuffer::insert(std::uint64_t bucket, bool &writeback_victim)
+BucketBuffer::insert(std::uint64_t bucket, bool &writeback_victim,
+                     std::uint64_t &victim_bucket)
 {
     writeback_victim = false;
     auto it = index_.find(bucket);
@@ -39,6 +40,7 @@ BucketBuffer::insert(std::uint64_t bucket, bool &writeback_victim)
         index_.erase(victim.bucket);
         if (victim.dirty) {
             writeback_victim = true;
+            victim_bucket = victim.bucket;
             ++stats_.writebacks;
         }
     }

@@ -43,8 +43,19 @@ class BucketBuffer
      * Install a bucket after fetching it from memory.
      * @param[out] writeback_victim set to true when a dirty bucket was
      *             displaced and must be written back.
+     * @param[out] victim_bucket the displaced bucket's number, valid
+     *             only when @p writeback_victim is set (the write-back
+     *             targets the victim's address, not the new bucket's).
      */
-    void insert(std::uint64_t bucket, bool &writeback_victim);
+    void insert(std::uint64_t bucket, bool &writeback_victim,
+                std::uint64_t &victim_bucket);
+
+    void
+    insert(std::uint64_t bucket, bool &writeback_victim)
+    {
+        std::uint64_t victim_bucket = 0;
+        insert(bucket, writeback_victim, victim_bucket);
+    }
 
     /** Mark a resident bucket dirty (update applied on chip). */
     void markDirty(std::uint64_t bucket);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "prefetch/meta_addr.hh"
 
 namespace stms
 {
@@ -140,8 +141,13 @@ StmsPrefetcher::logMiss(CoreId core, Addr block)
     // One packed block write per entriesPerHistoryBlock appends.
     if (hb.lastAppendCompletedBlock()) {
         ++stats_.historyBlockWrites;
-        if (!config_.ideal)
-            port_->metaRequest(TrafficClass::MetaRecord, 1, nullptr);
+        if (!config_.ideal) {
+            port_->metaRequest(
+                TrafficClass::MetaRecord,
+                metaHistoryAddr(owner,
+                                seq / config_.entriesPerHistoryBlock),
+                1, nullptr);
+        }
     }
 
     // Probabilistic index update (Sec. 4.4).
@@ -164,12 +170,16 @@ StmsPrefetcher::applyIndexUpdate(Addr block, HistoryPointer pointer)
         bucketBuffer_.markDirty(bucket);
         return;
     }
-    port_->metaRequest(TrafficClass::MetaUpdate, 1, nullptr);
+    port_->metaRequest(TrafficClass::MetaUpdate, metaIndexAddr(bucket),
+                       1, nullptr);
     bool writeback = false;
-    bucketBuffer_.insert(bucket, writeback);
+    std::uint64_t victim = 0;
+    bucketBuffer_.insert(bucket, writeback, victim);
     bucketBuffer_.markDirty(bucket);
-    if (writeback)
-        port_->metaRequest(TrafficClass::MetaUpdate, 1, nullptr);
+    if (writeback) {
+        port_->metaRequest(TrafficClass::MetaUpdate,
+                           metaIndexAddr(victim), 1, nullptr);
+    }
 }
 
 void
@@ -266,14 +276,15 @@ StmsPrefetcher::startLookup(CoreId core, Addr block)
     const HistoryPointer target =
         fresh ? *pointer : HistoryPointer{0, kInvalidSeq};
     port_->metaRequest(
-        TrafficClass::MetaLookup, 1,
+        TrafficClass::MetaLookup, metaIndexAddr(bucket), 1,
         [this, core, bucket, target](Cycle) {
             --lookupsInFlight_[core];
             bool writeback = false;
-            bucketBuffer_.insert(bucket, writeback);
+            std::uint64_t victim = 0;
+            bucketBuffer_.insert(bucket, writeback, victim);
             if (writeback) {
-                port_->metaRequest(TrafficClass::MetaUpdate, 1,
-                                   nullptr);
+                port_->metaRequest(TrafficClass::MetaUpdate,
+                                   metaIndexAddr(victim), 1, nullptr);
             }
             if (target.seq != kInvalidSeq)
                 startStream(core, target);
@@ -374,8 +385,11 @@ StmsPrefetcher::fetchMore(CoreId core, std::uint32_t slot_index)
     stream.fetchInFlight = true;
     const std::uint64_t generation = stream.generation;
     port_->metaRequest(
-        TrafficClass::MetaLookup, 1,
-        [this, core, slot_index, generation](Cycle) {
+        TrafficClass::MetaLookup,
+        metaHistoryAddr(stream.hbOwner,
+                        stream.nextFetchSeq /
+                            config_.entriesPerHistoryBlock),
+        1, [this, core, slot_index, generation](Cycle) {
             // The stream this fetch belonged to may have been replaced
             // while the read was in flight; its data is then useless.
             Stream &s = slot(core, slot_index);
@@ -553,8 +567,12 @@ StmsPrefetcher::endStream(CoreId core, std::uint32_t slot_index,
         if (hb.setEndMark(stream.lastConsumed + 1)) {
             ++stats_.endMarksWritten;
             if (!config_.ideal) {
-                port_->metaRequest(TrafficClass::MetaRecord, 1,
-                                   nullptr);
+                port_->metaRequest(
+                    TrafficClass::MetaRecord,
+                    metaHistoryAddr(stream.hbOwner,
+                                    (stream.lastConsumed + 1) /
+                                        config_.entriesPerHistoryBlock),
+                    1, nullptr);
             }
         }
     }

@@ -18,7 +18,8 @@ const char kUsage[] =
     "usage: driver [--list] [--experiment NAME]... [--threads N]\n"
     "              [--pipeline] [--pipeline-chunk N]\n"
     "              [--trace-cache-mb N]\n"
-    "              [--index-shards N] [--trace PATH[,format=...]]...\n"
+    "              [--index-shards N] [--mem-backend SPEC]\n"
+    "              [--trace PATH[,format=...]]...\n"
     "              [--json PATH|-] [--no-timing] [--store DIR]\n"
     "              [--rerun] [--shard I/N] [--results CMD]\n"
     "              [--baseline PATH] [--csv] [--verbose]\n"
@@ -58,6 +59,15 @@ const char kUsage[] =
     "                    results are bit-identical for every N; "
     "N > 1 joins\n"
     "                    the result-store fingerprint)\n"
+    "  --mem-backend SPEC  memory timing model: "
+    "NAME[,key=val...] with NAME\n"
+    "                    in fixed|queued|dram (e.g. 'queued,channels=4',\n"
+    "                    'dram,policy=closed'); the default 'fixed' is\n"
+    "                    canonicalized away so existing fingerprints "
+    "stay\n"
+    "                    stable; other specs join the result-store\n"
+    "                    fingerprint (experiments that sweep backends\n"
+    "                    themselves pin each run and ignore the flag)\n"
     "  --trace SPEC      ingest an on-disk trace: "
     "PATH[,format=native|champsim]\n"
     "                    (repeatable: each ChampSim file is one "
@@ -202,6 +212,25 @@ applyIndexShards(const std::string &value, DriverArgs &args,
     }
     if (parsed > 1)
         args.options.set("index-shards", std::to_string(parsed));
+    return true;
+}
+
+/**
+ * Apply --mem-backend: validate + canonicalize the spec, then flow it
+ * to the experiments as the "mem-backend" option. The plain fixed
+ * backend IS the legacy memory model, so it is canonicalized away —
+ * `--mem-backend fixed` fingerprints (and outputs) byte-identically
+ * to not passing the flag, keeping every archived record reachable.
+ */
+bool
+applyMemBackend(const std::string &value, DriverArgs &args,
+                std::string &error)
+{
+    MemBackendSpec spec;
+    if (!parseMemBackendSpec(value, spec, error))
+        return false;
+    if (!spec.isDefault())
+        args.options.set("mem-backend", spec.canonical());
     return true;
 }
 
@@ -471,6 +500,11 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
                         return false;
                     continue;
                 }
+                if (key == "mem-backend") {
+                    if (!applyMemBackend(value, args, error))
+                        return false;
+                    continue;
+                }
                 if (key == "trace") {
                     appendTraceSpec(args.options, value);
                     continue;
@@ -552,6 +586,12 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
             if (!value)
                 return false;
             if (!applyIndexShards(value, args, error))
+                return false;
+        } else if (token == "--mem-backend") {
+            const char *value = nextValue("--mem-backend");
+            if (!value)
+                return false;
+            if (!applyMemBackend(value, args, error))
                 return false;
         } else if (token == "--trace") {
             const char *value = nextValue("--trace");

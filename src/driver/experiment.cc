@@ -55,4 +55,17 @@ plannedIndexShards(const Options &options)
     return static_cast<std::uint32_t>(shards);
 }
 
+std::optional<MemBackendSpec>
+plannedMemBackend(const Options &options)
+{
+    const std::string text = options.get("mem-backend", "");
+    if (text.empty())
+        return std::nullopt;
+    MemBackendSpec spec;
+    std::string error;
+    if (!parseMemBackendSpec(text, spec, error))
+        stms_fatal("bad mem-backend option: %s", error.c_str());
+    return spec;
+}
+
 } // namespace stms::driver

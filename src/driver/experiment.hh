@@ -136,6 +136,15 @@ std::uint64_t plannedRecords(const Options &options,
  */
 std::uint32_t plannedIndexShards(const Options &options);
 
+/**
+ * Memory-backend spec for a plan: parsed from the "mem-backend"
+ * option (set by the driver's --mem-backend flag). Returns nullopt
+ * when the option is absent — every run keeps its own default — and
+ * aborts on an unparseable spec (the CLI validates first, so this
+ * only fires for malformed programmatic options).
+ */
+std::optional<MemBackendSpec> plannedMemBackend(const Options &options);
+
 } // namespace stms::driver
 
 #endif // STMS_DRIVER_EXPERIMENT_HH

@@ -18,6 +18,7 @@ registerBuiltinExperiments(ExperimentRegistry &registry)
     registry.add(makeFig9Performance());
     registry.add(makeTable2Mlp());
     registry.add(makeIndexContention());
+    registry.add(makeMemTechSweep());
     registry.add(makePerfSuite());
     registry.add(makeIngestReplay());
     registry.add(makeSynthVsIngest());

@@ -28,6 +28,7 @@ std::unique_ptr<Experiment> makeFig8Sampling();
 std::unique_ptr<Experiment> makeFig9Performance();
 std::unique_ptr<Experiment> makeTable2Mlp();
 std::unique_ptr<Experiment> makeIndexContention();
+std::unique_ptr<Experiment> makeMemTechSweep();
 std::unique_ptr<Experiment> makePerfSuite();
 std::unique_ptr<Experiment> makeAblateBucket();
 std::unique_ptr<Experiment> makeAblatePriority();

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Experiment "mem_tech_sweep" — does the paper's verdict on STMS
+ * survive a change of memory technology?
+ *
+ * Re-runs the coverage/traffic comparison under full timing against
+ * each memory backend (fixed-latency, multi-channel queued, DRAM
+ * bank/row timing) and reports per-backend coverage, speedup, and
+ * traffic overhead plus the deltas against the paper's fixed-latency
+ * model. For the DRAM backend it also splits row-buffer hit rates by
+ * stream: the predictor's meta-data traffic (sequential history-
+ * buffer appends and reads) is far more row-friendly than the demand
+ * miss stream, which is the mechanism that keeps meta-data overhead
+ * affordable on a real memory system.
+ *
+ * Every run pins its backend (backendPinned), so a global
+ * --mem-backend override cannot collapse the sweep onto one model.
+ */
+
+#include "driver/experiments/builtins.hh"
+
+#include "workload/workloads.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+const std::vector<std::string> kWorkloads = {
+    "web-apache", "oltp-db2", "sci-em3d", "sci-ocean"};
+
+struct BackendArm
+{
+    const char *name;
+    MemBackendKind kind;
+};
+
+const BackendArm kBackends[] = {
+    {"fixed", MemBackendKind::Fixed},
+    {"queued", MemBackendKind::Queued},
+    {"dram", MemBackendKind::Dram},
+};
+
+class MemTechSweep final : public ExperimentBase
+{
+  public:
+    MemTechSweep()
+        : ExperimentBase("mem_tech_sweep",
+                         "STMS coverage/speedup across fixed, queued, "
+                         "and DRAM memory backends")
+    {}
+
+    std::vector<RunSpec>
+    plan(const Options &options) const override
+    {
+        const std::uint64_t records =
+            plannedRecords(options, 128 * 1024);
+        std::vector<RunSpec> specs;
+        for (const auto &workload : kWorkloads) {
+            for (const BackendArm &backend : kBackends) {
+                RunSpec base;
+                base.id = workload + "/" + backend.name + "/base";
+                base.workload = workload;
+                base.records = records;
+                base.config.sim = defaultSimConfig();
+                base.config.sim.memory.backend.kind = backend.kind;
+                base.config.sim.memory.backendPinned = true;
+                specs.push_back(base);
+
+                RunSpec stms = base;
+                stms.id = workload + "/" + backend.name + "/stms";
+                stms.config.stms =
+                    StmsConfig{};  // Off-chip, 12.5% sampling.
+                specs.push_back(stms);
+            }
+        }
+        return specs;
+    }
+
+    Report
+    report(const Options &, const RunSet &runs) const override
+    {
+        Report out(name());
+        Table table({"workload", "backend", "ipc", "speedup",
+                     "coverage", "overhead/byte", "mem-util",
+                     "row-hit demand", "row-hit meta"});
+        for (const auto &workload : kWorkloads) {
+            double fixed_speedup = 0.0;
+            double fixed_coverage = 0.0;
+            for (const BackendArm &backend : kBackends) {
+                const std::string prefix =
+                    workload + "/" + backend.name;
+                const RunOutput &base = runs.at(prefix + "/base");
+                const RunOutput &run = runs.at(prefix + "/stms");
+                const double gain = speedup(base.sim, run.sim);
+                const RowBufferStats &row = run.sim.rowBuffer;
+                const bool has_rows = row.totalAccesses() != 0;
+
+                table.addRow(
+                    {workload, backend.name,
+                     Table::num(run.sim.ipc, 3), Table::pct(gain),
+                     Table::pct(run.stmsCoverage),
+                     Table::num(run.sim.overheadPerDataByte, 3),
+                     Table::pct(run.sim.memUtilization),
+                     has_rows ? Table::pct(row.demandHitRate()) : "-",
+                     has_rows ? Table::pct(row.metaHitRate()) : "-"});
+
+                const std::string key =
+                    workload + "." + backend.name;
+                out.addMetric(key + ".speedup", gain);
+                out.addMetric(key + ".coverage", run.stmsCoverage);
+                out.addMetric(key + ".overhead_per_byte",
+                              run.sim.overheadPerDataByte);
+                out.addMetric(key + ".mem_utilization",
+                              run.sim.memUtilization);
+                if (has_rows) {
+                    out.addMetric(key + ".row_hit_demand",
+                                  row.demandHitRate());
+                    out.addMetric(key + ".row_hit_meta",
+                                  row.metaHitRate());
+                }
+
+                if (backend.kind == MemBackendKind::Fixed) {
+                    fixed_speedup = gain;
+                    fixed_coverage = run.stmsCoverage;
+                } else {
+                    out.addMetric(key + ".speedup_delta",
+                                  gain - fixed_speedup);
+                    out.addMetric(key + ".coverage_delta",
+                                  run.stmsCoverage - fixed_coverage);
+                }
+            }
+        }
+        out.addTable("STMS benefit across memory technologies "
+                     "(fig7-style sweep, full timing)",
+                     std::move(table));
+        out.addNote(
+            "Shape check: fixed and queued agree on coverage and "
+            "speedup (queued only\nrelieves bus contention — watch "
+            "mem-util halve); the DRAM backend is the\nstressful "
+            "one, since meta-data traffic now pays real bank and row "
+            "timing.\nThe meta row-hit rate blends sequential "
+            "history-buffer appends (row-\nfriendly) with scattered "
+            "index probes, so it can land either side of the\ndemand "
+            "stream's depending on the workload's own locality.");
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Experiment>
+makeMemTechSweep()
+{
+    return std::make_unique<MemTechSweep>();
+}
+
+} // namespace stms::driver

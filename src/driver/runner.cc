@@ -125,6 +125,17 @@ ExperimentRunner::execute(const Experiment &experiment,
         }
     }
 
+    // --mem-backend swaps the memory timing model under every run the
+    // same way, except runs that pinned their backend (mem_tech_sweep
+    // plans one run per backend; a global override must not collapse
+    // that sweep onto a single model).
+    if (const auto backend = plannedMemBackend(options)) {
+        for (RunSpec &spec : plan) {
+            if (!spec.config.sim.memory.backendPinned)
+                spec.config.sim.memory.backend = *backend;
+        }
+    }
+
     ExecStats local;
     local.planned = plan.size();
 

@@ -4,6 +4,7 @@
 
 #include "common/hash.hh"
 #include "common/log.hh"
+#include "prefetch/meta_addr.hh"
 
 namespace stms
 {
@@ -83,8 +84,9 @@ CorrelationPrefetcher::update(CoreId core, Addr block)
 
     if (config_.offchipMeta) {
         // Read-modify-write of the off-chip table entry.
-        port_->metaRequest(TrafficClass::MetaUpdate, 1, nullptr);
-        port_->metaRequest(TrafficClass::MetaUpdate, 1, nullptr);
+        const Addr row = metaTableAddr(blockNumber(trigger));
+        port_->metaRequest(TrafficClass::MetaUpdate, row, 1, nullptr);
+        port_->metaRequest(TrafficClass::MetaUpdate, row, 1, nullptr);
     }
 }
 
@@ -111,8 +113,8 @@ CorrelationPrefetcher::lookupAndPrefetch(CoreId core, Addr block)
     if (config_.offchipMeta) {
         // One memory round trip before any prefetch can issue.
         port_->metaRequest(
-            TrafficClass::MetaLookup, 1,
-            [this, core, successors = std::move(successors)](Cycle) {
+            TrafficClass::MetaLookup, metaTableAddr(blockNumber(block)),
+            1, [this, core, successors = std::move(successors)](Cycle) {
                 firePrefetches(core, successors);
             });
     } else if (!successors.empty()) {

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Physical placement of predictor meta-data.
+ *
+ * The paper's predictor keeps its index table and per-core history
+ * buffers in main memory (Sec. 4.1). For the fixed-latency model only
+ * the byte counts matter, but the DRAM backend needs addresses to
+ * model row-buffer and bank behavior of the meta-data streams — the
+ * sequential history-buffer append/read stream is exactly the kind of
+ * access pattern open-row DRAM rewards, which mem_tech_sweep measures.
+ *
+ * Meta structures live in a reserved region far above any workload
+ * address (synthetic traces top out below 2^38 bytes), laid out as:
+ *
+ *   kMetaIndexBase    index-table buckets, 64 B apart
+ *   kMetaHistoryBase  per-core history buffers, kMetaCoreStride apart
+ *   kMetaTableBase    correlation-table rows for table prefetchers
+ */
+
+#ifndef STMS_PREFETCH_META_ADDR_HH
+#define STMS_PREFETCH_META_ADDR_HH
+
+#include "common/types.hh"
+
+namespace stms
+{
+
+/** Base of the index-table region. */
+inline constexpr Addr kMetaIndexBase = Addr(1) << 40;
+/** Base of the history-buffer region. */
+inline constexpr Addr kMetaHistoryBase = (Addr(1) << 40) + (Addr(1) << 39);
+/** Base of the correlation-table region. */
+inline constexpr Addr kMetaTableBase = (Addr(1) << 40) + (Addr(3) << 38);
+/** Address stride between consecutive cores' history buffers. */
+inline constexpr Addr kMetaCoreStride = Addr(1) << 34;
+
+/** Address of index-table bucket @p bucket. */
+constexpr Addr
+metaIndexAddr(std::uint64_t bucket)
+{
+    return kMetaIndexBase + bucket * kBlockBytes;
+}
+
+/** Address of history block @p historyBlock of @p core's buffer. */
+constexpr Addr
+metaHistoryAddr(CoreId core, std::uint64_t historyBlock)
+{
+    return kMetaHistoryBase + core * kMetaCoreStride +
+           historyBlock * kBlockBytes;
+}
+
+/** Address of correlation-table row @p row. */
+constexpr Addr
+metaTableAddr(std::uint64_t row)
+{
+    return kMetaTableBase + row * kBlockBytes;
+}
+
+} // namespace stms
+
+#endif // STMS_PREFETCH_META_ADDR_HH

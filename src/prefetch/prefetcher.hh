@@ -48,11 +48,14 @@ class PrefetchPort
                                       Addr block) = 0;
 
     /**
-     * Issue predictor meta-data traffic of @p blocks cache blocks.
+     * Issue predictor meta-data traffic of @p blocks cache blocks at
+     * meta-data address @p addr (see kMetaIndexBase and friends in
+     * meta_addr.hh — meta structures occupy their own physical region
+     * so DRAM-timing backends can model their row/bank locality).
      * @p done fires when the access completes (null for posted writes).
      */
-    virtual void metaRequest(TrafficClass cls, std::uint32_t blocks,
-                             TimedCallback done) = 0;
+    virtual void metaRequest(TrafficClass cls, Addr addr,
+                             std::uint32_t blocks, TimedCallback done) = 0;
 
     /** Current simulated time. */
     virtual Cycle now() const = 0;

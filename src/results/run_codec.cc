@@ -22,6 +22,15 @@ trafficKey(std::size_t cls, const char *leaf)
            leaf;
 }
 
+/** Names for the per-class row-buffer outcome arrays. */
+std::string
+rowBufKey(std::size_t cls, const char *leaf)
+{
+    return std::string("sim.rowbuf.") +
+           trafficClassName(static_cast<TrafficClass>(cls)) + "." +
+           leaf;
+}
+
 struct Encoder
 {
     std::vector<std::pair<std::string, double>> out;
@@ -181,6 +190,29 @@ encodeRunOutput(const RunOutput &output)
                           sim.prefetchers[i]);
 
     enc.put("sim.mem_utilization", sim.memUtilization);
+
+    // Backend-specific scalars are sparse (zero values implicit, one
+    // channel implicit) so records written by the default fixed
+    // backend stay byte-identical to the pre-backend codec.
+    if (sim.memChannels != 1) {
+        enc.put("sim.mem_channels",
+                static_cast<double>(sim.memChannels));
+    }
+    for (std::size_t cls = 0; cls < kNumTrafficClasses; ++cls) {
+        if (sim.rowBuffer.hits[cls] != 0) {
+            enc.put(rowBufKey(cls, "hits"),
+                    static_cast<double>(sim.rowBuffer.hits[cls]));
+        }
+        if (sim.rowBuffer.empties[cls] != 0) {
+            enc.put(rowBufKey(cls, "empties"),
+                    static_cast<double>(sim.rowBuffer.empties[cls]));
+        }
+        if (sim.rowBuffer.conflicts[cls] != 0) {
+            enc.put(rowBufKey(cls, "conflicts"),
+                    static_cast<double>(sim.rowBuffer.conflicts[cls]));
+        }
+    }
+
     enc.put("sim.coverage", sim.coverage);
     enc.put("sim.full_coverage", sim.fullCoverage);
     enc.put("sim.overhead_per_byte", sim.overheadPerDataByte);
@@ -275,6 +307,19 @@ decodeRunOutput(
                           sim.prefetchers[i]);
 
     sim.memUtilization = dec.get("sim.mem_utilization");
+
+    sim.memChannels =
+        static_cast<std::uint32_t>(dec.getU64("sim.mem_channels"));
+    if (sim.memChannels == 0)
+        sim.memChannels = 1;
+    for (std::size_t cls = 0; cls < kNumTrafficClasses; ++cls) {
+        sim.rowBuffer.hits[cls] = dec.getU64(rowBufKey(cls, "hits"));
+        sim.rowBuffer.empties[cls] =
+            dec.getU64(rowBufKey(cls, "empties"));
+        sim.rowBuffer.conflicts[cls] =
+            dec.getU64(rowBufKey(cls, "conflicts"));
+    }
+
     sim.coverage = dec.get("sim.coverage");
     sim.fullCoverage = dec.get("sim.full_coverage");
     sim.overheadPerDataByte = dec.get("sim.overhead_per_byte");

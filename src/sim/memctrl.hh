@@ -93,7 +93,12 @@ class MemController
                  Callback done);
 
     const MemCtrlStats &stats() const { return stats_; }
-    void resetStats() { stats_ = MemCtrlStats{}; }
+    void
+    resetStats()
+    {
+        stats_ = MemCtrlStats{};
+        lowDelay_.reset();
+    }
 
     /** Queue-delay distribution of low-priority traffic (cycles). */
     const LinearHistogram &lowPrioDelay() const { return lowDelay_; }

@@ -49,7 +49,7 @@ MlpMeter::reset(Cycle now)
 MemorySystem::MemorySystem(EventQueue &events,
                            const MemorySystemConfig &config)
     : events_(events), config_(config), l2_(config.l2),
-      mem_(events, config.mem)
+      mem_(makeMemBackend(events, config.backend, config.mem))
 {
     stms_assert(config.numCores > 0, "need at least one core");
     l1s_.reserve(config.numCores);
@@ -209,13 +209,13 @@ MemorySystem::handleMiss(CoreId core, Addr block, bool is_write,
     mshr.addWaiter(core, std::move(done));
     mshrs_.emplace(block, std::move(mshr));
 
-    mem_.request(TrafficClass::DemandRead, Priority::High, 1,
-                 [this, block](Cycle done_tick) {
-                     auto node = mshrs_.extract(block);
-                     stms_assert(!node.empty(), "fill without MSHR");
-                     finishDemandFill(block, std::move(node.mapped()),
-                                      done_tick);
-                 });
+    mem_->request(TrafficClass::DemandRead, Priority::High, block, 1,
+                  [this, block](Cycle done_tick) {
+                      auto node = mshrs_.extract(block);
+                      stms_assert(!node.empty(), "fill without MSHR");
+                      finishDemandFill(block, std::move(node.mapped()),
+                                       done_tick);
+                  });
 
     // Notify predictors after the demand fetch is queued so demand
     // traffic wins same-tick arbitration over meta-data lookups. Only
@@ -240,8 +240,8 @@ void
 MemorySystem::handleL2Eviction(const Eviction &evicted)
 {
     if (evicted.valid && evicted.dirty) {
-        mem_.request(TrafficClass::DemandWriteback, Priority::Low, 1,
-                     nullptr);
+        mem_->request(TrafficClass::DemandWriteback, Priority::Low,
+                      evicted.blockAddr, 1, nullptr);
     }
 }
 
@@ -324,24 +324,24 @@ MemorySystem::issuePrefetch(Prefetcher &owner, CoreId core, Addr block)
     ++inflightPrefetches_[pf_id][core];
     ++pfStats_[pf_id].issued;
 
-    mem_.request(TrafficClass::Prefetch, Priority::Low, 1,
-                 [this, block](Cycle done_tick) {
-                     auto node = mshrs_.extract(block);
-                     stms_assert(!node.empty(),
-                                 "prefetch fill without MSHR");
-                     finishPrefetchFill(block, std::move(node.mapped()),
-                                        done_tick);
-                 });
+    mem_->request(TrafficClass::Prefetch, Priority::Low, block, 1,
+                  [this, block](Cycle done_tick) {
+                      auto node = mshrs_.extract(block);
+                      stms_assert(!node.empty(),
+                                  "prefetch fill without MSHR");
+                      finishPrefetchFill(block, std::move(node.mapped()),
+                                         done_tick);
+                  });
     return IssueResult::Issued;
 }
 
 void
-MemorySystem::metaRequest(TrafficClass cls, std::uint32_t blocks,
-                          TimedCallback done)
+MemorySystem::metaRequest(TrafficClass cls, Addr addr,
+                          std::uint32_t blocks, TimedCallback done)
 {
     const Priority prio = config_.metaHighPriority ? Priority::High
                                                    : Priority::Low;
-    mem_.request(cls, prio, blocks, std::move(done));
+    mem_->request(cls, prio, addr, blocks, std::move(done));
 }
 
 std::uint32_t
@@ -369,7 +369,7 @@ MemorySystem::resetStats()
     stats_ = MemorySystemStats{};
     for (auto &stats : pfStats_)
         stats = PrefetcherStats{};
-    mem_.resetStats();
+    mem_->resetStats();
     l2_.resetStats();
     for (auto &l1 : l1s_)
         l1->resetStats();

@@ -23,7 +23,7 @@
 #include "prefetch/prefetcher.hh"
 #include "sim/cache.hh"
 #include "sim/event_queue.hh"
-#include "sim/memctrl.hh"
+#include "sim/mem_backend.hh"
 
 namespace stms
 {
@@ -56,6 +56,15 @@ struct MemorySystemConfig
      */
     bool metaHighPriority = false;
     MemCtrlConfig mem;
+    /** Which timing model serves memory requests (default: fixed). */
+    MemBackendSpec backend;
+    /**
+     * When set, the --mem-backend driver knob leaves this system's
+     * backend alone. Experiments that sweep backends explicitly
+     * (mem_tech_sweep) pin each run's backend so a global override
+     * cannot silently collapse the sweep onto one model.
+     */
+    bool backendPinned = false;
 };
 
 /** Demand/coverage statistics, system-wide and per core. */
@@ -151,7 +160,7 @@ class MemorySystem : public PrefetchPort
     // PrefetchPort interface.
     IssueResult issuePrefetch(Prefetcher &owner, CoreId core,
                               Addr block) override;
-    void metaRequest(TrafficClass cls, std::uint32_t blocks,
+    void metaRequest(TrafficClass cls, Addr addr, std::uint32_t blocks,
                      TimedCallback done) override;
     Cycle now() const override { return events_.now(); }
     std::uint32_t prefetchRoom(const Prefetcher &owner,
@@ -159,8 +168,8 @@ class MemorySystem : public PrefetchPort
 
     const MemorySystemStats &stats() const { return stats_; }
     const PrefetcherStats &prefetcherStats(std::uint32_t id) const;
-    const MemCtrlStats &memStats() const { return mem_.stats(); }
-    MemController &memController() { return mem_; }
+    const MemCtrlStats &memStats() const { return mem_->stats(); }
+    const MemBackend &memBackend() const { return *mem_; }
     const Cache &l2() const { return l2_; }
     const Cache &l1(CoreId core) const { return *l1s_[core]; }
     double mlp(CoreId core) const { return mlpMeters_[core].mlp(); }
@@ -241,7 +250,7 @@ class MemorySystem : public PrefetchPort
     MemorySystemConfig config_;
     std::vector<std::unique_ptr<Cache>> l1s_;
     Cache l2_;
-    MemController mem_;
+    std::unique_ptr<MemBackend> mem_;
     std::vector<Prefetcher *> prefetchers_;
     /** buffers_[pf][core]. */
     std::vector<std::vector<PrefetchBuffer>> buffers_;

@@ -118,7 +118,9 @@ CmpSystem::run()
     for (std::uint32_t pf = 0; pf < numPrefetchers_; ++pf)
         result.prefetchers.push_back(memory_->prefetcherStats(pf));
     result.memUtilization =
-        memory_->memController().utilization(result.cycles);
+        memory_->memBackend().utilization(result.cycles);
+    result.rowBuffer = memory_->memBackend().rowStats();
+    result.memChannels = memory_->memBackend().channels();
 
     result.coverage = result.mem.coverage();
     result.fullCoverage = result.mem.fullCoverage();

@@ -52,6 +52,10 @@ struct SimResult
     double meanMlp = 0.0;
     std::vector<PrefetcherStats> prefetchers;
     double memUtilization = 0.0;
+    /** Row-buffer outcomes (all zero outside the DRAM backend). */
+    RowBufferStats rowBuffer;
+    /** Memory channels of the backend that produced this result. */
+    std::uint32_t memChannels = 1;
 
     double coverage = 0.0;       ///< Full + partial covered fraction.
     double fullCoverage = 0.0;   ///< Fully covered fraction only.

@@ -27,7 +27,7 @@ class ScriptedPort : public PrefetchPort
     }
 
     void
-    metaRequest(TrafficClass cls, std::uint32_t blocks,
+    metaRequest(TrafficClass cls, Addr, std::uint32_t blocks,
                 TimedCallback done) override
     {
         metaBlocks[static_cast<std::size_t>(cls)] += blocks;

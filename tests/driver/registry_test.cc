@@ -77,7 +77,7 @@ TEST(ExperimentRegistry, GlobalHasEveryBuiltin)
     const char *expected[] = {
         "fig1-overhead", "fig1-storage", "fig4", "fig5",
         "fig6", "fig7", "fig8", "fig9",
-        "table2", "index_contention", "perf_suite",
+        "table2", "index_contention", "mem_tech_sweep", "perf_suite",
         "ingest_replay", "synth_vs_ingest",
         "ablate-bucket", "ablate-priority", "ablate-sharing"};
     for (const char *name : expected) {

@@ -18,7 +18,7 @@ class RecordingPort : public PrefetchPort
         issued.push_back(block);
         return IssueResult::Issued;
     }
-    void metaRequest(TrafficClass, std::uint32_t,
+    void metaRequest(TrafficClass, Addr, std::uint32_t,
                      TimedCallback done) override
     {
         if (done)

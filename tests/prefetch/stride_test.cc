@@ -20,7 +20,7 @@ class RecordingPort : public PrefetchPort
         return IssueResult::Issued;
     }
     void
-    metaRequest(TrafficClass cls, std::uint32_t blocks,
+    metaRequest(TrafficClass cls, Addr, std::uint32_t blocks,
                 TimedCallback done) override
     {
         metaBlocks[static_cast<std::size_t>(cls)] += blocks;

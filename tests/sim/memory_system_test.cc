@@ -203,6 +203,34 @@ TEST(MemorySystem, MlpMeterTracksOverlap)
     EXPECT_DOUBLE_EQ(serial.mlp(), 1.0);
 }
 
+TEST(MemorySystem, MlpMeterResetWhileReadsOutstanding)
+{
+    // The warmup-boundary reset must discard accumulated area but
+    // keep the in-flight count: reads issued before the boundary
+    // still contribute overlap to the measured region.
+    MlpMeter meter;
+    meter.start(0);
+    meter.start(10);
+    meter.reset(20);
+    EXPECT_EQ(meter.outstanding(), 2u);
+    EXPECT_DOUBLE_EQ(meter.mlp(), 0.0);  // Area zeroed at boundary.
+    meter.finish(30);
+    meter.finish(30);
+    EXPECT_EQ(meter.outstanding(), 0u);
+    // Only the 10 post-reset cycles count, with both reads in flight.
+    EXPECT_DOUBLE_EQ(meter.mlp(), 2.0);
+
+    // Reset while idle must not invent busy time before the next
+    // start, even when the last activity predates the reset point.
+    MlpMeter idle;
+    idle.start(0);
+    idle.finish(50);
+    idle.reset(100);
+    idle.start(200);
+    idle.finish(300);
+    EXPECT_DOUBLE_EQ(idle.mlp(), 1.0);
+}
+
 TEST(MemorySystem, WriteMissAllocatesWithoutCallback)
 {
     Fixture f;
