@@ -1,11 +1,114 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 #include <vector>
 
 namespace stms
 {
+
+namespace
+{
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+/** One lock serializes every stderr write AND guards the sticky-line
+ *  hook, so a progress redraw can never interleave with a log line. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Whether a sticky status line is currently on screen. Guarded by
+ *  sinkMutex(), like every other byte that reaches stderr. */
+bool g_sticky_shown = false;
+
+/** Caller must hold sinkMutex(). */
+void
+clearStickyLine()
+{
+    if (g_sticky_shown) {
+        std::fputs("\r\x1b[2K", stderr);
+        g_sticky_shown = false;
+    }
+}
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    clearStickyLine();
+    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        g_level.load(std::memory_order_relaxed));
+}
+
+bool
+parseLogLevel(const std::string &text, LogLevel &out)
+{
+    if (text == "error")
+        out = LogLevel::Error;
+    else if (text == "warn")
+        out = LogLevel::Warn;
+    else if (text == "info")
+        out = LogLevel::Info;
+    else if (text == "debug")
+        out = LogLevel::Debug;
+    else
+        return false;
+    return true;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
+void
+logStickyLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    clearStickyLine();
+    std::fputs(line.c_str(), stderr);
+    std::fflush(stderr);
+    g_sticky_shown = true;
+}
+
+void
+logStickyDone()
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    clearStickyLine();
+    std::fflush(stderr);
+}
 
 std::string
 logFormat(const char *fmt, ...)
@@ -29,27 +132,51 @@ logFormat(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        clearStickyLine();
+        std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(),
+                     file, line);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        clearStickyLine();
+        std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(),
+                     file, line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emit("info: ", msg);
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    emit("debug: ", msg);
+}
+
+void
+logRaw(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    clearStickyLine();
+    std::fputs(text.c_str(), stderr);
 }
 
 } // namespace stms

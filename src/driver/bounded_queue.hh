@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "telemetry/trace_writer.hh"
 
 namespace stms::driver
 {
@@ -47,6 +48,22 @@ class BoundedQueue
     }
 
     /**
+     * Telemetry: name this queue in the trace. Occupancy becomes a
+     * counter track named @p name (pass counters=false for queues
+     * whose occupancy would aggregate wrongly across instances, e.g.
+     * the per-run per-lane chunk queues), and blocked push/pop waits
+     * become spans. @p name must have static storage duration. A
+     * no-op unless a TraceSink is installed — the hot path without
+     * one stays branch-plus-load cheap.
+     */
+    void
+    instrument(const char *name, bool counters = true)
+    {
+        traceName_ = name;
+        traceCounters_ = counters;
+    }
+
+    /**
      * Block until there is room, then enqueue @p item.
      * @return false if the queue was closed (item dropped).
      */
@@ -54,12 +71,19 @@ class BoundedQueue
     push(T item)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        notFull_.wait(lock, [&] {
-            return closed_ || items_.size() < capacity_;
-        });
+        {
+            std::optional<telemetry::ScopedSpan> wait_span;
+            if (traceName_ && !closed_ &&
+                items_.size() >= capacity_ && telemetry::traceSink())
+                wait_span.emplace("queue", "push wait", traceName_);
+            notFull_.wait(lock, [&] {
+                return closed_ || items_.size() < capacity_;
+            });
+        }
         if (closed_)
             return false;
         items_.push_back(std::move(item));
+        noteOccupancy();
         notEmpty_.notify_one();
         return true;
     }
@@ -81,6 +105,7 @@ class BoundedQueue
         if (items_.size() >= capacity_)
             return PushResult::Full;
         items_.push_back(std::move(item));
+        noteOccupancy();
         notEmpty_.notify_one();
         return PushResult::Ok;
     }
@@ -93,12 +118,19 @@ class BoundedQueue
     pop()
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        notEmpty_.wait(lock,
-                       [&] { return closed_ || !items_.empty(); });
+        {
+            std::optional<telemetry::ScopedSpan> wait_span;
+            if (traceName_ && !closed_ && items_.empty() &&
+                telemetry::traceSink())
+                wait_span.emplace("queue", "pop wait", traceName_);
+            notEmpty_.wait(lock,
+                           [&] { return closed_ || !items_.empty(); });
+        }
         if (items_.empty())
             return std::nullopt;
         T item = std::move(items_.front());
         items_.pop_front();
+        noteOccupancy();
         notFull_.notify_one();
         return item;
     }
@@ -114,12 +146,24 @@ class BoundedQueue
     }
 
   private:
+    /** Occupancy counter sample; called with mutex_ held, so counter
+     *  timestamps are totally ordered with the size they report. */
+    void
+    noteOccupancy()
+    {
+        if (traceName_ && traceCounters_)
+            telemetry::emitCounter(
+                traceName_, static_cast<double>(items_.size()));
+    }
+
     const std::size_t capacity_;
     std::mutex mutex_;
     std::condition_variable notEmpty_;
     std::condition_variable notFull_;
     std::deque<T> items_;
     bool closed_ = false;
+    const char *traceName_ = nullptr;
+    bool traceCounters_ = true;
 };
 
 } // namespace stms::driver

@@ -75,13 +75,19 @@ class ChunkedWorkloadSource::LaneCursor final
 
 ChunkedWorkloadSource::ChunkedWorkloadSource(
     const WorkloadSpec &spec, std::uint64_t chunk_records,
-    ChunkAccounting *shared)
-    : spec_(spec), chunkRecords_(chunk_records), shared_(shared)
+    ChunkAccounting *shared, std::string label)
+    : spec_(spec), chunkRecords_(chunk_records), shared_(shared),
+      label_(std::move(label))
 {
     stms_assert(chunkRecords_ > 0, "chunk size must be nonzero");
     queues_.reserve(spec_.numCores);
-    for (CoreId lane = 0; lane < spec_.numCores; ++lane)
+    for (CoreId lane = 0; lane < spec_.numCores; ++lane) {
         queues_.push_back(std::make_unique<ChunkQueue>(kChunksPerLane));
+        // Span-only: many per-run lane queues sharing one counter
+        // track would garble it; global residency is covered by the
+        // pipeline.resident_chunks counter instead.
+        queues_.back()->instrument("queue.chunks", false);
+    }
     producer_ = std::thread([this] { produce(); });
 }
 
@@ -113,6 +119,8 @@ ChunkedWorkloadSource::openLane(CoreId lane)
 void
 ChunkedWorkloadSource::produce()
 {
+    if (telemetry::TraceSink *sink = telemetry::traceSink())
+        sink->threadName("produce " + label_);
     std::vector<LaneGenerator> lanes;
     lanes.reserve(spec_.numCores);
     for (CoreId lane = 0; lane < spec_.numCores; ++lane)
@@ -170,8 +178,12 @@ ChunkedWorkloadSource::produce()
                 std::min<std::uint64_t>(chunkRecords_,
                                         spec_.recordsPerCore)));
             const auto fill_start = std::chrono::steady_clock::now();
-            lanes[lane].fill(chunk,
-                             static_cast<std::size_t>(chunkRecords_));
+            {
+                telemetry::ScopedSpan span("stage", "generate",
+                                           label_);
+                lanes[lane].fill(
+                    chunk, static_cast<std::size_t>(chunkRecords_));
+            }
             produceNanos_.fetch_add(
                 static_cast<std::uint64_t>(
                     std::chrono::duration_cast<
@@ -198,6 +210,8 @@ ChunkedWorkloadSource::produce()
         if (!progressed) {
             // Every queue is full: sleep until a cursor pops (or the
             // source is torn down).
+            telemetry::ScopedSpan wait_span("queue", "produce wait",
+                                            label_);
             std::unique_lock<std::mutex> lock(wakeMutex_);
             wake_.wait(lock, [&] {
                 return pops_ != pops_before || aborted_;

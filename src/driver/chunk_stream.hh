@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "driver/bounded_queue.hh"
+#include "telemetry/trace_writer.hh"
 #include "trace_io/trace_source.hh"
 #include "workload/generators.hh"
 
@@ -80,12 +81,17 @@ struct ChunkAccounting
                !peak.compare_exchange_weak(
                    seen, live, std::memory_order_relaxed)) {
         }
+        telemetry::emitCounter("pipeline.resident_chunks",
+                               static_cast<double>(live));
     }
 
     void
     noteDead()
     {
-        resident.fetch_sub(1, std::memory_order_relaxed);
+        const std::uint64_t live =
+            resident.fetch_sub(1, std::memory_order_relaxed) - 1;
+        telemetry::emitCounter("pipeline.resident_chunks",
+                               static_cast<double>(live));
     }
 };
 
@@ -98,12 +104,14 @@ class ChunkedWorkloadSource final : public trace_io::TraceSource
      * immediately and blocks once the per-lane queues fill, so an
      * unconsumed source holds only the bounded residency above.
      * @p shared, when given, additionally receives every live/dead
-     * chunk transition (schedule-global accounting).
+     * chunk transition (schedule-global accounting). @p label (the
+     * run id) names the producer thread's trace track and tags its
+     * generate spans; unused unless a TraceSink is installed.
      */
     explicit ChunkedWorkloadSource(
         const WorkloadSpec &spec,
         std::uint64_t chunk_records = kDefaultPipelineChunkRecords,
-        ChunkAccounting *shared = nullptr);
+        ChunkAccounting *shared = nullptr, std::string label = {});
 
     /** Unblocks and joins the producer; safe mid-stream. */
     ~ChunkedWorkloadSource() override;
@@ -152,6 +160,7 @@ class ChunkedWorkloadSource final : public trace_io::TraceSource
     WorkloadSpec spec_;
     std::uint64_t chunkRecords_;
     ChunkAccounting *shared_;
+    std::string label_;
     std::vector<std::unique_ptr<ChunkQueue>> queues_;
     std::atomic<std::uint64_t> resident_{0};
     std::atomic<std::uint64_t> peakResident_{0};

@@ -3,10 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.hh"
 #include "driver/registry.hh"
 #include "driver/results_cli.hh"
 #include "driver/runner.hh"
 #include "results/store.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_writer.hh"
 
 namespace stms::driver
 {
@@ -23,6 +26,8 @@ const char kUsage[] =
     "              [--json PATH|-] [--no-timing] [--store DIR]\n"
     "              [--rerun] [--shard I/N] [--results CMD]\n"
     "              [--baseline PATH] [--csv] [--verbose]\n"
+    "              [--trace-out FILE] [--sample-every N]\n"
+    "              [--log-level LEVEL] [--progress|--no-progress]\n"
     "              [key=value]...\n"
     "\n"
     "  --list            list registered experiments and exit\n"
@@ -110,7 +115,27 @@ const char kUsage[] =
     "(a store\n"
     "                    directory or a records .jsonl file)\n"
     "  --csv             print tables as CSV instead of aligned text\n"
-    "  --verbose         per-run progress on stderr\n"
+    "  --verbose         shorthand for --log-level debug\n"
+    "  --trace-out FILE  write a Perfetto/chrome://tracing JSON trace "
+    "of the\n"
+    "                    sweep (run lifecycles, pipeline stage spans, "
+    "queue\n"
+    "                    and cache counter tracks); never perturbs "
+    "model\n"
+    "                    output (docs/OBSERVABILITY.md)\n"
+    "  --sample-every N  snapshot simulator counters every N accessed\n"
+    "                    cycles into per-run time series under the "
+    "report's\n"
+    "                    timing key (0 = off; excluded from "
+    "fingerprints\n"
+    "                    and snapshot diffs; render with\n"
+    "                    tools/telemetry_report.py)\n"
+    "  --log-level LEVEL stderr verbosity: error|warn|info|debug\n"
+    "                    (default warn)\n"
+    "  --progress        live sweep progress line on stderr (default: "
+    "only\n"
+    "                    when stderr is a TTY; --no-progress forces "
+    "off)\n"
     "  key=value         experiment options (e.g. records=65536, "
     "chunk=4096)\n";
 
@@ -164,6 +189,40 @@ applyPipelineChunk(const std::string &value, DriverArgs &args,
         return false;
     }
     args.pipelineChunk = parsed;
+    return true;
+}
+
+/**
+ * Apply --sample-every: counter-snapshot epoch in accessed cycles.
+ * 0 is the explicit "off" spelling. The value steers observation
+ * only — it flows through RunnerConfig (never Options), so it cannot
+ * join result-store fingerprints or change model output.
+ */
+bool
+applySampleEvery(const std::string &value, DriverArgs &args,
+                 std::string &error)
+{
+    std::uint64_t parsed = 0;
+    if (!parseUint(value, parsed) || parsed > (1ULL << 40)) {
+        error = "--sample-every needs an integer in [0, 2^40] "
+                "(0 = off)";
+        return false;
+    }
+    args.sampleEvery = parsed;
+    return true;
+}
+
+/** Apply --log-level: error|warn|info|debug. */
+bool
+applyLogLevel(const std::string &value, DriverArgs &args,
+              std::string &error)
+{
+    LogLevel level = LogLevel::Warn;
+    if (!parseLogLevel(value, level)) {
+        error = "--log-level needs error|warn|info|debug";
+        return false;
+    }
+    args.logLevel = static_cast<int>(level);
     return true;
 }
 
@@ -278,6 +337,8 @@ makeReportTiming(const ExecStats &stats)
     timing.peakRssKb = peakRssKb();
     timing.chunkRecords = stats.chunkRecords;
     timing.peakResidentChunks = stats.peakResidentChunks;
+    timing.sampleEvery = stats.sampleEvery;
+    timing.sampleColumns = stats.sampleColumns;
     timing.runs = stats.runs;
     return timing;
 }
@@ -319,6 +380,57 @@ writeJson(const std::string &path, const std::string &payload)
     return results::atomicWriteFile(path, payload);
 }
 
+/**
+ * Owns the process-wide TraceSink for one driver invocation.
+ * Installs on construction (when a path was given) and guarantees
+ * uninstall-then-close on every exit path; finish() reports write
+ * failures on the success paths.
+ */
+class TraceSinkGuard
+{
+  public:
+    explicit TraceSinkGuard(const std::string &path)
+    {
+        if (path.empty())
+            return;
+        sink_ = std::make_unique<telemetry::TraceSink>(path);
+        telemetry::installTraceSink(sink_.get());
+    }
+
+    ~TraceSinkGuard()
+    {
+        if (!sink_)
+            return;
+        // Error-path teardown: still write what was captured (a
+        // partial trace of a failed sweep is exactly when you want
+        // one), but swallow I/O errors — the run already failed.
+        telemetry::installTraceSink(nullptr);
+        std::string error;
+        sink_->close(error);
+        sink_.reset();
+    }
+
+    /** Close + write the trace; false (with a message) on failure. */
+    bool
+    finish()
+    {
+        if (!sink_)
+            return true;
+        telemetry::installTraceSink(nullptr);
+        std::string error;
+        const bool ok = sink_->close(error);
+        if (!ok)
+            logRaw(error + "\n");
+        else
+            stms_inform("trace written to %s", sink_->path().c_str());
+        sink_.reset();
+        return ok;
+    }
+
+  private:
+    std::unique_ptr<telemetry::TraceSink> sink_;
+};
+
 int
 runExperiments(const DriverArgs &args)
 {
@@ -332,8 +444,7 @@ runExperiments(const DriverArgs &args)
         }
         const Experiment *experiment = registry.find(name);
         if (!experiment) {
-            std::fprintf(stderr, "unknown experiment '%s'\n\n",
-                         name.c_str());
+            logRaw("unknown experiment '" + name + "'\n\n");
             printList(registry);
             return 1;
         }
@@ -345,7 +456,7 @@ runExperiments(const DriverArgs &args)
         std::string error;
         store = results::ResultStore::open(args.storePath, error);
         if (!store) {
-            std::fprintf(stderr, "--store: %s\n", error.c_str());
+            logRaw("--store: " + error + "\n");
             return 1;
         }
     }
@@ -355,11 +466,14 @@ runExperiments(const DriverArgs &args)
                                        (1ULL << 20));
     }
 
+    TraceSinkGuard trace_sink(args.traceOutPath);
+
     RunnerConfig runner_config;
     runner_config.threads = args.threads;
     runner_config.pipeline = args.pipeline;
     runner_config.pipelineChunkRecords = args.pipelineChunk;
-    runner_config.verbose = args.verbose;
+    runner_config.sampleEvery = args.sampleEvery;
+    runner_config.progress = args.progress;
     runner_config.store = store.get();
     runner_config.rerun = args.rerun;
     runner_config.shardIndex = args.shardIndex;
@@ -372,14 +486,13 @@ runExperiments(const DriverArgs &args)
         for (const Experiment *experiment : selected) {
             ExecStats stats;
             runner.execute(*experiment, args.options, &stats);
-            std::fprintf(stderr,
-                         "[%s] shard %u/%u: %zu of %zu runs "
-                         "(%zu resumed, %zu other-shard)\n",
-                         experiment->name().c_str(), args.shardIndex,
-                         args.shardCount, stats.executed,
-                         stats.planned, stats.resumed, stats.sharded);
+            stms_inform("[%s] shard %u/%u: %zu of %zu runs "
+                        "(%zu resumed, %zu other-shard)",
+                        experiment->name().c_str(), args.shardIndex,
+                        args.shardCount, stats.executed,
+                        stats.planned, stats.resumed, stats.sharded);
         }
-        return 0;
+        return trace_sink.finish() ? 0 : 1;
     }
 
     // With --json -, stdout carries the JSON payload alone; the
@@ -394,23 +507,21 @@ runExperiments(const DriverArgs &args)
         if (args.timing)
             report.setTiming(makeReportTiming(stats));
         if (store) {
-            std::fprintf(stderr,
-                         "[%s] store: %zu of %zu runs resumed, %zu "
-                         "executed\n",
-                         experiment.name().c_str(), stats.resumed,
-                         stats.planned, stats.executed);
+            stms_inform("[%s] store: %zu of %zu runs resumed, %zu "
+                        "executed",
+                        experiment.name().c_str(), stats.resumed,
+                        stats.planned, stats.executed);
             results::ResultRecord record = makeExperimentRecord(
                 experiment, args.options, report);
             if (store->append(record, args.rerun)) {
-                std::fprintf(stderr, "[%s] store: recorded %s\n",
-                             experiment.name().c_str(),
-                             record.fingerprint.hex().c_str());
+                stms_inform("[%s] store: recorded %s",
+                            experiment.name().c_str(),
+                            record.fingerprint.hex().c_str());
             } else {
-                std::fprintf(stderr,
-                             "[%s] store: %s already recorded "
-                             "(--rerun to append again)\n",
-                             experiment.name().c_str(),
-                             record.fingerprint.hex().c_str());
+                stms_inform("[%s] store: %s already recorded "
+                            "(--rerun to append again)",
+                            experiment.name().c_str(),
+                            record.fingerprint.hex().c_str());
             }
         }
         if (!json_on_stdout) {
@@ -438,12 +549,27 @@ runExperiments(const DriverArgs &args)
             payload += "]\n";
         }
         if (!writeJson(args.jsonPath, payload)) {
-            std::fprintf(stderr, "failed to write '%s'\n",
-                         args.jsonPath.c_str());
+            logRaw("failed to write '" + args.jsonPath + "'\n");
             return 1;
         }
     }
-    return 0;
+    return trace_sink.finish() ? 0 : 1;
+}
+
+/**
+ * Apply the parsed telemetry/logging globals. --verbose is the
+ * legacy debug spelling; an explicit --log-level wins over it.
+ * Sampling flows through the process-wide telemetry global so nested
+ * runners (perf_suite's inner sweeps) inherit the flag.
+ */
+void
+applyTelemetryGlobals(const DriverArgs &args)
+{
+    if (args.logLevel != DriverArgs::kLogUnset)
+        setLogLevel(static_cast<LogLevel>(args.logLevel));
+    else if (args.verbose)
+        setLogLevel(LogLevel::Debug);
+    telemetry::setGlobalSampleEvery(args.sampleEvery);
 }
 
 } // namespace
@@ -526,13 +652,28 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
                     args.resultsCmd = value;
                     continue;
                 }
+                if (key == "trace-out") {
+                    args.traceOutPath = value;
+                    continue;
+                }
+                if (key == "sample-every") {
+                    if (!applySampleEvery(value, args, error))
+                        return false;
+                    continue;
+                }
+                if (key == "log-level") {
+                    if (!applyLogLevel(value, args, error))
+                        return false;
+                    continue;
+                }
                 // The boolean flags take no value; swallowing
                 // "--csv=1" as the experiment option csv=1 would be
                 // the same silent fallthrough this block prevents.
                 if (key == "list" || key == "csv" || key == "help" ||
                     key == "h" || key == "verbose" || key == "v" ||
                     key == "rerun" || key == "pipeline" ||
-                    key == "no-timing") {
+                    key == "no-timing" || key == "progress" ||
+                    key == "no-progress") {
                     error = "--" + key + " does not take a value";
                     return false;
                 }
@@ -559,6 +700,27 @@ parseDriverArgs(int argc, char **argv, DriverArgs &args,
                 return false;
         } else if (token == "--no-timing") {
             args.timing = false;
+        } else if (token == "--progress") {
+            args.progress = telemetry::ProgressMode::On;
+        } else if (token == "--no-progress") {
+            args.progress = telemetry::ProgressMode::Off;
+        } else if (token == "--trace-out") {
+            const char *value = nextValue("--trace-out");
+            if (!value)
+                return false;
+            args.traceOutPath = value;
+        } else if (token == "--sample-every") {
+            const char *value = nextValue("--sample-every");
+            if (!value)
+                return false;
+            if (!applySampleEvery(value, args, error))
+                return false;
+        } else if (token == "--log-level") {
+            const char *value = nextValue("--log-level");
+            if (!value)
+                return false;
+            if (!applyLogLevel(value, args, error))
+                return false;
         } else if (token == "--trace-cache-mb") {
             const char *value = nextValue("--trace-cache-mb");
             if (!value)
@@ -656,13 +818,14 @@ driverMain(int argc, char **argv)
     DriverArgs args;
     std::string error;
     if (!parseDriverArgs(argc, argv, args, error)) {
-        std::fprintf(stderr, "%s\n%s", error.c_str(), kUsage);
+        logRaw(error + "\n" + kUsage);
         return 1;
     }
     if (args.help) {
         std::fputs(kUsage, stdout);
         return 0;
     }
+    applyTelemetryGlobals(args);
     if (args.list) {
         printList(ExperimentRegistry::global());
         return 0;
@@ -670,7 +833,7 @@ driverMain(int argc, char **argv)
     if (!args.resultsCmd.empty())
         return runResultsMode(args);
     if (args.experiments.empty()) {
-        std::fprintf(stderr, "no experiment selected\n\n%s", kUsage);
+        logRaw(std::string("no experiment selected\n\n") + kUsage);
         printList(ExperimentRegistry::global());
         return 1;
     }
@@ -683,22 +846,21 @@ experimentMain(const std::string &name, int argc, char **argv)
     DriverArgs args;
     std::string error;
     if (!parseDriverArgs(argc, argv, args, error)) {
-        std::fprintf(stderr, "%s\n%s", error.c_str(), kUsage);
+        logRaw(error + "\n" + kUsage);
         return 1;
     }
     if (args.help) {
         std::fputs(kUsage, stdout);
         return 0;
     }
+    applyTelemetryGlobals(args);
     if (args.list) {
         printList(ExperimentRegistry::global());
         return 0;
     }
     if (!args.experiments.empty()) {
-        std::fprintf(stderr,
-                     "this binary always runs '%s'; use the driver "
-                     "binary to select experiments\n",
-                     name.c_str());
+        logRaw("this binary always runs '" + name +
+               "'; use the driver binary to select experiments\n");
         return 1;
     }
     args.experiments.assign(1, name);

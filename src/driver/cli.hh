@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/log.hh"
+#include "telemetry/progress.hh"
 
 namespace stms::driver
 {
@@ -51,7 +53,21 @@ struct DriverArgs
     bool csv = false;      ///< Emit tables as CSV instead of aligned.
     bool list = false;
     bool help = false;
+    /** Shorthand for --log-level debug (kept for compatibility; an
+     *  explicit --log-level wins). */
     bool verbose = false;
+
+    // Telemetry (docs/OBSERVABILITY.md). None of these can perturb
+    // model output or fingerprints: traces/samples/progress are
+    // observations of the execution, reported out of band.
+    std::string traceOutPath;      ///< --trace-out FILE; empty = off.
+    std::uint64_t sampleEvery = 0; ///< --sample-every N; 0 = off.
+    /** --log-level parsed; kLogUnset = default (warn, or debug
+     *  under --verbose). */
+    static constexpr int kLogUnset = -1;
+    int logLevel = kLogUnset;
+    /** --progress / --no-progress (Auto = TTY detection). */
+    telemetry::ProgressMode progress = telemetry::ProgressMode::Auto;
 
     // Result-store integration (see docs/RESULTS.md).
     std::string storePath;     ///< --store DIR; empty = no store.

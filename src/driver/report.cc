@@ -70,6 +70,21 @@ Report::toJson() const
                std::to_string(timing_.chunkRecords) + ",\n";
         out += "    \"peak_resident_chunks\": " +
                std::to_string(timing_.peakResidentChunks) + ",\n";
+        // Sampler keys render only when sampling ran: default timing
+        // output stays byte-identical to the pre-telemetry format.
+        if (timing_.sampleEvery > 0) {
+            out += "    \"sample_every\": " +
+                   std::to_string(timing_.sampleEvery) + ",\n";
+            out += "    \"sample_columns\": [";
+            for (std::size_t c = 0; c < timing_.sampleColumns.size();
+                 ++c) {
+                if (c)
+                    out += ", ";
+                out += "\"" + jsonEscape(timing_.sampleColumns[c]) +
+                       "\"";
+            }
+            out += "],\n";
+        }
         out += "    \"stages\": {\"acquire_s\": " +
                jsonNumber(timing_.acquireSeconds) +
                ", \"simulate_s\": " +
@@ -89,7 +104,26 @@ Report::toJson() const
                    jsonNumber(run.encodeSeconds) + ", \"wall_s\": " +
                    jsonNumber(run.wallSeconds) +
                    ", \"peak_resident_chunks\": " +
-                   std::to_string(run.peakResidentChunks) + "}";
+                   std::to_string(run.peakResidentChunks);
+            if (!run.samples.empty()) {
+                // Rows as [accesses, cycle, v0, v1, ...] matching
+                // sample_columns; tools/telemetry_report.py renders
+                // these into per-run ramp tables.
+                out += ", \"samples\": [";
+                for (std::size_t s = 0; s < run.samples.rows.size();
+                     ++s) {
+                    const auto &row = run.samples.rows[s];
+                    if (s)
+                        out += ", ";
+                    out += "[" + std::to_string(row.accesses) + ", " +
+                           std::to_string(row.cycle);
+                    for (const double value : row.values)
+                        out += ", " + jsonNumber(value);
+                    out += "]";
+                }
+                out += "]";
+            }
+            out += "}";
         }
         out += timing_.runs.empty() ? "]\n" : "\n    ]\n";
         out += "  },\n";

@@ -20,6 +20,7 @@
 #include "results/json.hh"
 #include "results/record.hh"
 #include "stats/table.hh"
+#include "telemetry/sampler.hh"
 
 namespace stms::driver
 {
@@ -51,6 +52,11 @@ struct ReportRunTiming
     /** Peak record chunks resident for this run (chunked pipeline
      *  schedule only; 0 elsewhere). */
     std::uint64_t peakResidentChunks = 0;
+    /** Epoch-sampled counter series (`--sample-every`; empty when
+     *  sampling is off). Lives under the timing key like every other
+     *  non-model observation, so it never perturbs fingerprints or
+     *  `--no-timing` byte-compares. */
+    telemetry::SampleSeries samples;
 };
 
 /**
@@ -82,6 +88,12 @@ struct ReportTiming
      *  RSS blow-up BENCH_5 caught only post-hoc, now visible in every
      *  timing artifact. */
     std::uint64_t peakResidentChunks = 0;
+    /** Sampling epoch in accessed cycles (0 = sampling off; only a
+     *  non-zero epoch renders sampler keys, so default timing JSON
+     *  is byte-identical to the pre-telemetry format). */
+    std::uint64_t sampleEvery = 0;
+    /** Probe names, in per-run sample row order. */
+    std::vector<std::string> sampleColumns;
     std::vector<ReportRunTiming> runs;
 };
 

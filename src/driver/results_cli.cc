@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/log.hh"
+
 #include "driver/cli.hh"
 #include "results/diff.hh"
 #include "results/fingerprint.hh"
@@ -18,15 +20,14 @@ std::unique_ptr<results::ResultStore>
 openStoreOrComplain(const DriverArgs &args)
 {
     if (args.storePath.empty()) {
-        std::fprintf(stderr,
-                     "--results %s needs --store DIR\n",
-                     args.resultsCmd.c_str());
+        logRaw("--results " + args.resultsCmd +
+               " needs --store DIR\n");
         return nullptr;
     }
     std::string error;
     auto store = results::ResultStore::open(args.storePath, error);
     if (!store)
-        std::fprintf(stderr, "--store: %s\n", error.c_str());
+        logRaw("--store: " + error + "\n");
     return store;
 }
 
@@ -60,9 +61,8 @@ int
 showRecord(const DriverArgs &args)
 {
     if (args.resultsArgs.empty()) {
-        std::fprintf(stderr,
-                     "--results show needs a fingerprint "
-                     "(or a unique hex prefix)\n");
+        logRaw("--results show needs a fingerprint "
+               "(or a unique hex prefix)\n");
         return 1;
     }
     auto store = openStoreOrComplain(args);
@@ -75,8 +75,7 @@ showRecord(const DriverArgs &args)
         if (record.fingerprint.hex().rfind(prefix, 0) == 0)
             matches.push_back(std::move(record));
     if (matches.empty()) {
-        std::fprintf(stderr, "no record matches '%s'\n",
-                     prefix.c_str());
+        logRaw("no record matches '" + prefix + "'\n");
         return 1;
     }
     // Duplicate fingerprints (--rerun history) all match the same
@@ -84,10 +83,10 @@ showRecord(const DriverArgs &args)
     for (std::size_t i = 1; i < matches.size(); ++i) {
         if (!(matches[i].fingerprint ==
               matches.front().fingerprint)) {
-            std::fprintf(stderr,
-                         "'%s' is ambiguous (%zu records); use more "
-                         "hex digits\n",
-                         prefix.c_str(), matches.size());
+            logRaw(logFormat("'%s' is ambiguous (%zu records); "
+                             "use more hex digits",
+                             prefix.c_str(), matches.size()) +
+                   "\n");
             return 1;
         }
     }
@@ -131,24 +130,21 @@ diffRecords(const DriverArgs &args)
     std::string before_path;
     std::string after_path;
     if (args.resultsArgs.size() > 2) {
-        std::fprintf(stderr,
-                     "--results diff takes at most two snapshots\n");
+        logRaw("--results diff takes at most two snapshots\n");
         return 1;
     }
     if (args.resultsArgs.size() == 2) {
         if (!args.baselinePath.empty()) {
-            std::fprintf(stderr,
-                         "--results diff: both explicit snapshots "
-                         "and --baseline given; drop one\n");
+            logRaw("--results diff: both explicit snapshots "
+                   "and --baseline given; drop one\n");
             return 1;
         }
         before_path = args.resultsArgs[0];
         after_path = args.resultsArgs[1];
     } else if (args.resultsArgs.size() == 1) {
         if (!args.baselinePath.empty()) {
-            std::fprintf(stderr,
-                         "--results diff: both an explicit snapshot "
-                         "and --baseline given; drop one\n");
+            logRaw("--results diff: both an explicit snapshot "
+                   "and --baseline given; drop one\n");
             return 1;
         }
         before_path = args.resultsArgs[0];
@@ -158,23 +154,22 @@ diffRecords(const DriverArgs &args)
         after_path = args.storePath;
     }
     if (before_path.empty() || after_path.empty()) {
-        std::fprintf(stderr,
-                     "--results diff needs two snapshots: "
-                     "'--results diff BEFORE [AFTER]' (AFTER "
-                     "defaults to --store) or --baseline PATH with "
-                     "--store DIR\n");
+        logRaw("--results diff needs two snapshots: "
+               "'--results diff BEFORE [AFTER]' (AFTER "
+               "defaults to --store) or --baseline PATH with "
+               "--store DIR\n");
         return 1;
     }
 
     std::string error;
     std::vector<results::ResultRecord> before;
     if (!results::loadSnapshot(before_path, before, error)) {
-        std::fprintf(stderr, "baseline: %s\n", error.c_str());
+        logRaw("baseline: " + error + "\n");
         return 1;
     }
     std::vector<results::ResultRecord> after;
     if (!results::loadSnapshot(after_path, after, error)) {
-        std::fprintf(stderr, "store: %s\n", error.c_str());
+        logRaw("store: " + error + "\n");
         return 1;
     }
 
@@ -195,7 +190,7 @@ gcRecords(const DriverArgs &args)
     std::string error;
     const long dropped = store->gc(error);
     if (dropped < 0) {
-        std::fprintf(stderr, "gc: %s\n", error.c_str());
+        logRaw("gc: " + error + "\n");
         return 1;
     }
     std::printf("gc: dropped %ld superseded/malformed lines, kept "
@@ -217,10 +212,8 @@ runResultsMode(const DriverArgs &args)
         return diffRecords(args);
     if (args.resultsCmd == "gc")
         return gcRecords(args);
-    std::fprintf(stderr,
-                 "unknown --results command '%s' (expected list, "
-                 "show, diff, or gc)\n",
-                 args.resultsCmd.c_str());
+    logRaw("unknown --results command '" + args.resultsCmd +
+           "' (expected list, show, diff, or gc)\n");
     return 1;
 }
 

@@ -18,6 +18,7 @@
 #include "driver/chunk_stream.hh"
 #include "results/fingerprint.hh"
 #include "results/run_codec.hh"
+#include "telemetry/trace_writer.hh"
 #include "workload/workloads.hh"
 
 namespace stms::driver
@@ -32,6 +33,39 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Name the calling thread's trace track (no-op when tracing off). */
+void
+nameTraceThread(const char *name)
+{
+    if (telemetry::TraceSink *sink = telemetry::traceSink())
+        sink->threadName(name);
+}
+
+/** Flush the calling thread's span buffer (run-boundary contract). */
+void
+flushTraceThread()
+{
+    if (telemetry::TraceSink *sink = telemetry::traceSink())
+        sink->flushCurrentThread();
+}
+
+/** Open/close the run-lifecycle async span (cat "run", id = plan
+ *  index). Begin and end may run on different threads — exactly what
+ *  the b/e async phases exist for. */
+void
+traceRunBegin(std::size_t index, const std::string &id)
+{
+    if (telemetry::TraceSink *sink = telemetry::traceSink())
+        sink->asyncBegin("run", index, id);
+}
+
+void
+traceRunEnd(std::size_t index, const std::string &id)
+{
+    if (telemetry::TraceSink *sink = telemetry::traceSink())
+        sink->asyncEnd("run", index, id);
 }
 
 } // namespace
@@ -136,6 +170,19 @@ ExperimentRunner::execute(const Experiment &experiment,
         }
     }
 
+    // Telemetry sampling rides the same chokepoint — but NOT the
+    // Options store: the epoch is observation, not configuration, so
+    // it must never reach normalizedParams()/fingerprints. Probes
+    // only read counters, so model output is untouched (the
+    // telemetry determinism tests byte-compare exactly that).
+    const std::uint64_t sample_every =
+        config_.sampleEvery != 0 ? config_.sampleEvery
+                                 : telemetry::globalSampleEvery();
+    if (sample_every != 0) {
+        for (RunSpec &spec : plan)
+            spec.config.sim.sampleEvery = sample_every;
+    }
+
     ExecStats local;
     local.planned = plan.size();
 
@@ -207,6 +254,7 @@ ExperimentRunner::execute(const Experiment &experiment,
         const RunSpec &spec = plan[index];
         if (spec.ingest)
             return TraceCache::Handle();
+        telemetry::ScopedSpan span("stage", "acquire", spec.id);
         const Clock::time_point start = Clock::now();
         TraceCache::Handle handle =
             traces_.acquire(spec.workload, spec.records);
@@ -224,12 +272,18 @@ ExperimentRunner::execute(const Experiment &experiment,
             // never enter the TraceCache.
             const Clock::time_point open_start = Clock::now();
             std::string error;
-            auto source = trace_io::openSource(*spec.ingest, error);
+            std::unique_ptr<trace_io::TraceSource> source;
+            {
+                telemetry::ScopedSpan span("stage", "acquire",
+                                           spec.id);
+                source = trace_io::openSource(*spec.ingest, error);
+            }
             if (!source) {
                 stms_fatal("run '%s': %s", spec.id.c_str(),
                            error.c_str());
             }
             timings[index].acquireSeconds = secondsSince(open_start);
+            telemetry::ScopedSpan span("stage", "simulate", spec.id);
             const Clock::time_point start = Clock::now();
             outputs[index] = runTrace(*source, spec.config);
             timings[index].simulateSeconds = secondsSince(start);
@@ -242,19 +296,21 @@ ExperimentRunner::execute(const Experiment &experiment,
                     outputs[index].sim.mem.accesses;
         } else {
             timings[index].records = handle.trace().totalRecords();
+            telemetry::ScopedSpan span("stage", "simulate", spec.id);
             const Clock::time_point start = Clock::now();
             outputs[index] = runTrace(handle.trace(), spec.config);
             timings[index].simulateSeconds = secondsSince(start);
         }
-        if (config_.verbose) {
-            std::fprintf(stderr, "[%s] run %zu/%zu done: %s\n",
-                         experiment.name().c_str(), index + 1,
-                         plan.size(), spec.id.c_str());
-        }
+        stms_debug("[%s] run %zu/%zu done: %s",
+                   experiment.name().c_str(), index + 1, plan.size(),
+                   spec.id.c_str());
     };
 
-    // encode: serialize into the store.
+    // encode: serialize into the store. The span covers the stage
+    // even with no store attached (instantaneous), so serial and
+    // pipelined traces always show the same three stages per run.
     auto encodeOne = [&](std::size_t index) {
+        telemetry::ScopedSpan span("stage", "encode", plan[index].id);
         if (!config_.store)
             return;
         const Clock::time_point start = Clock::now();
@@ -267,10 +323,14 @@ ExperimentRunner::execute(const Experiment &experiment,
         record.gitDescribe = results::gitDescribe();
         record.timestamp = results::utcTimestamp();
         record.scalars = results::encodeRunOutput(outputs[index]);
-        if (config_.store->append(record,
-                                  config_.rerun ||
-                                      force_store[index] != 0))
-            appended.fetch_add(1);
+        {
+            telemetry::ScopedSpan append_span("store", "store.append",
+                                              plan[index].id);
+            if (config_.store->append(record,
+                                      config_.rerun ||
+                                          force_store[index] != 0))
+                appended.fetch_add(1);
+        }
         timings[index].encodeSeconds = secondsSince(start);
     };
 
@@ -287,11 +347,23 @@ ExperimentRunner::execute(const Experiment &experiment,
     local.threadsResolved =
         static_cast<std::uint32_t>(std::max<std::size_t>(workers, 1));
 
+    telemetry::ProgressMeter progress(
+        telemetry::progressEnabled(config_.progress) &&
+            !pending.empty(),
+        experiment.name(), pending.size(), local.threadsResolved);
+
     if (!pipelined) {
         // Fan-out: each worker runs all three stages back to back.
         auto executeOne = [&](std::size_t index) {
+            traceRunBegin(index, plan[index].id);
             simulateOne(index, acquireOne(index));
             encodeOne(index);
+            traceRunEnd(index, plan[index].id);
+            flushTraceThread();
+            progress.noteRun(timings[index].records,
+                             timings[index].acquireSeconds,
+                             timings[index].simulateSeconds,
+                             timings[index].encodeSeconds);
         };
         if (workers <= 1) {
             for (const std::size_t index : pending)
@@ -301,7 +373,11 @@ ExperimentRunner::execute(const Experiment &experiment,
             std::vector<std::thread> pool;
             pool.reserve(workers);
             for (std::size_t w = 0; w < workers; ++w) {
-                pool.emplace_back([&] {
+                pool.emplace_back([&, w] {
+                    char label[32];
+                    std::snprintf(label, sizeof(label), "worker-%zu",
+                                  w);
+                    nameTraceThread(label);
                     for (std::size_t i = next.fetch_add(1);
                          i < pending.size(); i = next.fetch_add(1)) {
                         executeOne(pending[i]);
@@ -341,32 +417,50 @@ ExperimentRunner::execute(const Experiment &experiment,
         // simulators from ever waiting on acquire.
         BoundedQueue<AcquiredRun> acquired(2);
         BoundedQueue<std::size_t> simulated(2 * workers + 2);
+        acquired.instrument("queue.acquired");
+        simulated.instrument("queue.simulated");
 
         std::thread acquirer([&] {
+            nameTraceThread("acquire");
             for (const std::size_t index : pending) {
                 const RunSpec &spec = plan[index];
+                traceRunBegin(index, spec.id);
                 AcquiredRun item{index, nullptr};
                 if (!spec.ingest) {
+                    // The span covers opening the stream (the bulk of
+                    // acquire cost — generation — lands on the
+                    // producer thread as "generate" spans).
+                    telemetry::ScopedSpan span("stage", "acquire",
+                                               spec.id);
                     item.source =
                         std::make_unique<ChunkedWorkloadSource>(
                             makeWorkload(spec.workload, spec.records),
-                            chunk_records, &chunk_accounting);
+                            chunk_records, &chunk_accounting,
+                            spec.id);
                 }
                 if (!acquired.push(std::move(item)))
                     break;
             }
             acquired.close();
+            flushTraceThread();
         });
 
         std::vector<std::thread> simulators;
         simulators.reserve(workers);
         for (std::size_t w = 0; w < workers; ++w) {
-            simulators.emplace_back([&] {
+            simulators.emplace_back([&, w] {
+                char label[32];
+                std::snprintf(label, sizeof(label), "simulate-%zu",
+                              w);
+                nameTraceThread(label);
                 while (auto item = acquired.pop()) {
                     const std::size_t index = item->index;
                     if (item->source) {
                         timings[index].records =
                             item->source->totalRecords();
+                        telemetry::ScopedSpan span("stage",
+                                                   "simulate",
+                                                   plan[index].id);
                         const Clock::time_point start = Clock::now();
                         outputs[index] =
                             runTrace(*item->source,
@@ -381,24 +475,30 @@ ExperimentRunner::execute(const Experiment &experiment,
                         timings[index].peakResidentChunks =
                             item->source->peakResidentChunks();
                         item->source.reset();
-                        if (config_.verbose) {
-                            std::fprintf(
-                                stderr, "[%s] run %zu/%zu done: %s\n",
-                                experiment.name().c_str(), index + 1,
-                                plan.size(),
-                                plan[index].id.c_str());
-                        }
+                        stms_debug("[%s] run %zu/%zu done: %s",
+                                   experiment.name().c_str(),
+                                   index + 1, plan.size(),
+                                   plan[index].id.c_str());
                     } else {
                         simulateOne(index, TraceCache::Handle());
                     }
+                    flushTraceThread();
                     simulated.push(index);
                 }
             });
         }
 
         std::thread encoder([&] {
-            while (auto index = simulated.pop())
+            nameTraceThread("encode");
+            while (auto index = simulated.pop()) {
                 encodeOne(*index);
+                traceRunEnd(*index, plan[*index].id);
+                flushTraceThread();
+                progress.noteRun(timings[*index].records,
+                                 timings[*index].acquireSeconds,
+                                 timings[*index].simulateSeconds,
+                                 timings[*index].encodeSeconds);
+            }
         });
 
         acquirer.join();
@@ -409,15 +509,27 @@ ExperimentRunner::execute(const Experiment &experiment,
         local.peakResidentChunks = chunk_accounting.peak.load();
     }
 
-    local.stored = appended.load();
+    progress.finish();
 
-    // Fold per-run timings (plan order) into the stats.
+    local.stored = appended.load();
+    flushTraceThread();
+
+    // Fold per-run timings (plan order) into the stats. Sampled
+    // series move out of the outputs here: they are timing-style
+    // observations, reported under the timing key and never part of
+    // the model output RunSet/report consumers see.
+    local.sampleEvery = sample_every;
     for (const std::size_t index : pending) {
         RunTiming &timing = timings[index];
         timing.id = plan[index].id;
         timing.wallSeconds = timing.acquireSeconds +
                              timing.simulateSeconds +
                              timing.encodeSeconds;
+        timing.samples = std::move(outputs[index].sim.samples);
+        outputs[index].sim.samples = telemetry::SampleSeries();
+        if (local.sampleColumns.empty() &&
+            !timing.samples.columns.empty())
+            local.sampleColumns = timing.samples.columns;
         local.acquireSeconds += timing.acquireSeconds;
         local.simulateSeconds += timing.simulateSeconds;
         local.encodeSeconds += timing.encodeSeconds;

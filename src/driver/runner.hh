@@ -54,6 +54,8 @@
 #include "driver/experiment.hh"
 #include "driver/trace_cache.hh"
 #include "results/store.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/sampler.hh"
 
 namespace stms::driver
 {
@@ -71,8 +73,16 @@ struct RunnerConfig
      *  size never changes model output — only residency and overlap
      *  granularity — and the pipeline tests assert exactly that. */
     std::uint64_t pipelineChunkRecords = 0;
-    /** Print one progress line per completed run to stderr. */
-    bool verbose = false;
+    /**
+     * Telemetry: epoch-sample simulator counters every N accesses
+     * into the per-run timing series (0 = inherit the process-wide
+     * telemetry::globalSampleEvery(), which the CLI's --sample-every
+     * sets — so nested runners, e.g. perf_suite's inner sweeps,
+     * follow the flag). Never joins Options or fingerprints.
+     */
+    std::uint64_t sampleEvery = 0;
+    /** Live sweep progress line (Auto = only when stderr is a TTY). */
+    telemetry::ProgressMode progress = telemetry::ProgressMode::Auto;
     /** Archive runs here (and resume from it) when non-null. The
      *  store outlives the runner; appends are internally locked. */
     results::ResultStore *store = nullptr;
@@ -112,6 +122,9 @@ struct ExecStats
     /** Peak record chunks resident at once across concurrent runs —
      *  the chunked pipeline's bounded-residency witness. */
     std::uint64_t peakResidentChunks = 0;
+    /** Sampling epoch in effect (0 = off) + probe column names. */
+    std::uint64_t sampleEvery = 0;
+    std::vector<std::string> sampleColumns;
     std::vector<RunTiming> runs;  ///< Executed runs, plan order.
 
     /** Aggregate simulation throughput (records / wall second). */

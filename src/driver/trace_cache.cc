@@ -1,11 +1,27 @@
 #include "driver/trace_cache.hh"
 
 #include "common/log.hh"
+#include "telemetry/trace_writer.hh"
 #include "workload/generators.hh"
 #include "workload/workloads.hh"
 
 namespace stms::driver
 {
+
+namespace
+{
+
+/** Counter sample after every residentBytes_ change (mutex held, so
+ *  the track is totally ordered with the size it reports). */
+void
+noteResidentKb(std::uint64_t resident_bytes)
+{
+    telemetry::emitCounter(
+        "trace_cache.resident_kb",
+        static_cast<double>(resident_bytes) / 1024.0);
+}
+
+} // namespace
 
 void
 TraceCache::Handle::release()
@@ -41,7 +57,10 @@ TraceCache::generateEntry(const Key &key)
     auto entry = std::make_shared<Entry>();
     entry->key = key;
     WorkloadGenerator generator(makeWorkload(key.first, key.second));
-    entry->trace = generator.generate();
+    {
+        telemetry::ScopedSpan span("stage", "generate", key.first);
+        entry->trace = generator.generate();
+    }
     entry->bytes = traceBytes(entry->trace);
     entry->ready = true;
     return entry;
@@ -86,7 +105,12 @@ TraceCache::acquire(const std::string &workload,
 
         WorkloadGenerator generator(
             makeWorkload(key.first, key.second));
-        Trace trace = generator.generate();
+        Trace trace;
+        {
+            telemetry::ScopedSpan span("stage", "generate",
+                                       key.first);
+            trace = generator.generate();
+        }
 
         lock.lock();
         placeholder->trace = std::move(trace);
@@ -94,6 +118,7 @@ TraceCache::acquire(const std::string &workload,
         placeholder->ready = true;
         placeholder->lastUse = ++useClock_;
         residentBytes_ += placeholder->bytes;
+        noteResidentKb(residentBytes_);
         ready_.notify_all();
         evictToCapacity();
         return Handle(this, std::move(placeholder));
@@ -184,6 +209,7 @@ TraceCache::evictToCapacity()
         if (victim == entries_.end())
             return;
         residentBytes_ -= victim->second->bytes;
+        noteResidentKb(residentBytes_);
         victim->second->cached = false;
         entries_.erase(victim);
     }

@@ -180,6 +180,10 @@ class MemBackend
     /** Row-buffer outcome counters; all-zero for row-less backends. */
     virtual RowBufferStats rowStats() const { return {}; }
 
+    /** Requests queued (not yet granted a channel) right now — a
+     *  telemetry probe for the epoch sampler's queue-depth series. */
+    virtual std::size_t pendingRequests() const { return 0; }
+
   protected:
     /** Shared per-request accounting (identical across backends). */
     static void account(MemCtrlStats &stats, TrafficClass cls,
@@ -220,6 +224,11 @@ class FixedLatencyBackend final : public MemBackend
     }
     const char *kindName() const override { return "fixed"; }
     std::uint32_t channels() const override { return 1; }
+    std::size_t
+    pendingRequests() const override
+    {
+        return ctrl_.pendingRequests();
+    }
 
   private:
     MemController ctrl_;

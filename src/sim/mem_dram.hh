@@ -70,6 +70,15 @@ class DramBackend final : public MemBackend
     }
     RowBufferStats rowStats() const override { return row_; }
 
+    std::size_t
+    pendingRequests() const override
+    {
+        std::size_t pending = 0;
+        for (const Channel &channel : channels_)
+            pending += channel.high.size() + channel.low.size();
+        return pending;
+    }
+
   private:
     /** Sentinel: no row open in this bank. */
     static constexpr std::uint64_t kNoRow =

@@ -45,6 +45,15 @@ class QueuedBackend final : public MemBackend
         return static_cast<std::uint32_t>(channels_.size());
     }
 
+    std::size_t
+    pendingRequests() const override
+    {
+        std::size_t pending = 0;
+        for (const Channel &channel : channels_)
+            pending += channel.high.size() + channel.low.size();
+        return pending;
+    }
+
   private:
     struct Request
     {

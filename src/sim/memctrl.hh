@@ -103,6 +103,13 @@ class MemController
     /** Queue-delay distribution of low-priority traffic (cycles). */
     const LinearHistogram &lowPrioDelay() const { return lowDelay_; }
 
+    /** Requests queued awaiting the channel (telemetry probe). */
+    std::size_t
+    pendingRequests() const
+    {
+        return highQueue_.size() + lowQueue_.size();
+    }
+
     /** Fraction of elapsed time the channel was busy. */
     double utilization(Cycle elapsed) const;
 

@@ -100,11 +100,16 @@ bool
 MemorySystem::tryL1(CoreId core, Addr addr, bool is_write)
 {
     ++stats_.accesses;
-    if (l1s_[core]->access(addr, is_write)) {
+    const bool hit = l1s_[core]->access(addr, is_write);
+    if (hit)
         ++stats_.l1Hits;
-        return true;
+    // Epoch-sampling hook: one never-taken compare when disarmed
+    // (nextAt parks at kNever), the same shape as IssueBarrier.
+    if (stats_.accesses >= sampleHook_.nextAt) [[unlikely]] {
+        sampleHook_.nextAt += sampleHook_.every;
+        sampleHook_.fire(sampleHook_.context);
     }
-    return false;
+    return hit;
 }
 
 void
@@ -364,9 +369,23 @@ MemorySystem::meanMlp() const
 }
 
 void
+MemorySystem::setSampleHook(std::uint64_t every, void (*fire)(void *),
+                            void *context)
+{
+    sampleHook_.every = every;
+    sampleHook_.nextAt = every == 0 ? SampleHook::kNever : every;
+    sampleHook_.fire = fire;
+    sampleHook_.context = context;
+}
+
+void
 MemorySystem::resetStats()
 {
     stats_ = MemorySystemStats{};
+    // Re-base the sampling epochs at the measurement window: accesses
+    // restart from zero, so the next sample fires one full epoch in.
+    if (sampleHook_.every != 0)
+        sampleHook_.nextAt = sampleHook_.every;
     for (auto &stats : pfStats_)
         stats = PrefetcherStats{};
     mem_->resetStats();

@@ -105,6 +105,22 @@ struct MemorySystemStats
     }
 };
 
+/**
+ * Epoch-sampling hook on the access stream (telemetry's
+ * `--sample-every`). Mirrors the prefetcher's IssueBarrier trick:
+ * the threshold parks at kNever when sampling is off, so the hot
+ * path pays exactly one never-taken compare per access — the
+ * zero-cost-when-disabled contract bench_report.py gates.
+ */
+struct SampleHook
+{
+    static constexpr std::uint64_t kNever = ~0ULL;
+    std::uint64_t nextAt = kNever;  ///< Access count that fires next.
+    std::uint64_t every = 0;        ///< Epoch length (0 = disabled).
+    void (*fire)(void *context) = nullptr;
+    void *context = nullptr;
+};
+
 /** Time-weighted MLP meter for one core's off-chip reads (Table 2). */
 class MlpMeter
 {
@@ -192,6 +208,18 @@ class MemorySystem : public PrefetchPort
             prefetcher->onAccessHint(core, addrs);
     }
 
+    /**
+     * Arm the epoch sampler: fire(context) after every @p every
+     * counted accesses (resetStats() re-bases the threshold so
+     * epochs restart at the measurement window). @p every == 0
+     * disarms.
+     */
+    void setSampleHook(std::uint64_t every, void (*fire)(void *),
+                       void *context);
+
+    /** Demand/prefetch MSHRs currently in flight (telemetry probe). */
+    std::size_t mshrOccupancy() const { return mshrs_.size(); }
+
     /** Zero all statistics (warmup barrier). */
     void resetStats();
 
@@ -259,6 +287,7 @@ class MemorySystem : public PrefetchPort
     std::vector<PrefetcherStats> pfStats_;
     std::vector<MlpMeter> mlpMeters_;
     MemorySystemStats stats_;
+    SampleHook sampleHook_;
 };
 
 } // namespace stms

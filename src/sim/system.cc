@@ -48,6 +48,73 @@ CmpSystem::build(trace_io::TraceSource &source)
         cores_.back()->attachBarrier(&barrier_);
     }
     instrSnapshot_.assign(num_cores, 0);
+
+    if (config_.sampleEvery > 0) {
+        sampler_.configure(config_.sampleEvery);
+        registerSampleCounters();
+        memory_->setSampleHook(
+            config_.sampleEvery,
+            [](void *context) {
+                static_cast<CmpSystem *>(context)->takeSample();
+            },
+            this);
+    }
+}
+
+void
+CmpSystem::registerSampleCounters()
+{
+    // Probes only read; column order here defines the series schema
+    // documented in docs/OBSERVABILITY.md.
+    MemorySystem *mem = memory_.get();
+    sampler_.addCounter("coverage",
+                        [mem] { return mem->stats().coverage(); });
+    sampler_.addCounter("full_coverage", [mem] {
+        return mem->stats().fullCoverage();
+    });
+    sampler_.addCounter("accuracy", [this] {
+        std::uint64_t issued = 0;
+        std::uint64_t covering = 0;
+        for (std::uint32_t pf = 0; pf < numPrefetchers_; ++pf) {
+            const PrefetcherStats &stats = memory_->prefetcherStats(pf);
+            issued += stats.issued;
+            covering += stats.useful + stats.partial;
+        }
+        return issued == 0 ? 0.0
+                           : static_cast<double>(covering) /
+                                 static_cast<double>(issued);
+    });
+    sampler_.addCounter("prefetches_issued", [this] {
+        std::uint64_t issued = 0;
+        for (std::uint32_t pf = 0; pf < numPrefetchers_; ++pf)
+            issued += memory_->prefetcherStats(pf).issued;
+        return static_cast<double>(issued);
+    });
+    sampler_.addCounter("mlp", [mem] { return mem->meanMlp(); });
+    sampler_.addCounter("mshr_occupancy", [mem] {
+        return static_cast<double>(mem->mshrOccupancy());
+    });
+    sampler_.addCounter("mem_queue_depth", [mem] {
+        return static_cast<double>(mem->memBackend().pendingRequests());
+    });
+    sampler_.addCounter("event_queue_depth", [this] {
+        return static_cast<double>(events_.pending());
+    });
+    sampler_.addCounter("offchip_reads", [mem] {
+        return static_cast<double>(mem->stats().offchipReads);
+    });
+    sampler_.addCounter("rowbuf_demand_hit_rate", [mem] {
+        return mem->memBackend().rowStats().demandHitRate();
+    });
+    sampler_.addCounter("rowbuf_meta_hit_rate", [mem] {
+        return mem->memBackend().rowStats().metaHitRate();
+    });
+}
+
+void
+CmpSystem::takeSample()
+{
+    sampler_.sample(memory_->stats().accesses, events_.now());
 }
 
 void
@@ -67,6 +134,10 @@ CmpSystem::warmupReached()
         return;
     warmupDone_ = true;
     measureStart_ = events_.now();
+    // Sampling follows the measurement-window convention all other
+    // stats use: warmup-era rows are dropped and resetStats()
+    // re-bases the epoch threshold.
+    sampler_.discardRows();
     memory_->resetStats();
     for (CoreId c = 0; c < cores_.size(); ++c)
         instrSnapshot_[c] = cores_[c]->instructionsCommitted();
@@ -131,6 +202,7 @@ CmpSystem::run()
         useful == 0 ? 0.0
                     : static_cast<double>(result.traffic.overheadBytes()) /
                       static_cast<double>(useful);
+    result.samples = sampler_.take();
     return result;
 }
 

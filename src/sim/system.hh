@@ -20,6 +20,7 @@
 #include "sim/core.hh"
 #include "sim/event_queue.hh"
 #include "sim/memory_system.hh"
+#include "telemetry/sampler.hh"
 #include "trace_io/trace_source.hh"
 #include "workload/trace.hh"
 
@@ -38,6 +39,14 @@ struct SimConfig
     std::uint64_t warmupRecords = 0;
     /** Safety limit on simulated cycles; 0 = unlimited. */
     Cycle maxCycles = 0;
+    /**
+     * Telemetry: snapshot the counter registry every N counted
+     * accesses into SimResult::samples (0 = off). Pure observation —
+     * probes only read counters — so it can never perturb model
+     * output; it rides the runner chokepoint, not Options, so it can
+     * never join result-store fingerprints either.
+     */
+    std::uint64_t sampleEvery = 0;
 };
 
 /** Everything a bench needs from one simulation run. */
@@ -61,6 +70,11 @@ struct SimResult
     double fullCoverage = 0.0;   ///< Fully covered fraction only.
     /** Overhead bytes per useful (demand + writeback) data byte. */
     double overheadPerDataByte = 0.0;
+
+    /** Epoch-sampled counter series (empty unless sampleEvery > 0).
+     *  Telemetry only: excluded from the result-store codec and the
+     *  report's fingerprinted metrics. */
+    telemetry::SampleSeries samples;
 };
 
 /** A complete simulated CMP bound to one trace source. */
@@ -91,6 +105,8 @@ class CmpSystem
   private:
     void build(trace_io::TraceSource &source);
     void warmupReached();
+    void registerSampleCounters();
+    void takeSample();
 
     SimConfig config_;
     /** Owns the source only for the Trace-convenience constructor. */
@@ -101,6 +117,7 @@ class CmpSystem
     std::vector<std::unique_ptr<TraceCore>> cores_;
     std::uint32_t numPrefetchers_ = 0;
 
+    telemetry::EpochSampler sampler_;
     IssueBarrier barrier_;
     bool warmupDone_ = false;
     Cycle measureStart_ = 0;

@@ -1,0 +1,309 @@
+#include "telemetry/trace_writer.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "results/json.hh"
+#include "results/store.hh"
+
+namespace stms::telemetry
+{
+
+namespace
+{
+
+std::atomic<TraceSink *> g_sink{nullptr};
+
+/** Bumped once per TraceSink so a thread-local registration cached
+ *  against a destroyed sink can never alias a new sink that happens
+ *  to be allocated at the same address. */
+std::atomic<std::uint64_t> g_generation{0};
+
+struct TlsRegistration
+{
+    TraceSink *sink = nullptr;
+    std::uint64_t generation = 0;
+    void *buffer = nullptr;
+};
+
+thread_local TlsRegistration t_registration;
+
+} // namespace
+
+TraceSink *
+traceSink()
+{
+    return g_sink.load(std::memory_order_relaxed);
+}
+
+void
+installTraceSink(TraceSink *sink)
+{
+    g_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink::TraceSink(std::string path)
+    : path_(std::move(path)),
+      generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+TraceSink::~TraceSink()
+{
+    // Never uninstalls itself: the owner clears the global pointer
+    // (and joins emitting threads) before destruction.
+}
+
+std::uint64_t
+TraceSink::nowUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+TraceSink::ThreadBuffer &
+TraceSink::local()
+{
+    if (t_registration.sink != this ||
+        t_registration.generation != generation_) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers_.push_back(std::make_unique<ThreadBuffer>());
+        ThreadBuffer *buffer = buffers_.back().get();
+        buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+        t_registration = {this, generation_, buffer};
+    }
+    return *static_cast<ThreadBuffer *>(t_registration.buffer);
+}
+
+void
+TraceSink::span(const char *cat, const char *name, std::uint64_t tsUs,
+                std::uint64_t durUs, std::string id)
+{
+    ThreadBuffer &buffer = local();
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Complete;
+    event.tid = buffer.tid;
+    event.tsUs = tsUs;
+    event.durUs = durUs;
+    event.cat = cat;
+    event.name = name;
+    event.arg = std::move(id);
+    buffer.events.push_back(std::move(event));
+}
+
+void
+TraceSink::counter(const char *track, double value)
+{
+    ThreadBuffer &buffer = local();
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Counter;
+    event.tid = buffer.tid;
+    event.tsUs = nowUs();
+    event.value = value;
+    event.cat = "counter";
+    event.name = track;
+    buffer.events.push_back(std::move(event));
+}
+
+void
+TraceSink::asyncBegin(const char *cat, std::uint64_t id,
+                      std::string name)
+{
+    ThreadBuffer &buffer = local();
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::AsyncBegin;
+    event.tid = buffer.tid;
+    event.tsUs = nowUs();
+    event.asyncId = id;
+    event.cat = cat;
+    event.name = std::move(name);
+    buffer.events.push_back(std::move(event));
+}
+
+void
+TraceSink::asyncEnd(const char *cat, std::uint64_t id, std::string name)
+{
+    ThreadBuffer &buffer = local();
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::AsyncEnd;
+    event.tid = buffer.tid;
+    event.tsUs = nowUs();
+    event.asyncId = id;
+    event.cat = cat;
+    event.name = std::move(name);
+    buffer.events.push_back(std::move(event));
+}
+
+void
+TraceSink::threadName(std::string name)
+{
+    ThreadBuffer &buffer = local();
+    // First name wins: repeated execute() calls on one thread (the
+    // driver's main thread across experiments) emit one M event.
+    if (buffer.named)
+        return;
+    buffer.named = true;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::ThreadName;
+    event.tid = buffer.tid;
+    event.name = std::move(name);
+    buffer.events.push_back(std::move(event));
+}
+
+void
+TraceSink::flushCurrentThread()
+{
+    if (t_registration.sink != this ||
+        t_registration.generation != generation_)
+        return;
+    ThreadBuffer &buffer =
+        *static_cast<ThreadBuffer *>(t_registration.buffer);
+    if (buffer.events.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_.insert(done_.end(),
+                 std::make_move_iterator(buffer.events.begin()),
+                 std::make_move_iterator(buffer.events.end()));
+    buffer.events.clear();
+}
+
+std::size_t
+TraceSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = done_.size();
+    for (const auto &buffer : buffers_)
+        count += buffer->events.size();
+    return count;
+}
+
+namespace
+{
+
+void
+appendQuoted(std::string &out, const std::string &text)
+{
+    out += '"';
+    out += results::jsonEscape(text);
+    out += '"';
+}
+
+} // namespace
+
+void
+TraceSink::renderEvent(const TraceEvent &event, std::string &out) const
+{
+    char scratch[96];
+    switch (event.phase) {
+      case TraceEvent::Phase::ThreadName:
+        std::snprintf(scratch, sizeof(scratch),
+                      "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                      "\"name\":\"thread_name\",\"args\":{\"name\":",
+                      event.tid);
+        out += scratch;
+        appendQuoted(out, event.name);
+        out += "}}";
+        return;
+      case TraceEvent::Phase::Counter:
+        std::snprintf(scratch, sizeof(scratch),
+                      "{\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%llu,"
+                      "\"name\":",
+                      event.tid,
+                      static_cast<unsigned long long>(event.tsUs));
+        out += scratch;
+        appendQuoted(out, event.name);
+        out += ",\"args\":{\"value\":";
+        out += results::jsonNumber(event.value);
+        out += "}}";
+        return;
+      case TraceEvent::Phase::AsyncBegin:
+      case TraceEvent::Phase::AsyncEnd:
+        std::snprintf(scratch, sizeof(scratch),
+                      "{\"ph\":\"%c\",\"pid\":1,\"tid\":%u,"
+                      "\"ts\":%llu,\"id\":\"0x%llx\",\"cat\":",
+                      event.phase == TraceEvent::Phase::AsyncBegin
+                          ? 'b'
+                          : 'e',
+                      event.tid,
+                      static_cast<unsigned long long>(event.tsUs),
+                      static_cast<unsigned long long>(event.asyncId));
+        out += scratch;
+        appendQuoted(out, event.cat);
+        out += ",\"name\":";
+        appendQuoted(out, event.name);
+        out += "}";
+        return;
+      case TraceEvent::Phase::Complete:
+        break;
+    }
+    std::snprintf(scratch, sizeof(scratch),
+                  "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%llu,"
+                  "\"dur\":%llu,\"cat\":",
+                  event.tid,
+                  static_cast<unsigned long long>(event.tsUs),
+                  static_cast<unsigned long long>(event.durUs));
+    out += scratch;
+    appendQuoted(out, event.cat);
+    out += ",\"name\":";
+    appendQuoted(out, event.name);
+    if (!event.arg.empty()) {
+        out += ",\"args\":{\"id\":";
+        appendQuoted(out, event.arg);
+        out += "}";
+    }
+    out += "}";
+}
+
+bool
+TraceSink::close(std::string &error)
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return true;
+        closed_ = true;
+        events = std::move(done_);
+        for (auto &buffer : buffers_) {
+            events.insert(events.end(),
+                          std::make_move_iterator(
+                              buffer->events.begin()),
+                          std::make_move_iterator(buffer->events.end()));
+            buffer->events.clear();
+        }
+    }
+
+    // Metadata first, then strict timestamp order (stable, so
+    // same-timestamp events keep their per-thread append order).
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         const bool a_meta =
+                             a.phase == TraceEvent::Phase::ThreadName;
+                         const bool b_meta =
+                             b.phase == TraceEvent::Phase::ThreadName;
+                         if (a_meta != b_meta)
+                             return a_meta;
+                         return a.tsUs < b.tsUs;
+                     });
+
+    std::string payload;
+    payload.reserve(events.size() * 96 + 128);
+    payload += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i > 0)
+            payload += ",\n";
+        renderEvent(events[i], payload);
+    }
+    payload += "\n]}\n";
+
+    if (!results::atomicWriteFile(path_, payload)) {
+        error = "failed to write trace file '" + path_ + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace stms::telemetry

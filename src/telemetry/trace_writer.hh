@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Perfetto/Chrome trace-event JSON exporter (`--trace-out FILE`).
+ *
+ * The driver installs one TraceSink per process; instrumentation
+ * sites test the global pointer (one relaxed atomic load when
+ * disabled — the zero-cost contract gated by bench_report.py) and
+ * append events to a thread-local buffer the owning thread writes
+ * without locks. Buffers are registered with the sink once per
+ * thread under a mutex and flushed at run boundaries; close() merges
+ * and time-sorts everything, then writes a JSON object Perfetto and
+ * chrome://tracing load directly.
+ *
+ * Only complete spans (ph "X"), counters (ph "C"), async run spans
+ * (ph "b"/"e"), and thread-name metadata (ph "M") are emitted: a
+ * crash aside, the file can never contain an unterminated duration
+ * event, and the CI validator checks exactly that invariant plus
+ * timestamp monotonicity (docs/OBSERVABILITY.md has the schema).
+ */
+
+#ifndef STMS_TELEMETRY_TRACE_WRITER_HH
+#define STMS_TELEMETRY_TRACE_WRITER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stms::telemetry
+{
+
+/** One trace-event row; which fields matter depends on phase. */
+struct TraceEvent
+{
+    enum class Phase : std::uint8_t
+    {
+        Complete,    ///< ph "X": span with ts + dur.
+        Counter,     ///< ph "C": one sample on a counter track.
+        AsyncBegin,  ///< ph "b": run-lifecycle open (cat+id match).
+        AsyncEnd,    ///< ph "e": run-lifecycle close.
+        ThreadName,  ///< ph "M": names the emitting thread's track.
+    };
+
+    Phase phase = Phase::Complete;
+    std::uint32_t tid = 0;
+    std::uint64_t tsUs = 0;
+    std::uint64_t durUs = 0;    ///< Complete only.
+    double value = 0.0;         ///< Counter only.
+    std::uint64_t asyncId = 0;  ///< AsyncBegin/AsyncEnd pair key.
+    const char *cat = "";       ///< Static-storage category string.
+    std::string name;           ///< Span / counter-track / thread name.
+    std::string arg;            ///< Optional args.id payload.
+};
+
+class TraceSink
+{
+  public:
+    explicit TraceSink(std::string path);
+    ~TraceSink();
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    /** Microseconds since this sink was created (steady clock, so
+     *  timestamps are globally monotonic across threads). */
+    std::uint64_t nowUs() const;
+
+    /** Record a completed span on the calling thread's track. */
+    void span(const char *cat, const char *name, std::uint64_t tsUs,
+              std::uint64_t durUs, std::string id = {});
+
+    /** Record one sample on counter track @p track (tracks merge by
+     *  name across threads, so shared structures — queues, caches —
+     *  form a single coherent series). */
+    void counter(const char *track, double value);
+
+    /** Open/close a run-lifecycle async span; @p id pairs them. */
+    void asyncBegin(const char *cat, std::uint64_t id, std::string name);
+    void asyncEnd(const char *cat, std::uint64_t id, std::string name);
+
+    /** Name the calling thread's track in the trace UI. */
+    void threadName(std::string name);
+
+    /** Move the calling thread's buffered events into the shared
+     *  done-list (called at run boundaries; cheap when empty). */
+    void flushCurrentThread();
+
+    /** Flush metadata, merge + sort all buffers, write the JSON
+     *  file. Idempotent; returns false with @p error on I/O failure.
+     *  Must be called after worker threads that emitted events have
+     *  been joined (the driver closes after execute() returns). */
+    bool close(std::string &error);
+
+    const std::string &path() const { return path_; }
+
+    /** Total events recorded so far (tests; approximate while
+     *  threads are still appending). */
+    std::size_t eventCount() const;
+
+  private:
+    struct ThreadBuffer
+    {
+        std::uint32_t tid = 0;
+        bool named = false;
+        std::vector<TraceEvent> events;
+    };
+
+    ThreadBuffer &local();
+    void renderEvent(const TraceEvent &event, std::string &out) const;
+
+    std::string path_;
+    std::uint64_t generation_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::vector<TraceEvent> done_;
+    bool closed_ = false;
+};
+
+/** The process-wide sink, or nullptr when tracing is disabled. Every
+ *  instrumentation site guards on this single relaxed load. */
+TraceSink *traceSink();
+
+/** Install (or clear, with nullptr) the process-wide sink. The
+ *  caller keeps ownership and must clear before destroying it. */
+void installTraceSink(TraceSink *sink);
+
+/** Emit a counter sample iff tracing is enabled. */
+inline void
+emitCounter(const char *track, double value)
+{
+    if (TraceSink *sink = traceSink())
+        sink->counter(track, value);
+}
+
+/**
+ * RAII span: captures the start timestamp when tracing is enabled
+ * and emits a Complete event on destruction. When tracing is off the
+ * constructor is one atomic load and the id string is never copied.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *cat, const char *name,
+               std::string_view id = {})
+    {
+        if (TraceSink *sink = traceSink()) {
+            sink_ = sink;
+            cat_ = cat;
+            name_ = name;
+            id_.assign(id);
+            startUs_ = sink->nowUs();
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (sink_) {
+            sink_->span(cat_, name_, startUs_,
+                        sink_->nowUs() - startUs_, std::move(id_));
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    TraceSink *sink_ = nullptr;
+    const char *cat_ = "";
+    const char *name_ = "";
+    std::string id_;
+    std::uint64_t startUs_ = 0;
+};
+
+} // namespace stms::telemetry
+
+#endif // STMS_TELEMETRY_TRACE_WRITER_HH

@@ -1,0 +1,92 @@
+/** @file Unit tests for the log-level gate and level parsing. The
+ *  sink itself writes to stderr and is exercised indirectly (every
+ *  test binary routes warnings through it); here we pin the
+ *  process-wide threshold semantics the --log-level flag relies on. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+namespace stms
+{
+namespace
+{
+
+/** Restores the process-wide level on scope exit so tests in this
+ *  binary cannot leak a noisy (or silent) threshold. */
+struct LevelGuard
+{
+    LogLevel saved = logLevel();
+    ~LevelGuard() { setLogLevel(saved); }
+};
+
+TEST(LogLevel, DefaultsToWarn)
+{
+    // The test binary never calls setLogLevel before this file runs
+    // alphabetically first in the suite; still, assert through the
+    // guard so ordering changes cannot break it.
+    LevelGuard guard;
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+}
+
+TEST(LogLevel, ThresholdOrdersLevels)
+{
+    LevelGuard guard;
+    setLogLevel(LogLevel::Error);
+    EXPECT_FALSE(logEnabled(LogLevel::Warn));
+
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_TRUE(logEnabled(LogLevel::Info));
+    EXPECT_TRUE(logEnabled(LogLevel::Debug));
+}
+
+TEST(LogLevel, ParseAcceptsTheFourNames)
+{
+    LogLevel out = LogLevel::Warn;
+    EXPECT_TRUE(parseLogLevel("error", out));
+    EXPECT_EQ(out, LogLevel::Error);
+    EXPECT_TRUE(parseLogLevel("warn", out));
+    EXPECT_EQ(out, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("info", out));
+    EXPECT_EQ(out, LogLevel::Info);
+    EXPECT_TRUE(parseLogLevel("debug", out));
+    EXPECT_EQ(out, LogLevel::Debug);
+}
+
+TEST(LogLevel, ParseRejectsUnknownNamesUntouched)
+{
+    LogLevel out = LogLevel::Info;
+    EXPECT_FALSE(parseLogLevel("", out));
+    EXPECT_FALSE(parseLogLevel("verbose", out));
+    EXPECT_FALSE(parseLogLevel("WARN", out));  // Case-sensitive.
+    EXPECT_FALSE(parseLogLevel("warn ", out));
+    EXPECT_EQ(out, LogLevel::Info);
+}
+
+TEST(LogLevel, NamesRoundTrip)
+{
+    for (const LogLevel level :
+         {LogLevel::Error, LogLevel::Warn, LogLevel::Info,
+          LogLevel::Debug}) {
+        LogLevel parsed = LogLevel::Error;
+        EXPECT_TRUE(parseLogLevel(logLevelName(level), parsed));
+        EXPECT_EQ(parsed, level);
+    }
+}
+
+TEST(LogFormat, FormatsPrintfStyle)
+{
+    EXPECT_EQ(logFormat("%s: %d of %zu", "shard", 3,
+                        static_cast<std::size_t>(8)),
+              "shard: 3 of 8");
+    EXPECT_EQ(logFormat("plain"), "plain");
+}
+
+} // namespace
+} // namespace stms

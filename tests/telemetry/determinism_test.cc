@@ -1,0 +1,145 @@
+/** @file Telemetry determinism: tracing and sampling are observers.
+ *
+ *  The ISSUE-8 contract, verified here at the runner layer (the CI
+ *  smoke job repeats it end-to-end through the driver binary):
+ *
+ *   - a sweep with --trace-out and --sample-every produces a report
+ *     byte-identical to an uninstrumented sweep, across
+ *     threads {1,2,4} x pipeline {off,on};
+ *   - sampler epochs are a pure function of the access stream, so
+ *     for fixed seeds the sampled series is identical across
+ *     repeats, thread counts, and schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/registry.hh"
+#include "driver/runner.hh"
+#include "driver/trace_cache.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_writer.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr const char *kExperiment = "table2";
+constexpr const char *kRecords = "2048";
+constexpr std::uint64_t kSampleEvery = 512;
+
+Options
+tinyOptions()
+{
+    Options options;
+    options.set("records", kRecords);
+    return options;
+}
+
+const Experiment &
+experiment()
+{
+    const Experiment *found =
+        ExperimentRegistry::global().find(kExperiment);
+    EXPECT_NE(found, nullptr);
+    return *found;
+}
+
+/** Run the experiment and return the report JSON — the same document
+ *  the driver emits under --no-timing --json (timing is attached
+ *  separately by the CLI and never part of Report::toJson()). */
+std::string
+sweepJson(std::uint32_t threads, bool pipeline, bool telemetry,
+          ExecStats *stats = nullptr)
+{
+    RunnerConfig config;
+    config.threads = threads;
+    config.pipeline = pipeline;
+    config.sampleEvery = telemetry ? kSampleEvery : 0;
+    config.progress = telemetry::ProgressMode::Off;
+
+    TraceCache cache;
+    ExperimentRunner runner(cache, config);
+
+    if (!telemetry)
+        return runner.run(experiment(), tinyOptions(), stats).toJson();
+
+    const std::string path =
+        (fs::temp_directory_path() /
+         ("stms_determinism_" + std::to_string(threads) +
+          (pipeline ? "_pipe" : "_serial") + ".json"))
+            .string();
+    telemetry::TraceSink sink(path);
+    telemetry::installTraceSink(&sink);
+    const std::string json =
+        runner.run(experiment(), tinyOptions(), stats).toJson();
+    telemetry::installTraceSink(nullptr);
+    EXPECT_GT(sink.eventCount(), 0u)
+        << "instrumented sweep recorded no trace events";
+    std::string error;
+    EXPECT_TRUE(sink.close(error)) << error;
+    fs::remove(path);
+    return json;
+}
+
+/** Flatten every run's sampled series into one comparable string. */
+std::string
+sampledSeries(std::uint32_t threads, bool pipeline)
+{
+    ExecStats stats;
+    sweepJson(threads, pipeline, true, &stats);
+    EXPECT_EQ(stats.sampleEvery, kSampleEvery);
+    EXPECT_FALSE(stats.sampleColumns.empty());
+
+    std::ostringstream out;
+    for (const RunTiming &run : stats.runs) {
+        out << run.id << ":";
+        for (const auto &row : run.samples.rows) {
+            out << " [" << row.accesses << "," << row.cycle;
+            for (const double value : row.values)
+                out << "," << value;
+            out << "]";
+        }
+        out << "\n";
+    }
+    EXPECT_NE(out.str().find('['), std::string::npos)
+        << "sweep produced no sampled rows";
+    return out.str();
+}
+
+TEST(TelemetryDeterminism, ReportBytesUnchangedByInstrumentation)
+{
+    // One uninstrumented reference; every schedule must match it.
+    const std::string reference = sweepJson(1, false, false);
+    ASSERT_FALSE(reference.empty());
+
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+        for (const bool pipeline : {false, true}) {
+            EXPECT_EQ(sweepJson(threads, pipeline, false), reference)
+                << "threads=" << threads << " pipeline=" << pipeline
+                << " (uninstrumented)";
+            EXPECT_EQ(sweepJson(threads, pipeline, true), reference)
+                << "threads=" << threads << " pipeline=" << pipeline
+                << " (trace + sampler enabled)";
+        }
+    }
+}
+
+TEST(TelemetryDeterminism, SampledEpochsDeterministicAcrossSchedules)
+{
+    const std::string reference = sampledSeries(1, false);
+    EXPECT_EQ(sampledSeries(1, false), reference) << "repeat run";
+    EXPECT_EQ(sampledSeries(4, false), reference) << "threads=4";
+    EXPECT_EQ(sampledSeries(2, true), reference) << "pipelined";
+}
+
+} // namespace
+} // namespace stms::driver

@@ -7,7 +7,7 @@ This script owns how the repo measures its own throughput:
 
 runs the pinned perf_suite sweep (fig7 plan, records=65536 unless
 overridden), prints the throughput table, and appends one entry to the
-repo-root trajectory artifact (BENCH_6.json by default; an absent
+repo-root trajectory artifact (BENCH_8.json by default; an absent
 artifact is seeded from the newest earlier BENCH_*.json so the
 trajectory stays one unbroken series across PRs).
 
@@ -39,7 +39,17 @@ Options:
   --reference-binary P   also time an older driver binary on the same
                          pinned sweep (plain `--experiment fig7`) and
                          record the speedup of the current binary
-  --out PATH             trajectory file (default BENCH_6.json next
+  --telemetry-gate       measure the pinned fig7 sweep with telemetry
+                         off vs on (--trace-out + --sample-every 4096)
+                         and fail if enabled telemetry costs more
+                         than 2% throughput (docs/OBSERVABILITY.md).
+                         Interleaved best-of-N (--telemetry-reps)
+                         using the driver's own records_per_sec, so
+                         process startup and runner-to-runner noise
+                         mostly cancel
+  --telemetry-reps N     repetitions per arm of the telemetry gate
+                         (default 5)
+  --out PATH             trajectory file (default BENCH_8.json next
                          to this repo's root)
   --no-write             measure and print, do not touch the artifact
 """
@@ -59,6 +69,11 @@ TIMING_SUFFIXES = ("_s", "_per_sec", "_kb", "_ratio", "_chunks")
 # The chunked pipeline's resource gate: streaming bounded chunks must
 # keep pipelined peak RSS within this factor of the serial schedule.
 RSS_GATE_RATIO = 1.25
+
+# Telemetry overhead gate: the fig7 sweep with --trace-out +
+# --sample-every enabled must keep >= this fraction of the
+# telemetry-off throughput (i.e. <= 2% overhead).
+TELEMETRY_GATE_RATIO = 0.98
 
 
 def is_timing_metric(name: str) -> bool:
@@ -91,6 +106,40 @@ def time_reference_sweep(binary, records):
         return time.monotonic() - start
 
 
+def fig7_records_per_sec(driver, records, extra=(), out_dir=None):
+    """One pinned fig7 sweep; return the driver-reported aggregate
+    throughput (excludes process startup, unlike wall-timing the
+    subprocess)."""
+    with tempfile.NamedTemporaryFile(suffix=".json",
+                                     dir=out_dir) as tmp:
+        cmd = [
+            str(driver), "--experiment", "fig7", "--json", tmp.name,
+            f"records={records}", *extra,
+        ]
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        report = json.load(open(tmp.name))
+    return report["timing"]["records_per_sec"]
+
+
+def measure_telemetry_overhead(driver, records, reps):
+    """Interleaved best-of-N throughput with telemetry off vs fully
+    on. Interleaving + best-of makes a 2% gate meaningful on noisy
+    shared runners: transient slowdowns hit both arms equally and the
+    best rep approaches each arm's true speed."""
+    with tempfile.TemporaryDirectory() as scratch:
+        on_extra = ("--trace-out", f"{scratch}/trace.json",
+                    "--sample-every", "4096")
+        off_best = 0.0
+        on_best = 0.0
+        for _ in range(reps):
+            off_best = max(off_best,
+                           fig7_records_per_sec(driver, records))
+            on_best = max(on_best,
+                          fig7_records_per_sec(driver, records,
+                                               on_extra))
+    return off_best, on_best
+
+
 def model_metrics(metrics):
     return {k: v for k, v in metrics.items() if not is_timing_metric(k)}
 
@@ -116,7 +165,9 @@ def main():
     parser.add_argument("--threads", type=int, default=1)
     parser.add_argument("--gate", action="store_true")
     parser.add_argument("--reference-binary")
-    parser.add_argument("--out", default=REPO_ROOT / "BENCH_6.json")
+    parser.add_argument("--telemetry-gate", action="store_true")
+    parser.add_argument("--telemetry-reps", type=int, default=5)
+    parser.add_argument("--out", default=REPO_ROOT / "BENCH_8.json")
     parser.add_argument("--no-write", action="store_true")
     args = parser.parse_args()
 
@@ -162,6 +213,27 @@ def main():
                   "writable, per-schedule RSS isolation unavailable",
                   file=sys.stderr)
 
+    telemetry = None
+    if args.telemetry_gate:
+        off_rps, on_rps = measure_telemetry_overhead(
+            args.driver, args.records, args.telemetry_reps)
+        ratio = on_rps / off_rps if off_rps > 0 else 0.0
+        telemetry = {
+            "telemetry_off_records_per_sec": off_rps,
+            "telemetry_on_records_per_sec": on_rps,
+            "telemetry_on_off_ratio": ratio,
+        }
+        if ratio < TELEMETRY_GATE_RATIO:
+            print(f"telemetry overhead gate FAILED: enabled telemetry "
+                  f"runs at {ratio:.3f}x the disabled throughput "
+                  f"({on_rps:,.0f} vs {off_rps:,.0f} records/s, "
+                  f"limit {TELEMETRY_GATE_RATIO}x)", file=sys.stderr)
+            return 1
+        print(f"telemetry overhead gate OK: enabled telemetry keeps "
+              f"{ratio:.3f}x of disabled throughput "
+              f"(limit {TELEMETRY_GATE_RATIO}x, best of "
+              f"{args.telemetry_reps})")
+
     entry = {
         "timestamp": datetime.datetime.now(
             datetime.timezone.utc).isoformat(timespec="seconds"),
@@ -184,6 +256,10 @@ def main():
                   "pipeline_rss_ratio", "rss_isolated_ratio"):
         if field in metrics:
             entry[field.replace(".", "_")] = metrics[field]
+    # Telemetry overhead measurement (PR 8): instrumentation-off vs
+    # -on throughput on the same pinned sweep.
+    if telemetry is not None:
+        entry.update(telemetry)
 
     if args.reference_binary:
         # Same pinned sweep, same machine, both binaries, identical

@@ -40,7 +40,10 @@ def run_sweep(driver: pathlib.Path, store: pathlib.Path) -> None:
     cmd = [str(driver.resolve())]
     for experiment in SWEEP_EXPERIMENTS:
         cmd += ["--experiment", experiment]
-    cmd += ["--store", str(store), *SWEEP_OPTIONS]
+    # Store summaries ("N of M runs resumed, K executed") print at
+    # info level; CI greps them from stderr to verify resume worked.
+    cmd += ["--store", str(store), "--log-level", "info",
+            *SWEEP_OPTIONS]
     subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
 
 

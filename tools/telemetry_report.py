@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Render driver telemetry: sampled metric series and trace files.
+
+Two input kinds, auto-detected by shape:
+
+  python3 tools/telemetry_report.py report.json
+      a driver --json report produced with --sample-every N: prints
+      each run's counter ramp (coverage, accuracy, MLP, queue depths,
+      ... per sampling epoch) as an aligned table, plus a first->last
+      summary per run;
+
+  python3 tools/telemetry_report.py trace.json [--validate]
+      a --trace-out Perfetto/Chrome trace: prints per-span-name
+      counts and total duration, counter-track ranges, and the thread
+      roster. --validate additionally checks the trace-event schema
+      invariants the exporter guarantees — no unterminated duration
+      events (every async "b" has its "e"), monotonic timestamps,
+      known phase set — and exits nonzero on violation (the CI
+      telemetry job gates on this).
+
+Options:
+  --run ID        restrict report rendering to one run id
+  --columns A,B   restrict sample columns (default: all)
+  --validate      trace mode: schema-check and exit 1 on violations
+
+Both renderings are plain text on stdout; no dependencies beyond the
+standard library (CI and air-gapped checkouts run it as-is).
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+KNOWN_PHASES = {"X", "C", "b", "e", "M"}
+
+
+def fmt_table(rows):
+    widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+    return "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in rows)
+
+
+def fmt_value(value):
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4f}"
+    return str(int(value))
+
+
+# ---------------------------------------------------------------- report
+
+
+def render_report(report, run_filter, column_filter):
+    """Sampled series live under timing.runs[].samples with the column
+    names in timing.sample_columns (driver/report.cc)."""
+    reports = report if isinstance(report, list) else [report]
+    rendered_any = False
+    for entry in reports:
+        timing = entry.get("timing", {})
+        columns = timing.get("sample_columns", [])
+        if not columns:
+            continue
+        selected = column_filter or columns
+        unknown = [c for c in selected if c not in columns]
+        if unknown:
+            sys.exit(f"unknown sample columns {unknown}; "
+                     f"available: {columns}")
+        indices = [columns.index(c) for c in selected]
+        for run in timing.get("runs", []):
+            samples = run.get("samples", [])
+            if not samples or (run_filter and run["id"] != run_filter):
+                continue
+            rendered_any = True
+            print(f"\n[{entry.get('experiment', '?')}] {run['id']} — "
+                  f"{len(samples)} epochs x {timing['sample_every']} "
+                  f"accesses")
+            rows = [("accesses", "cycle", *selected)]
+            for row in samples:
+                accesses, cycle, values = row[0], row[1], row[2:]
+                rows.append((str(accesses), str(cycle),
+                             *(fmt_value(values[i]) for i in indices)))
+            print(fmt_table(rows))
+            first, last = samples[0][2:], samples[-1][2:]
+            deltas = ", ".join(
+                f"{selected[n]} {fmt_value(first[i])} -> "
+                f"{fmt_value(last[i])}"
+                for n, i in enumerate(indices))
+            print(f"  ramp: {deltas}")
+    if not rendered_any:
+        sys.exit("no sampled series found (run the driver with "
+                 "--sample-every N and without --no-timing)")
+
+
+# ----------------------------------------------------------------- trace
+
+
+def validate_trace(events):
+    errors = []
+    open_async = defaultdict(int)
+    last_ts = None
+    for i, event in enumerate(events):
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            errors.append(f"event {i}: unknown phase {phase!r}")
+            continue
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if ts is None:
+            errors.append(f"event {i}: missing ts")
+        elif last_ts is not None and ts < last_ts:
+            errors.append(f"event {i}: timestamp {ts} < {last_ts} "
+                          f"(not monotonic)")
+        else:
+            last_ts = ts
+        if phase == "X" and event.get("dur") is None:
+            errors.append(f"event {i}: complete span without dur")
+        if phase == "b":
+            open_async[(event["cat"], event["id"])] += 1
+        if phase == "e":
+            key = (event["cat"], event["id"])
+            if open_async[key] <= 0:
+                errors.append(f"event {i}: async end without begin "
+                              f"({key})")
+            else:
+                open_async[key] -= 1
+    for key, depth in open_async.items():
+        if depth > 0:
+            errors.append(f"unterminated async span {key} "
+                          f"(depth {depth})")
+    return errors
+
+
+def render_trace(events, validate):
+    threads = {e["tid"]: e["args"]["name"]
+               for e in events if e.get("ph") == "M"}
+    spans = defaultdict(lambda: [0, 0])
+    counters = {}
+    async_count = 0
+    for e in events:
+        phase = e.get("ph")
+        if phase == "X":
+            entry = spans[(e.get("cat", ""), e["name"])]
+            entry[0] += 1
+            entry[1] += e.get("dur", 0)
+        elif phase == "C":
+            value = e["args"]["value"]
+            track = counters.setdefault(
+                e["name"], {"n": 0, "min": value, "max": value,
+                            "last": value})
+            track["n"] += 1
+            track["min"] = min(track["min"], value)
+            track["max"] = max(track["max"], value)
+            track["last"] = value
+        elif phase == "b":
+            async_count += 1
+
+    print(f"{len(events)} events, {len(threads)} named threads, "
+          f"{async_count} run spans")
+    if threads:
+        roster = ", ".join(threads[tid]
+                           for tid in sorted(threads))
+        print(f"threads: {roster}")
+    if spans:
+        rows = [("span", "count", "total ms")]
+        for (cat, name), (count, dur) in sorted(spans.items()):
+            rows.append((f"{cat}:{name}", str(count),
+                         f"{dur / 1000:.2f}"))
+        print("\n" + fmt_table(rows))
+    if counters:
+        rows = [("counter track", "samples", "min", "max", "last")]
+        for name, track in sorted(counters.items()):
+            rows.append((name, str(track["n"]),
+                         fmt_value(track["min"]),
+                         fmt_value(track["max"]),
+                         fmt_value(track["last"])))
+        print("\n" + fmt_table(rows))
+
+    if validate:
+        errors = validate_trace(events)
+        if errors:
+            print(f"\ntrace INVALID ({len(errors)} violations):",
+                  file=sys.stderr)
+            for error in errors[:20]:
+                print(f"  {error}", file=sys.stderr)
+            return 1
+        print(f"\ntrace valid: phases within {sorted(KNOWN_PHASES)}, "
+              f"timestamps monotonic, all async spans terminated")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="driver --json report or "
+                                     "--trace-out trace file")
+    parser.add_argument("--run", default=None)
+    parser.add_argument("--columns", default=None)
+    parser.add_argument("--validate", action="store_true")
+    args = parser.parse_args()
+
+    with open(args.path) as handle:
+        payload = json.load(handle)
+
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return render_trace(payload["traceEvents"], args.validate)
+    columns = args.columns.split(",") if args.columns else None
+    render_report(payload, args.run, columns)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
