@@ -105,6 +105,12 @@ ChunkedWorkloadSource::~ChunkedWorkloadSource()
     wake_.notify_all();
     if (producer_.joinable())
         producer_.join();
+    // Chunks still enqueued were counted live when produced but never
+    // reached a cursor; drain them so the resident accounting (and
+    // the shared pipeline.resident_chunks series) balances to zero.
+    for (auto &queue : queues_)
+        while (queue->pop())
+            noteChunkDead();
 }
 
 std::unique_ptr<trace_io::RecordCursor>
@@ -162,7 +168,11 @@ ChunkedWorkloadSource::produce()
                     work_left = true;
                     continue;
                 case PushResult::Closed:
-                    noteChunkDead();
+                    // Teardown: account every parked chunk (this
+                    // lane's included — it is still in parked[]).
+                    for (auto &chunk : parked)
+                        if (chunk)
+                            noteChunkDead();
                     return;
                 }
             }
@@ -184,6 +194,11 @@ ChunkedWorkloadSource::produce()
                 lanes[lane].fill(
                     chunk, static_cast<std::size_t>(chunkRecords_));
             }
+            // Relaxed: monotonic accumulator read by
+            // produceSeconds() — mid-run reads are documented
+            // approximate, and the final read happens after the
+            // producer join in ~ChunkedWorkloadSource (the join is
+            // the happens-before edge that makes it exact).
             produceNanos_.fetch_add(
                 static_cast<std::uint64_t>(
                     std::chrono::duration_cast<
@@ -200,7 +215,10 @@ ChunkedWorkloadSource::produce()
                 parked[lane] = std::move(chunk);
                 break;
             case PushResult::Closed:
-                noteChunkDead();
+                noteChunkDead();  // The chunk in hand...
+                for (auto &other : parked)
+                    if (other)
+                        noteChunkDead();  // ...plus any parked ones.
                 return;
             }
             work_left = true;
@@ -231,6 +249,10 @@ ChunkedWorkloadSource::produce()
 void
 ChunkedWorkloadSource::noteChunkLive()
 {
+    // Relaxed throughout: resident_/peakResident_ are observer-only
+    // counters (telemetry + the peak watermark report); they guard no
+    // data. fetch_add keeps the count exact, the CAS loop keeps the
+    // peak monotone, and no reader infers other memory from them.
     const std::uint64_t live =
         resident_.fetch_add(1, std::memory_order_relaxed) + 1;
     std::uint64_t peak = peakResident_.load(std::memory_order_relaxed);

@@ -68,6 +68,11 @@ constexpr std::uint64_t kDefaultPipelineChunkRecords = 8 * 1024;
  */
 struct ChunkAccounting
 {
+    // Observer-only counters: they guard no data, so every access is
+    // relaxed. Exactness at quiescence comes from the pipeline's own
+    // joins — every noteLive/noteDead happens-before the runner reads
+    // the final values (producer joins in ~ChunkedWorkloadSource,
+    // worker joins in the runner).
     std::atomic<std::uint64_t> resident{0};
     std::atomic<std::uint64_t> peak{0};
 
@@ -129,7 +134,9 @@ class ChunkedWorkloadSource final : public trace_io::TraceSource
     std::uint64_t chunkRecords() const { return chunkRecords_; }
 
     /** Most chunks resident at once (produced or queued, all lanes)
-     *  so far — the pipeline RSS accounting hook. */
+     *  so far — the pipeline RSS accounting hook. Relaxed: mid-run
+     *  reads are approximate by contract; the runner's final read
+     *  follows the producer join, which orders it exactly. */
     std::uint64_t peakResidentChunks() const
     {
         return peakResident_.load(std::memory_order_relaxed);

@@ -66,16 +66,14 @@ class Fig8Sampling final : public ExperimentBase
         for (double p : kProbabilities) {
             std::vector<std::string> t_row = {Table::pct(p, 1)};
             std::vector<std::string> c_row = {Table::pct(p, 1)};
+            const std::string point = "p" + Table::num(p, 5);
             for (const auto &info : standardSuite()) {
-                const RunOutput &run =
-                    runs.at("p" + Table::num(p, 5) + "/" + info.name);
+                const RunOutput &run = runs.at(point + "/" + info.name);
                 t_row.push_back(Table::num(overheadPerBaseByte(run)));
                 c_row.push_back(Table::pct(run.stmsCoverage, 0));
-                out.addMetric("p" + Table::num(p, 5) + "." +
-                                  info.name + ".coverage",
+                out.addMetric(point + "." + info.name + ".coverage",
                               run.stmsCoverage);
-                out.addMetric("p" + Table::num(p, 5) + "." +
-                                  info.name + ".overhead",
+                out.addMetric(point + "." + info.name + ".overhead",
                               overheadPerBaseByte(run));
             }
             traffic.addRow(t_row);

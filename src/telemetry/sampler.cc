@@ -8,6 +8,11 @@ namespace stms::telemetry
 namespace
 {
 
+/** Relaxed on both sides: the CLI stores this once during argument
+ *  parsing, before the runner spawns any worker thread, and thread
+ *  creation is the happens-before edge that publishes the value.
+ *  Workers only ever read it. The atomic exists so a hypothetical
+ *  mid-run write is a benign stale read, not UB. */
 std::atomic<std::uint64_t> g_sample_every{0};
 
 } // namespace

@@ -33,6 +33,12 @@ thread_local TlsRegistration t_registration;
 TraceSink *
 traceSink()
 {
+    // Relaxed is the zero-cost-when-disabled contract: this load sits
+    // on every instrumentation site. Safe because the CLI installs
+    // the sink before the runner creates worker threads (thread
+    // creation is the happens-before edge publishing the TraceSink)
+    // and clears it only after execute() has joined them — no thread
+    // can observe a half-constructed or destroyed sink.
     return g_sink.load(std::memory_order_relaxed);
 }
 
@@ -44,6 +50,8 @@ installTraceSink(TraceSink *sink)
 
 TraceSink::TraceSink(std::string path)
     : path_(std::move(path)),
+      // Relaxed: pure unique-ID allocation — nothing is published
+      // through the counter, uniqueness is all that matters.
       generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1),
       epoch_(std::chrono::steady_clock::now())
 {
@@ -92,6 +100,8 @@ TraceSink::span(const char *cat, const char *name, std::uint64_t tsUs,
     event.name = name;
     event.arg = std::move(id);
     buffer.events.push_back(std::move(event));
+    buffer.published.store(buffer.events.size(),
+                           std::memory_order_relaxed);
 }
 
 void
@@ -106,6 +116,8 @@ TraceSink::counter(const char *track, double value)
     event.cat = "counter";
     event.name = track;
     buffer.events.push_back(std::move(event));
+    buffer.published.store(buffer.events.size(),
+                           std::memory_order_relaxed);
 }
 
 void
@@ -121,6 +133,8 @@ TraceSink::asyncBegin(const char *cat, std::uint64_t id,
     event.cat = cat;
     event.name = std::move(name);
     buffer.events.push_back(std::move(event));
+    buffer.published.store(buffer.events.size(),
+                           std::memory_order_relaxed);
 }
 
 void
@@ -135,6 +149,8 @@ TraceSink::asyncEnd(const char *cat, std::uint64_t id, std::string name)
     event.cat = cat;
     event.name = std::move(name);
     buffer.events.push_back(std::move(event));
+    buffer.published.store(buffer.events.size(),
+                           std::memory_order_relaxed);
 }
 
 void
@@ -151,6 +167,8 @@ TraceSink::threadName(std::string name)
     event.tid = buffer.tid;
     event.name = std::move(name);
     buffer.events.push_back(std::move(event));
+    buffer.published.store(buffer.events.size(),
+                           std::memory_order_relaxed);
 }
 
 void
@@ -168,15 +186,19 @@ TraceSink::flushCurrentThread()
                  std::make_move_iterator(buffer.events.begin()),
                  std::make_move_iterator(buffer.events.end()));
     buffer.events.clear();
+    buffer.published.store(0, std::memory_order_relaxed);
 }
 
 std::size_t
 TraceSink::eventCount() const
 {
+    // The mutex pins buffers_ (registration appends) and done_; the
+    // per-buffer counts are read through their atomics because the
+    // owning threads append to events without the lock.
     std::lock_guard<std::mutex> lock(mutex_);
     std::size_t count = done_.size();
     for (const auto &buffer : buffers_)
-        count += buffer->events.size();
+        count += buffer->published.load(std::memory_order_relaxed);
     return count;
 }
 
@@ -273,6 +295,7 @@ TraceSink::close(std::string &error)
                               buffer->events.begin()),
                           std::make_move_iterator(buffer->events.end()));
             buffer->events.clear();
+            buffer->published.store(0, std::memory_order_relaxed);
         }
     }
 

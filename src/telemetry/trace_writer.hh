@@ -107,6 +107,12 @@ class TraceSink
         std::uint32_t tid = 0;
         bool named = false;
         std::vector<TraceEvent> events;
+        /** events.size(), republished after every owner-thread append
+         *  so eventCount() can read it without touching the vector
+         *  the owner mutates lock-free. Relaxed is enough: the count
+         *  is documented approximate; the atomic only removes the
+         *  data race, it does not promise freshness. */
+        std::atomic<std::size_t> published{0};
     };
 
     ThreadBuffer &local();

@@ -51,8 +51,8 @@ logUniform(Rng &rng, std::uint64_t lo, std::uint64_t hi)
  */
 struct LaneGenerator::State
 {
-    State(const WorkloadSpec &spec, CoreId core)
-        : spec(spec), core(core),
+    State(const WorkloadSpec &spec_in, CoreId core_in)
+        : spec(spec_in), core(core_in),
           rng(spec.seed * 0x9e3779b9ULL + core * 0x85ebca6bULL + 1),
           maxReuse(std::min(
               spec.maxReuseRecords,

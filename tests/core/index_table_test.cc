@@ -75,8 +75,9 @@ TEST(IndexTable, LiveOccupancyMatchesScanUnderChurn)
         table.update(blockAddress(i % 300), HistoryPointer{0, i});
         if (i % 3 == 0)
             table.lookup(blockAddress(i % 150));
-        if (i % 97 == 0)
+        if (i % 97 == 0) {
             EXPECT_EQ(table.occupancy(), table.occupancyScan());
+        }
     }
     EXPECT_EQ(table.occupancy(), table.occupancyScan());
     EXPECT_GT(table.stats().replacements, 0u);

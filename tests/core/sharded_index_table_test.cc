@@ -120,8 +120,9 @@ TEST(ShardedIndexTable, UnboundedShardedMatchesUnsharded)
         const auto expect = reference.lookup(block);
         const auto got = sharded.lookup(block);
         ASSERT_EQ(expect.has_value(), got.has_value());
-        if (expect)
+        if (expect) {
             EXPECT_EQ(expect->seq, got->seq);
+        }
     }
     EXPECT_TRUE(reference.stats() == sharded.stats());
     EXPECT_EQ(reference.occupancy(), sharded.occupancy());

@@ -131,10 +131,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.0, 0.125, 1.0),
                        ::testing::Values(1u, 4u),
                        ::testing::Bool()),
-    [](const ::testing::TestParamInfo<ConfigPoint> &info) {
-        const double p = std::get<0>(info.param);
-        const std::uint32_t slots = std::get<1>(info.param);
-        const bool marks = std::get<2>(info.param);
+    [](const ::testing::TestParamInfo<ConfigPoint> &point) {
+        const double p = std::get<0>(point.param);
+        const std::uint32_t slots = std::get<1>(point.param);
+        const bool marks = std::get<2>(point.param);
         std::string name = "p";
         name += p == 0.0 ? "0" : (p == 1.0 ? "100" : "12");
         name += "_slots" + std::to_string(slots);

@@ -237,8 +237,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(BackendCase{"fixed", MemBackendKind::Fixed},
                       BackendCase{"queued", MemBackendKind::Queued},
                       BackendCase{"dram", MemBackendKind::Dram}),
-    [](const ::testing::TestParamInfo<BackendCase> &info) {
-        return info.param.name;
+    [](const ::testing::TestParamInfo<BackendCase> &backend_case) {
+        return backend_case.param.name;
     });
 
 // ----------------------------------------------------------------

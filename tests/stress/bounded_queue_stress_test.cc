@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Race-stress for driver::BoundedQueue (tests/stress, label "tsan").
+ *
+ * These tests are written to *provoke* the close/push/pop
+ * interleavings the pipeline relies on, not to measure throughput:
+ * many producers and consumers hammer a tiny queue so every blocking
+ * path (push full-wait, pop empty-wait, tryPush races against close)
+ * executes thousands of times per run. Under ThreadSanitizer each
+ * interleaving is checked for happens-before violations; under the
+ * plain build the tests still assert the queue's exactly-once
+ * delivery contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "driver/bounded_queue.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+TEST(BoundedQueueStress, ManyProducersManyConsumersExactlyOnce)
+{
+    // Capacity 2 forces both the producer full-wait and the consumer
+    // empty-wait constantly.
+    BoundedQueue<std::uint64_t> queue(2);
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr std::uint64_t kPerProducer = 2000;
+
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&queue, p] {
+            for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                ASSERT_TRUE(queue.push(
+                    static_cast<std::uint64_t>(p) * kPerProducer + i));
+            }
+        });
+    }
+
+    std::vector<std::vector<std::uint64_t>> received(kConsumers);
+    std::vector<std::thread> consumers;
+    consumers.reserve(kConsumers);
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&queue, &received, c] {
+            while (auto item = queue.pop())
+                received[c].push_back(*item);
+        });
+    }
+
+    for (auto &thread : producers)
+        thread.join();
+    queue.close();
+    for (auto &thread : consumers)
+        thread.join();
+
+    // Every pushed item came out exactly once.
+    std::vector<std::uint64_t> all;
+    for (const auto &chunk : received)
+        all.insert(all.end(), chunk.begin(), chunk.end());
+    ASSERT_EQ(all.size(), kProducers * kPerProducer);
+    std::sort(all.begin(), all.end());
+    for (std::uint64_t i = 0; i < all.size(); ++i)
+        ASSERT_EQ(all[i], i);
+}
+
+TEST(BoundedQueueStress, CloseRacesBlockedProducers)
+{
+    // Producers block on a full queue; close() must wake all of them
+    // with push() == false, and the consumer must still drain every
+    // item accepted before the close.
+    for (int round = 0; round < 20; ++round) {
+        BoundedQueue<int> queue(1);
+        std::atomic<int> accepted{0};
+        std::atomic<int> rejected{0};
+
+        std::vector<std::thread> producers;
+        producers.reserve(3);
+        for (int p = 0; p < 3; ++p) {
+            producers.emplace_back([&] {
+                for (int i = 0; i < 100; ++i) {
+                    if (queue.push(i))
+                        accepted.fetch_add(1);
+                    else
+                        rejected.fetch_add(1);
+                }
+            });
+        }
+
+        std::atomic<int> drained{0};
+        std::thread consumer([&] {
+            while (queue.pop())
+                drained.fetch_add(1);
+        });
+
+        // Close midway through the stream, from a fourth thread.
+        std::thread closer([&] {
+            while (accepted.load() < 5)
+                std::this_thread::yield();
+            queue.close();
+        });
+
+        closer.join();
+        for (auto &thread : producers)
+            thread.join();
+        consumer.join();
+
+        // push() returning true means the item was enqueued before
+        // the close and therefore must be drained... unless it was
+        // accepted in the race window and discarded by a pop that
+        // already saw the closed+empty queue. The queue's contract is
+        // drain-then-nullopt, so accepted == drained holds.
+        EXPECT_EQ(accepted.load(), drained.load());
+        EXPECT_EQ(accepted.load() + rejected.load(), 300);
+    }
+}
+
+TEST(BoundedQueueStress, TryPushRacesCloseAndPop)
+{
+    // tryPush never blocks, so it races close() and pop() at full
+    // speed; Full and Closed must leave the item with the caller.
+    for (int round = 0; round < 10; ++round) {
+        BoundedQueue<std::uint64_t> queue(4);
+        std::atomic<bool> stop{false};
+        std::atomic<std::uint64_t> pushed{0};
+
+        std::vector<std::thread> producers;
+        producers.reserve(2);
+        for (int p = 0; p < 2; ++p) {
+            producers.emplace_back([&] {
+                std::uint64_t value = 1;
+                while (!stop.load()) {
+                    switch (queue.tryPush(value)) {
+                    case PushResult::Ok:
+                        pushed.fetch_add(1);
+                        break;
+                    case PushResult::Full:
+                        std::this_thread::yield();
+                        break;
+                    case PushResult::Closed:
+                        return;
+                    }
+                }
+            });
+        }
+
+        std::atomic<std::uint64_t> popped{0};
+        std::thread consumer([&] {
+            while (queue.pop())
+                popped.fetch_add(1);
+        });
+
+        while (pushed.load() < 500)
+            std::this_thread::yield();
+        queue.close();
+        stop.store(true);
+        for (auto &thread : producers)
+            thread.join();
+        consumer.join();
+        EXPECT_EQ(pushed.load(), popped.load());
+    }
+}
+
+TEST(BoundedQueueStress, PopDrainsAfterClose)
+{
+    // Items enqueued before close must all be delivered even when
+    // consumers only start after the close.
+    BoundedQueue<int> queue(64);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_TRUE(queue.push(i));
+    queue.close();
+
+    std::atomic<int> drained{0};
+    std::vector<std::thread> consumers;
+    consumers.reserve(4);
+    for (int c = 0; c < 4; ++c) {
+        consumers.emplace_back([&] {
+            while (queue.pop())
+                drained.fetch_add(1);
+        });
+    }
+    for (auto &thread : consumers)
+        thread.join();
+    EXPECT_EQ(drained.load(), 64);
+    EXPECT_FALSE(queue.push(99));  // Still closed.
+}
+
+} // namespace
+} // namespace stms::driver

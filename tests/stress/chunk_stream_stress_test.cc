@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Race-stress for ChunkedWorkloadSource (tests/stress, label "tsan").
+ *
+ * Provokes the two documented deadlock/race hazards of the chunked
+ * producer: (1) parking — with chunk=1 the per-lane skew exceeds the
+ * queue bound immediately, so the producer constantly parks chunks
+ * and sleeps on the pop-wakeup path; (2) early lane close — a lane
+ * finishes producing long before the stream ends, so its queue closes
+ * while other lanes are still filling. Also covers mid-stream
+ * abandonment (destructor racing a parked producer) and concurrent
+ * per-lane consumption, with byte-identity against LaneGenerator as
+ * the correctness oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "driver/chunk_stream.hh"
+#include "workload/generators.hh"
+#include "workload/workloads.hh"
+
+namespace stms::driver
+{
+namespace
+{
+
+WorkloadSpec
+smallSpec(std::uint32_t cores, std::uint64_t records)
+{
+    WorkloadSpec spec = makeWorkload("oltp-db2", records);
+    spec.numCores = cores;
+    return spec;
+}
+
+std::vector<TraceRecord>
+referenceLane(const WorkloadSpec &spec, CoreId lane)
+{
+    LaneGenerator generator(spec, lane);
+    std::vector<TraceRecord> records;
+    while (!generator.done())
+        generator.fill(records, 4096);
+    return records;
+}
+
+void
+expectLaneEqual(const std::vector<TraceRecord> &got,
+                const std::vector<TraceRecord> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].addr, want[i].addr) << "record " << i;
+        ASSERT_EQ(got[i].think, want[i].think) << "record " << i;
+        ASSERT_EQ(got[i].flags, want[i].flags) << "record " << i;
+    }
+}
+
+TEST(ChunkStreamStress, TinyChunksSkewedLanesStayByteIdentical)
+{
+    // chunk=1 maximizes parking: every record is a queue handoff, and
+    // draining lanes one after another (not round-robin) forces the
+    // producer to park on the undrained lanes on almost every pass.
+    const WorkloadSpec spec = smallSpec(4, 512);
+    ChunkedWorkloadSource source(spec, 1);
+    for (CoreId lane = 0; lane < spec.numCores; ++lane) {
+        auto cursor = source.openLane(lane);
+        std::vector<TraceRecord> records;
+        while (const TraceRecord *record = cursor->peek()) {
+            records.push_back(*record);
+            cursor->next();
+        }
+        expectLaneEqual(records, referenceLane(spec, lane));
+    }
+}
+
+TEST(ChunkStreamStress, ConcurrentLaneConsumersStayByteIdentical)
+{
+    // One consumer thread per lane, all draining concurrently while
+    // the producer fills: the real pipeline shape. Small chunks keep
+    // the queue handoff machinery red-hot.
+    const WorkloadSpec spec = smallSpec(4, 2048);
+    ChunkedWorkloadSource source(spec, 16);
+
+    std::vector<std::vector<TraceRecord>> lanes(spec.numCores);
+    std::vector<std::thread> consumers;
+    consumers.reserve(spec.numCores);
+    for (CoreId lane = 0; lane < spec.numCores; ++lane) {
+        consumers.emplace_back([&source, &lanes, lane] {
+            auto cursor = source.openLane(lane);
+            while (true) {
+                auto chunk = cursor->chunk();
+                if (chunk.empty())
+                    break;
+                lanes[lane].insert(lanes[lane].end(), chunk.begin(),
+                                   chunk.end());
+                cursor->consume(chunk.size());
+            }
+        });
+    }
+    for (auto &thread : consumers)
+        thread.join();
+
+    for (CoreId lane = 0; lane < spec.numCores; ++lane)
+        expectLaneEqual(lanes[lane], referenceLane(spec, lane));
+    EXPECT_GT(source.peakResidentChunks(), 0u);
+}
+
+TEST(ChunkStreamStress, EarlyLaneCloseDoesNotStarveOthers)
+{
+    // Drain lane 0 to exhaustion first (its queue closes early), then
+    // the remaining lanes; the producer must keep filling the others
+    // after the early close instead of sleeping forever.
+    const WorkloadSpec spec = smallSpec(3, 256);
+    ChunkedWorkloadSource source(spec, 1);
+
+    auto drain = [&source](CoreId lane) {
+        auto cursor = source.openLane(lane);
+        std::size_t count = 0;
+        while (cursor->peek()) {
+            cursor->next();
+            ++count;
+        }
+        return count;
+    };
+    EXPECT_EQ(drain(0), spec.recordsPerCore);
+    EXPECT_EQ(drain(2), spec.recordsPerCore);
+    EXPECT_EQ(drain(1), spec.recordsPerCore);
+}
+
+TEST(ChunkStreamStress, AbandonMidStreamJoinsParkedProducer)
+{
+    // Destroy sources at every stage of drain: never opened, partly
+    // drained, one lane exhausted. The destructor must unblock a
+    // producer that is parked (all queues full) or mid-tryPush and
+    // join it without leaking chunks — ASan/TSan verify the teardown.
+    ChunkAccounting accounting;
+    for (int drained : {0, 1, 7, 64, 200}) {
+        const WorkloadSpec spec = smallSpec(2, 256);
+        ChunkedWorkloadSource source(spec, 1, &accounting, "stress");
+        if (drained > 0) {
+            auto cursor = source.openLane(0);
+            for (int i = 0; i < drained && cursor->peek(); ++i)
+                cursor->next();
+        }
+        // Source (and its cursor) destroyed here, mid-stream.
+    }
+    // Global accounting must return to zero once every source died.
+    EXPECT_EQ(accounting.resident.load(), 0u);
+}
+
+TEST(ChunkStreamStress, ManySourcesChurnConcurrently)
+{
+    // The runner keeps several sources in flight; churn construction,
+    // partial drain, and teardown from multiple threads at once
+    // against one shared accounting block.
+    ChunkAccounting accounting;
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&accounting, t] {
+            for (int round = 0; round < 3; ++round) {
+                const WorkloadSpec spec = smallSpec(2, 128);
+                ChunkedWorkloadSource source(
+                    spec, 8, &accounting,
+                    "stress-" + std::to_string(t));
+                for (CoreId lane = 0; lane < spec.numCores; ++lane) {
+                    auto cursor = source.openLane(lane);
+                    // Drain fully on even rounds, abandon on odd.
+                    while (round % 2 == 0 && cursor->peek())
+                        cursor->next();
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(accounting.resident.load(), 0u);
+    EXPECT_GT(accounting.peak.load(), 0u);
+}
+
+} // namespace
+} // namespace stms::driver

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Race-stress for ShardedIndexTable (tests/stress, label "tsan").
+ *
+ * Hammers the lock stripes at shards in {2, 8} with overlapping
+ * lookup/update/batch traffic from several threads while an observer
+ * thread concurrently reads occupancy() and stats() — the pattern the
+ * contention bench and any future fleet-mode poller will run. The
+ * model-level bit-identity contract is covered by
+ * tests/core/sharded_index_table_test.cc; here the assertions are the
+ * thread-safety invariants that stay checkable under contention:
+ * per-shard stats sum exactly to the aggregate, the live occupancy
+ * counter matches a full scan once quiescent, and TSan sees a clean
+ * happens-before story.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/hash.hh"
+#include "core/sharded_index_table.hh"
+
+namespace stms
+{
+namespace
+{
+
+class ShardedIndexStress
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ShardedIndexStress, ConcurrentMixedOpsWithObserver)
+{
+    const std::uint32_t shards = GetParam();
+    // 256 KiB bounded table: small enough that evictions churn.
+    ShardedIndexTable table(256 * 1024, 12, shards);
+
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kOpsPerThread = 20000;
+    std::atomic<bool> stop_observer{false};
+
+    // Observer: concurrent occupancy/stats/footprint reads must be
+    // safe while writers churn the shards.
+    std::thread observer([&] {
+        std::uint64_t last_occupancy = 0;
+        while (!stop_observer.load()) {
+            const std::uint64_t occupancy = table.occupancy();
+            // The table only ever grows toward steady state here
+            // (updates insert, lookups never remove), but eviction
+            // makes exact monotonicity false; just require sanity.
+            EXPECT_LE(occupancy,
+                      table.footprintBytes() == 0
+                          ? ~std::uint64_t{0}
+                          : table.footprintBytes());
+            IndexTableStats aggregate = table.stats();
+            EXPECT_LE(aggregate.lookupHits, aggregate.lookups);
+            last_occupancy = occupancy;
+        }
+        (void)last_occupancy;
+    });
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&table, t] {
+            // Overlapping key ranges: every thread touches every
+            // shard, so stripes are genuinely contended.
+            std::vector<Addr> batch;
+            std::vector<HistoryPointer> pointers;
+            std::vector<std::optional<HistoryPointer>> out;
+            for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+                const Addr block =
+                    blockAddress(mixHash64(i * 31 + t) % 8192);
+                if (i % 3 == 0) {
+                    table.update(block,
+                                 HistoryPointer{
+                                     static_cast<CoreId>(t),
+                                     i & HistoryPointer::kSeqMask});
+                } else {
+                    table.lookup(block);
+                }
+                if (i % 257 == 0) {
+                    // Exercise the batched paths (lock-free prefetch
+                    // plus per-element locking) under contention.
+                    batch.clear();
+                    pointers.clear();
+                    for (std::uint64_t j = 0; j < 32; ++j) {
+                        batch.push_back(blockAddress(
+                            mixHash64(i + j) % 8192));
+                        pointers.push_back(HistoryPointer{
+                            static_cast<CoreId>(t), j});
+                    }
+                    out.assign(batch.size(), std::nullopt);
+                    table.prefetchBatch(batch);
+                    table.lookupBatch(batch, out);
+                    table.updateBatch(batch, pointers);
+                }
+            }
+        });
+    }
+    for (auto &thread : workers)
+        thread.join();
+    stop_observer.store(true);
+    observer.join();
+
+    // Quiescent invariants: the O(1) occupancy counter matches the
+    // full recount, and per-shard stats sum exactly to the aggregate.
+    EXPECT_EQ(table.occupancy(), table.occupancyScan());
+    IndexTableStats sum;
+    std::uint64_t ops = 0;
+    for (std::uint32_t s = 0; s < table.numShards(); ++s) {
+        const IndexTableStats shard = table.shardStats(s);
+        sum.lookups += shard.lookups;
+        sum.lookupHits += shard.lookupHits;
+        sum.updates += shard.updates;
+        sum.inserts += shard.inserts;
+        sum.replacements += shard.replacements;
+        ops += table.shardOps(s);
+    }
+    const IndexTableStats aggregate = table.stats();
+    EXPECT_EQ(sum.lookups, aggregate.lookups);
+    EXPECT_EQ(sum.lookupHits, aggregate.lookupHits);
+    EXPECT_EQ(sum.updates, aggregate.updates);
+    EXPECT_EQ(sum.inserts, aggregate.inserts);
+    EXPECT_EQ(sum.replacements, aggregate.replacements);
+    EXPECT_EQ(ops, aggregate.lookups + aggregate.updates);
+}
+
+TEST_P(ShardedIndexStress, UnboundedModeConcurrentChurn)
+{
+    // Unbounded (idealized) mode swaps the SoA store for a per-shard
+    // hash map — a different locking footprint worth its own pass.
+    const std::uint32_t shards = GetParam();
+    ShardedIndexTable table(0, 12, shards);
+    ASSERT_TRUE(table.unbounded());
+
+    std::vector<std::thread> workers;
+    workers.reserve(3);
+    for (int t = 0; t < 3; ++t) {
+        workers.emplace_back([&table, t] {
+            for (std::uint64_t i = 0; i < 10000; ++i) {
+                const Addr block =
+                    blockAddress(mixHash64(i ^ (t * 977)) % 4096);
+                if (i % 2 == 0)
+                    table.update(block,
+                                 HistoryPointer{
+                                     static_cast<CoreId>(t), i});
+                else
+                    table.lookup(block);
+            }
+        });
+    }
+    std::atomic<bool> stop{false};
+    std::thread observer([&] {
+        while (!stop.load())
+            table.occupancy();
+    });
+    for (auto &thread : workers)
+        thread.join();
+    stop.store(true);
+    observer.join();
+    EXPECT_EQ(table.occupancy(), table.occupancyScan());
+    EXPECT_LE(table.occupancy(), 4096u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardedIndexStress,
+                         ::testing::Values(2u, 8u),
+                         [](const ::testing::TestParamInfo<
+                             std::uint32_t> &shard_count) {
+                             return "s" + std::to_string(
+                                              shard_count.param);
+                         });
+
+} // namespace
+} // namespace stms

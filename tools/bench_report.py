@@ -80,6 +80,26 @@ def is_timing_metric(name: str) -> bool:
     return name.endswith(TIMING_SUFFIXES)
 
 
+def sanitizer_build(binary) -> str | None:
+    """Name of the sanitizer baked into ``binary``, or None.
+
+    Sanitized builds run 2-20x slower, so their numbers must never
+    enter the BENCH trajectory — one ASan entry would read as a
+    catastrophic regression. Detected from the runtime symbols the
+    instrumentation links in (works for static and shared runtimes).
+    """
+    try:
+        blob = pathlib.Path(binary).read_bytes()
+    except OSError:
+        return None
+    for marker, name in ((b"__tsan_init", "thread"),
+                         (b"__asan_init", "address"),
+                         (b"__ubsan_handle", "undefined")):
+        if marker in blob:
+            return name
+    return None
+
+
 def run_perf_suite(driver, records, threads, extra=()):
     """Run perf_suite once; return its metrics dict."""
     with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
@@ -278,6 +298,13 @@ def main():
               f"({ref_wall / new_wall:.2f}x)")
 
     if args.no_write:
+        return 0
+
+    sanitizer = sanitizer_build(args.driver)
+    if sanitizer is not None:
+        print(f"NOT recording: driver is a {sanitizer}-sanitizer "
+              "build; sanitized timings never enter the BENCH "
+              "trajectory (rerun with --no-write to silence this)")
         return 0
 
     out = pathlib.Path(args.out)

@@ -39,6 +39,13 @@ def check_file(path: pathlib.Path) -> list[str]:
 def main() -> int:
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
     files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    # Docs other pages or CI depend on by name: their *absence* must
+    # fail too, not just dead links to them.
+    for required in ("ARCHITECTURE.md", "OBSERVABILITY.md", "PERF.md",
+                     "RESULTS.md", "STATIC_ANALYSIS.md",
+                     "TRACE_FORMATS.md"):
+        if root / "docs" / required not in files:
+            files.append(root / "docs" / required)
     errors = []
     checked = 0
     for path in files:

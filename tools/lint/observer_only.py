@@ -1,0 +1,118 @@
+"""Observer-only telemetry lint: instrumentation may watch the model,
+never steer it.
+
+The telemetry contract (docs/OBSERVABILITY.md): every hook is guarded
+by an enabled-check so the disabled path costs one relaxed load, and
+the simulation layers (src/sim, src/core) contain no telemetry calls
+at all outside the registered probe chokepoints — model code must be
+bit-identical with telemetry on or off, and the cheapest way to keep
+that true is to keep telemetry out of the model entirely.
+
+Checks:
+
+1. No ``telemetry::`` reference or ``telemetry/`` include in src/sim
+   or src/core outside the chokepoint allowlist (src/sim/system.hh:
+   the EpochSampler/SampleSeries members that carry sampled series
+   out of the model — data containers, not emission sites).
+2. No unguarded sink dereference ``traceSink()->...`` anywhere: a
+   deref must sit behind the idiomatic
+   ``if (TraceSink *sink = traceSink())`` guard so the disabled path
+   never touches the sink.
+3. Sink pointers may be bound only in that guard form; the only file
+   allowed to hold a sink outside a guard is the owner
+   (src/driver/cli.cc installs/clears the process-wide sink).
+"""
+
+from __future__ import annotations
+
+import re
+
+from lintlib import (
+    Violation,
+    iter_source_files,
+    line_of,
+    strip_comments,
+    strip_strings,
+)
+
+LINT_NAME = "observer-only"
+
+#: Model-layer files allowed to mention telemetry: probe chokepoints
+#: registered in docs/OBSERVABILITY.md.
+MODEL_ALLOWLIST = frozenset({"src/sim/system.hh"})
+
+#: The sink's owner: installs the process-wide pointer at startup.
+SINK_OWNER = "src/driver/cli.cc"
+
+_MODEL_PREFIXES = ("src/sim/", "src/core/")
+_TELEMETRY_REF_RE = re.compile(
+    r"\btelemetry::|#include\s+\"telemetry/"
+)
+_UNGUARDED_DEREF_RE = re.compile(r"traceSink\s*\(\s*\)\s*->")
+_SINK_BIND_RE = re.compile(
+    r"(?:telemetry::)?TraceSink\s*\*\s*\w+\s*="
+)
+_GUARD_RE = re.compile(
+    r"if\s*\(\s*(?:telemetry::)?TraceSink\s*\*\s*\w+\s*=\s*"
+    r"(?:telemetry::)?traceSink\s*\(\s*\)\s*\)"
+)
+
+
+def check(root):
+    violations = []
+    for rel, text in iter_source_files(root):
+        code = strip_strings(strip_comments(text))
+
+        # Rule 1: the model layers are telemetry-free.
+        if rel.startswith(_MODEL_PREFIXES) and rel not in MODEL_ALLOWLIST:
+            # Includes live in raw (string-bearing) text.
+            stripped = strip_comments(text)
+            for match in _TELEMETRY_REF_RE.finditer(stripped):
+                violations.append(
+                    Violation(
+                        rel,
+                        line_of(stripped, match.start()),
+                        LINT_NAME,
+                        "telemetry reference in model layer "
+                        f"({rel.split('/')[1]}): instrumentation is "
+                        "observer-only and lives outside src/sim and "
+                        "src/core (chokepoints: "
+                        + ", ".join(sorted(MODEL_ALLOWLIST))
+                        + ")",
+                    )
+                )
+
+        if rel.startswith("src/telemetry/"):
+            continue  # The subsystem itself is exempt from 2 and 3.
+
+        # Rule 2: no immediate deref of the global sink.
+        for match in _UNGUARDED_DEREF_RE.finditer(code):
+            violations.append(
+                Violation(
+                    rel,
+                    line_of(code, match.start()),
+                    LINT_NAME,
+                    "unguarded traceSink()-> dereference: bind the "
+                    "sink in an enabled-check first — "
+                    "if (TraceSink *sink = traceSink())",
+                )
+            )
+
+        # Rule 3: sink pointers bind only inside the guard.
+        if rel == SINK_OWNER:
+            continue
+        for match in _SINK_BIND_RE.finditer(code):
+            window = code[max(0, match.start() - 16) : match.end() + 48]
+            if _GUARD_RE.search(window):
+                continue
+            violations.append(
+                Violation(
+                    rel,
+                    line_of(code, match.start()),
+                    LINT_NAME,
+                    "TraceSink pointer bound outside the "
+                    "if (TraceSink *sink = traceSink()) guard; only "
+                    f"{SINK_OWNER} owns an unguarded sink",
+                )
+            )
+    return violations

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Run every repo-invariant linter over the tree (CI gate).
+
+Usage: run_lints.py [--root DIR] [--lint NAME]...
+
+Prints violations gcc-style (path:line: [lint] message) and exits
+nonzero if any linter fires.  Stdlib only; registered in ctest as
+``lint.invariants`` (label "lint") and run by the static-analysis CI
+job.  See docs/STATIC_ANALYSIS.md for what each linter enforces and
+how to handle a finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import fingerprint_safety  # noqa: E402
+import lock_discipline  # noqa: E402
+import observer_only  # noqa: E402
+
+LINTERS = {
+    module.LINT_NAME: module
+    for module in (fingerprint_safety, observer_only, lock_discipline)
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[2],
+        help="repository root (default: this script's repo)",
+    )
+    parser.add_argument(
+        "--lint",
+        action="append",
+        choices=sorted(LINTERS),
+        help="run only this linter (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.lint or sorted(LINTERS)
+    violations = []
+    for name in selected:
+        violations.extend(LINTERS[name].check(args.root))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.lint))
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            f"FAIL: {len(violations)} violation(s) across "
+            f"{len(selected)} linter(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {len(selected)} linter(s), no violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+// Fixture: seeded lock-discipline violations.
+#include <mutex>
+
+std::mutex g_mutex;
+
+void
+unsafeSection()
+{
+    g_mutex.lock();  // line 9: naked lock.
+    // ... an early return here would leak the mutex ...
+    g_mutex.unlock();  // line 11: naked unlock.
+}
+
+void
+sanctioned()
+{
+    std::unique_lock<std::mutex> lock(g_mutex);
+    lock.unlock();  // OK: receiver is an RAII guard.
+    lock.lock();
+}

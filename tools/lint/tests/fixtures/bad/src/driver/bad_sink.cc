@@ -1,0 +1,11 @@
+// Fixture: unguarded sink use outside the model layer.
+#include "telemetry/trace_writer.hh"
+
+void
+noteProgress()
+{
+    telemetry::traceSink()->counter("x", 1.0);  // line 7: deref.
+    telemetry::TraceSink *sink =
+        telemetry::traceSink();  // line 8: bind outside guard.
+    (void)sink;
+}

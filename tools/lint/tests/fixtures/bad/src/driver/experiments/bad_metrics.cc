@@ -1,0 +1,14 @@
+// Fixture: seeded fingerprint-safety violations. Line numbers are
+// asserted by test_fingerprint_safety.py — keep them stable.
+#include <string>
+
+void
+report(Report &out, const std::string &prefix)
+{
+    out.addMetric("model.coverage", 0.5);          // OK: model key.
+    out.addMetric("sweep.wall_s", 1.25);           // line 9: _s
+    out.addMetric(prefix + ".peak_rss_kb", 4096);  // line 10: _kb
+    out.addMetric(prefix + ".records_per_sec",     // line 11: _per_sec
+                  1e6);
+    std::string json = "{\"timing\": {}}";         // line 13: timing key
+}

@@ -1,0 +1,20 @@
+// Fixture: toResultRecord leaking the timing block into store
+// records (fingerprint-safety rule 1).
+#include <string>
+
+results::ResultRecord
+Report::toResultRecord() const
+{
+    results::ResultRecord record;
+    record.scalars = metrics_;
+    record.wall = timing_.wallSeconds;  // line 10: timing_ leak.
+    return record;
+}
+
+std::string
+Report::toJson() const
+{
+    std::string out = "{";
+    out += "  \"timing\": {}";  // OK: report.cc is the renderer.
+    return out;
+}

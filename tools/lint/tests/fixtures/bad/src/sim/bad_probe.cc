@@ -1,0 +1,8 @@
+// Fixture: seeded observer-only violations in a model-layer file.
+#include "telemetry/trace_writer.hh"  // line 2: include in src/sim.
+
+void
+Core::retire()
+{
+    telemetry::emitCounter("core.retired", 1.0);  // line 7: call.
+}

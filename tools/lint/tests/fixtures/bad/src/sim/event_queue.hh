@@ -1,0 +1,7 @@
+// Fixture: std::function reintroduced on the converted hot path.
+#include <functional>
+
+struct Event
+{
+    std::function<void()> callback;  // line 6: banned here.
+};

@@ -1,0 +1,8 @@
+// Fixture: the allowlisted model-layer chokepoint may reference
+// telemetry (sampled-series carrier members).
+#include "telemetry/sampler.hh"
+
+struct SimOutput
+{
+    telemetry::SampleSeries samples;
+};

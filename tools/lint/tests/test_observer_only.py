@@ -1,0 +1,39 @@
+"""Self-test: observer-only linter fires on telemetry leaking into
+the model layer and on unguarded sink use; quiet on the guard idiom."""
+
+import pathlib
+import sys
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+import observer_only
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+class ObserverOnlyTest(unittest.TestCase):
+    def test_bad_fixture_findings(self):
+        violations = observer_only.check(FIXTURES / "bad")
+        found = {(v.path, v.line) for v in violations}
+        self.assertIn(("src/sim/bad_probe.cc", 2), found)   # include
+        self.assertIn(("src/sim/bad_probe.cc", 7), found)   # call
+        self.assertIn(("src/driver/bad_sink.cc", 7), found)  # deref
+        self.assertIn(("src/driver/bad_sink.cc", 8), found)  # bind
+
+    def test_model_layer_message_points_at_chokepoints(self):
+        violations = observer_only.check(FIXTURES / "bad")
+        message = next(
+            v.message
+            for v in violations
+            if v.path == "src/sim/bad_probe.cc"
+        )
+        self.assertIn("observer-only", message)
+        self.assertIn("src/sim/system.hh", message)
+
+    def test_clean_fixture_is_quiet(self):
+        self.assertEqual(observer_only.check(FIXTURES / "clean"), [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,66 @@
+"""Self-test: the CLI gate exits nonzero on the broken fixture tree
+with gcc-style file:line output, and zero on the clean tree."""
+
+import contextlib
+import io
+import pathlib
+import re
+import sys
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+import run_lints
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+class RunLintsTest(unittest.TestCase):
+    def _run(self, root):
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = run_lints.main(["--root", str(root)])
+        return code, out.getvalue(), err.getvalue()
+
+    def test_bad_tree_fails_with_locations(self):
+        code, out, err = self._run(FIXTURES / "bad")
+        self.assertNotEqual(code, 0)
+        self.assertIn("FAIL", err)
+        # Every reported line is gcc-style path:line: [lint] message.
+        lines = [l for l in out.splitlines() if l]
+        self.assertTrue(lines)
+        pattern = re.compile(r"^[\w/.-]+:\d+: \[[\w-]+\] .+$")
+        for line in lines:
+            self.assertRegex(line, pattern)
+        self.assertIn("src/driver/bad_lock.cc:9:", out)
+        self.assertIn("src/sim/bad_probe.cc:2:", out)
+
+    def test_clean_tree_passes(self):
+        code, out, _ = self._run(FIXTURES / "clean")
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+
+    def test_lint_selection(self):
+        code, out, _ = self._run(FIXTURES / "bad")
+        all_count = len([l for l in out.splitlines() if ":" in l])
+        out2, err2 = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out2), \
+                contextlib.redirect_stderr(err2):
+            code2 = run_lints.main(
+                ["--root", str(FIXTURES / "bad"),
+                 "--lint", "lock-discipline"]
+            )
+        self.assertNotEqual(code2, 0)
+        only = [l for l in out2.getvalue().splitlines()
+                if "[lock-discipline]" in l]
+        rest = [l for l in out2.getvalue().splitlines()
+                if re.match(r"^[\w/.-]+:\d+:", l)
+                and "[lock-discipline]" not in l]
+        self.assertTrue(only)
+        self.assertFalse(rest)
+        self.assertGreater(all_count, len(only))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Zero-warning clang-tidy gate over src/ (.clang-tidy has the tuned
+check set).
+
+Usage: run_clang_tidy.py [--build-dir DIR] [--jobs N] [FILES...]
+
+Runs clang-tidy against every src/ translation unit using the
+compile_commands.json from --build-dir (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON).  Any diagnostic fails the gate
+(WarningsAsErrors: '*' in .clang-tidy).
+
+When clang-tidy is not installed the gate SKIPS with exit 0 and a
+loud notice: the dev container ships gcc only, so the binding run is
+the CI static-analysis job (which apt-installs clang-tidy).  Pass
+--require to turn a missing binary into a failure, as CI does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def find_clang_tidy() -> str | None:
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def source_files(build_dir: pathlib.Path) -> list[str]:
+    """src/ translation units from the compilation database."""
+    database = build_dir / "compile_commands.json"
+    if not database.is_file():
+        sys.exit(
+            f"error: {database} not found — configure with "
+            "cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON"
+        )
+    entries = json.loads(database.read_text())
+    files = []
+    src_prefix = (REPO_ROOT / "src").as_posix() + "/"
+    for entry in entries:
+        path = pathlib.Path(entry["directory"], entry["file"])
+        posix = path.resolve().as_posix()
+        if posix.startswith(src_prefix) and posix not in files:
+            files.append(posix)
+    return files
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", type=pathlib.Path,
+                        default=REPO_ROOT / "build")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--require", action="store_true",
+        help="fail (exit 2) when clang-tidy is not installed",
+    )
+    parser.add_argument("files", nargs="*",
+                        help="restrict the run to these files")
+    args = parser.parse_args(argv)
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        message = ("clang-tidy not found on PATH; the gate runs in "
+                   "the CI static-analysis job")
+        if args.require:
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        print(f"SKIP: {message}")
+        return 0
+
+    files = args.files or source_files(args.build_dir)
+    print(f"clang-tidy gate: {len(files)} file(s) with {tidy}")
+
+    def run_one(path: str) -> tuple[str, int, str]:
+        result = subprocess.run(
+            [tidy, "-p", str(args.build_dir), "--quiet", path],
+            capture_output=True, text=True,
+        )
+        return path, result.returncode, result.stdout + result.stderr
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, code, output in pool.map(run_one, files):
+            rel = pathlib.Path(path)
+            try:
+                rel = rel.relative_to(REPO_ROOT)
+            except ValueError:
+                pass
+            if code != 0:
+                failures += 1
+                print(f"FAIL {rel}\n{output}")
+            else:
+                print(f"  ok {rel}")
+
+    if failures:
+        print(f"FAIL: {failures}/{len(files)} file(s) with "
+              "diagnostics", file=sys.stderr)
+        return 1
+    print(f"OK: {len(files)} file(s) clang-tidy clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
