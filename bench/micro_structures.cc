@@ -8,7 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/addr_map.hh"
+#include "common/arena.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "core/history_buffer.hh"
 #include "core/index_table.hh"
 #include "core/sharded_index_table.hh"
@@ -289,6 +296,135 @@ BM_EventQueueSteadyState(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations() * kBatch));
 }
 BENCHMARK(BM_EventQueueSteadyState)->Arg(64)->Arg(1024)->Arg(16384);
+
+/**
+ * The scan kernel itself at bucket-shaped sizes: Arg(0) is the element
+ * count (12 = one index bucket, 32 = MSHR-file scale, 256 = history
+ * window segment), Arg(1)=0 pins the scalar reference, Arg(1)=1 runs
+ * the dispatched kernel (whatever activeIsa() reports for this host /
+ * STMS_SIMD config). Probes alternate hit positions and misses so
+ * neither branch prediction nor an early first-lane hit flatters the
+ * vector path.
+ */
+void
+BM_FindFirstEqual(benchmark::State &state)
+{
+    const auto count = static_cast<std::size_t>(state.range(0));
+    const bool dispatched = state.range(1) != 0;
+    std::vector<std::uint64_t> keys(count + simd::kScanPadU64,
+                                    ~0ULL);  // padding never matches
+    for (std::size_t i = 0; i < count; ++i)
+        keys[i] = 0x1000 + i;
+    // Probe mix: every position once, plus as many misses.
+    std::vector<std::uint64_t> probes;
+    for (std::size_t i = 0; i < count; ++i) {
+        probes.push_back(0x1000 + i);
+        probes.push_back(0xdead0000 + i);
+    }
+    if (probes.empty())
+        probes.push_back(0xdead0000);
+    std::size_t next = 0;
+    for (auto _ : state) {
+        const std::uint64_t probe = probes[next];
+        next = next + 1 == probes.size() ? 0 : next + 1;
+        const std::size_t hit =
+            dispatched
+                ? simd::findFirstEqual(keys.data(), count, probe)
+                : simd::findFirstEqualScalar(keys.data(), count,
+                                             probe);
+        benchmark::DoNotOptimize(hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(dispatched ? simd::activeIsa() : "scalar-ref");
+}
+BENCHMARK(BM_FindFirstEqual)
+    ->Args({12, 0})
+    ->Args({12, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->ArgNames({"count", "simd"});
+
+/** History-window scan (stream re-lookup shape): one SIMD sweep over
+ *  a wrapped bounded log vs the entry-at-a-time walk it replaced. */
+void
+BM_HistoryScanWindow(benchmark::State &state)
+{
+    constexpr std::uint64_t kCapacity = 4096;
+    HistoryBuffer buffer(kCapacity);
+    Rng rng(21);
+    for (std::uint64_t i = 0; i < kCapacity + kCapacity / 2; ++i)
+        buffer.append(blockAddress(rng.below(1ULL << 16)));
+    const SeqNum oldest = buffer.head() - kCapacity;
+    Rng probe(22);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(buffer.scanWindow(
+            oldest, blockAddress(probe.below(1ULL << 16))));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistoryScanWindow);
+
+/** MSHR-file churn: the probe/insert/extract mix every off-chip
+ *  transfer puts on the flat map, at demand-window occupancy. */
+void
+BM_FlatAddrMapChurn(benchmark::State &state)
+{
+    FlatAddrMap<std::uint64_t> map;
+    constexpr std::uint64_t kWindow = 32;  // in-flight blocks
+    for (std::uint64_t i = 0; i < kWindow; ++i)
+        map.emplace(blockAddress(i), std::uint64_t{i});
+    Rng rng(23);
+    std::uint64_t next = kWindow;
+    for (auto _ : state) {
+        // 3 probes (demand checks) per fill+extract pair.
+        for (int p = 0; p < 3; ++p) {
+            benchmark::DoNotOptimize(
+                map.contains(blockAddress(rng.below(2 * kWindow))));
+        }
+        const std::size_t victim =
+            static_cast<std::size_t>(rng.below(map.size()));
+        benchmark::DoNotOptimize(map.take(victim));
+        map.emplace(blockAddress(next), std::uint64_t{next});
+        ++next;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatAddrMapChurn);
+
+/**
+ * Per-run structure teardown/rebuild cost: the allocation storm at
+ * every sweep point. Arg(0)=0 takes it from the global heap (no
+ * arena installed), Arg(0)=1 from a reused ScopedRunArena — the
+ * difference is what --pipeline workers stop paying per run.
+ */
+void
+BM_ArenaRunCycle(benchmark::State &state)
+{
+    const bool arena = state.range(0) != 0;
+    constexpr std::size_t kBuffers = 64;
+    constexpr std::size_t kElems = 4096;
+    for (auto _ : state) {
+        std::optional<ScopedRunArena> scope;
+        if (arena)
+            scope.emplace();
+        std::vector<ArenaBuffer<std::uint64_t>> buffers;
+        buffers.reserve(kBuffers);
+        for (std::size_t i = 0; i < kBuffers; ++i) {
+            buffers.emplace_back(kElems);
+            buffers.back()[0] = i;        // touch first...
+            buffers.back()[kElems - 1] = i;  // ...and last page
+        }
+        benchmark::DoNotOptimize(buffers.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kBuffers));
+}
+BENCHMARK(BM_ArenaRunCycle)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"arena"});
 
 } // namespace
 

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ISA-specific bodies of the scan kernels (see simd.hh for the
+ * dispatch rules and the padded-read contract).
+ */
+
+#include "common/simd.hh"
+
+#if !defined(STMS_SIMD_DISABLED)
+#if defined(__x86_64__) || defined(__i386__)
+#define STMS_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define STMS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace stms::simd
+{
+namespace
+{
+
+#if defined(STMS_SIMD_X86)
+
+/**
+ * SSE2 two-lane scan. SSE2 has no 64-bit integer compare (that is
+ * SSE4.1's _mm_cmpeq_epi64), so equality is built from the 32-bit
+ * compare: a u64 lane matches iff both of its u32 halves match, i.e.
+ * cmpeq_epi32 AND its half-swapped self (shuffle 0xB1 swaps the two
+ * u32s within each u64). movemask_pd then yields one bit per u64 lane.
+ */
+std::size_t
+findFirstEqualSse2(const std::uint64_t *keys, std::size_t count,
+                   std::uint64_t key)
+{
+    const __m128i needle =
+        _mm_set1_epi64x(static_cast<long long>(key));
+    for (std::size_t i = 0; i < count; i += 2) {
+        const __m128i lanes = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(keys + i));
+        const __m128i eq32 = _mm_cmpeq_epi32(lanes, needle);
+        const __m128i eq64 =
+            _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, 0xB1));
+        int mask = _mm_movemask_pd(_mm_castsi128_pd(eq64));
+        const std::size_t remaining = count - i;
+        if (remaining < 2)
+            mask &= (1 << remaining) - 1;  // Drop padding lanes.
+        if (mask != 0)
+            return i + static_cast<std::size_t>(__builtin_ctz(
+                           static_cast<unsigned>(mask)));
+    }
+    return kNpos;
+}
+
+/** AVX2 four-lane scan; one compare covers a 12-entry bucket in three
+ *  steps. Compiled with a per-function target attribute so the rest
+ *  of the TU (and the build) keeps the default -march. */
+__attribute__((target("avx2"))) std::size_t
+findFirstEqualAvx2(const std::uint64_t *keys, std::size_t count,
+                   std::uint64_t key)
+{
+    const __m256i needle =
+        _mm256_set1_epi64x(static_cast<long long>(key));
+    for (std::size_t i = 0; i < count; i += 4) {
+        const __m256i lanes = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + i));
+        int mask = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(lanes, needle)));
+        const std::size_t remaining = count - i;
+        if (remaining < 4)
+            mask &= (1 << remaining) - 1;  // Drop padding lanes.
+        if (mask != 0)
+            return i + static_cast<std::size_t>(__builtin_ctz(
+                           static_cast<unsigned>(mask)));
+    }
+    return kNpos;
+}
+
+#elif defined(STMS_SIMD_NEON)
+
+/** NEON two-lane scan (aarch64 baseline, no runtime probe needed). */
+std::size_t
+findFirstEqualNeon(const std::uint64_t *keys, std::size_t count,
+                   std::uint64_t key)
+{
+    const uint64x2_t needle = vdupq_n_u64(key);
+    for (std::size_t i = 0; i < count; i += 2) {
+        const uint64x2_t eq = vceqq_u64(vld1q_u64(keys + i), needle);
+        const std::size_t remaining = count - i;
+        if (vgetq_lane_u64(eq, 0) != 0)
+            return i;
+        if (remaining > 1 && vgetq_lane_u64(eq, 1) != 0)
+            return i + 1;
+    }
+    return kNpos;
+}
+
+#endif
+
+struct Resolved
+{
+    detail::FindFirstEqualFn fn;
+    const char *isa;
+};
+
+Resolved
+resolve()
+{
+#if defined(STMS_SIMD_X86)
+    if (__builtin_cpu_supports("avx2"))
+        return {&findFirstEqualAvx2, "avx2"};
+    return {&findFirstEqualSse2, "sse2"};
+#elif defined(STMS_SIMD_NEON)
+    return {&findFirstEqualNeon, "neon"};
+#else
+    return {&findFirstEqualScalar, "scalar"};
+#endif
+}
+
+const Resolved kResolved = resolve();
+
+} // namespace
+
+namespace detail
+{
+const FindFirstEqualFn kFindFirstEqualImpl = kResolved.fn;
+} // namespace detail
+
+const char *
+activeIsa()
+{
+    return kResolved.isa;
+}
+
+} // namespace stms::simd

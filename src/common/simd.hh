@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Portable SIMD kernel layer for the hot scan loops (docs/PERF.md).
+ *
+ * Every data-plane structure that matters — index-table buckets,
+ * history-buffer windows, prefetch buffers, MSHRs, stream issued
+ * sets — bottoms out in the same primitive: find the first element of
+ * a short contiguous u64 array equal to a key. This header owns that
+ * primitive once, so each structure vectorizes by construction instead
+ * of by hand-rolled intrinsics scattered through the tree.
+ *
+ * Bit-identity policy: the kernels implement *first-match-wins* over
+ * the logical element order, exactly like the scalar loop they
+ * replace. A vector compare examines several lanes at once, but the
+ * reported index is always the lowest matching one, and lanes beyond
+ * `count` are masked out of the result — so scalar and SIMD return the
+ * same index for every input, including arrays holding duplicate or
+ * garbage keys past the logical size. findFirstEqualScalar() is kept
+ * as the executable reference the kernel tests compare against.
+ *
+ * Padded-read contract: the vector paths may LOAD (never use) up to
+ * kScanLaneU64 - 1 elements past `count`. Callers must allocate scan
+ * arrays with at least paddedScanCount(count) elements (or
+ * kScanPadU64 spare tail slots). Every container in this repo that
+ * feeds these kernels allocates through that helper; handing the
+ * kernels a bare std::vector::data() is a bug (ASan container
+ * annotations will rightly flag it).
+ *
+ * Dispatch rules: ISA selection is a compile-time ladder (NEON on
+ * aarch64, SSE2 baseline on x86-64) plus one runtime probe for AVX2
+ * via __builtin_cpu_supports, using per-function target attributes so
+ * no TU is ever compiled with a raised global -march (a global arch
+ * bump could change FP codegen elsewhere and break the repo's
+ * byte-identity gates). Configuring with -DSTMS_SIMD=OFF defines
+ * STMS_SIMD_DISABLED and pins every kernel to the scalar reference;
+ * activeIsa() reports whichever path is live so benchmarks and the
+ * BENCH trajectory can record it.
+ */
+
+#ifndef STMS_COMMON_SIMD_HH
+#define STMS_COMMON_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stms::simd
+{
+
+/** Returned by the find kernels when no element matches. */
+inline constexpr std::size_t kNpos = ~static_cast<std::size_t>(0);
+
+/** Widest vector width used by any kernel, in u64 lanes (AVX2). */
+inline constexpr std::size_t kScanLaneU64 = 4;
+
+/** Spare tail elements a scan array must own past its logical size. */
+inline constexpr std::size_t kScanPadU64 = kScanLaneU64 - 1;
+
+/** Smallest allocation (in elements) that can hold @p count scannable
+ *  elements under the padded-read contract. */
+constexpr std::size_t
+paddedScanCount(std::size_t count)
+{
+    return (count + kScanLaneU64 - 1) / kScanLaneU64 * kScanLaneU64;
+}
+
+/**
+ * Reference kernel: index of the first element of keys[0, count)
+ * equal to @p key, or kNpos. Reads exactly `count` elements — no
+ * padding required. The SIMD paths must match this bit for bit.
+ */
+inline std::size_t
+findFirstEqualScalar(const std::uint64_t *keys, std::size_t count,
+                     std::uint64_t key)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        if (keys[i] == key)
+            return i;
+    }
+    return kNpos;
+}
+
+namespace detail
+{
+
+using FindFirstEqualFn = std::size_t (*)(const std::uint64_t *,
+                                         std::size_t, std::uint64_t);
+
+/** Resolved once at load time (simd.cc); zero until then, which the
+ *  wrapper below treats as "fall back to scalar" so kernels stay
+ *  correct even if called from another TU's static initializer. */
+extern const FindFirstEqualFn kFindFirstEqualImpl;
+
+} // namespace detail
+
+/**
+ * Index of the first element of keys[0, count) equal to @p key, or
+ * kNpos. First-match-wins, bit-identical to findFirstEqualScalar().
+ * The array must obey the padded-read contract above.
+ */
+inline std::size_t
+findFirstEqual(const std::uint64_t *keys, std::size_t count,
+               std::uint64_t key)
+{
+    const detail::FindFirstEqualFn impl = detail::kFindFirstEqualImpl;
+    if (impl == nullptr)
+        return findFirstEqualScalar(keys, count, key);
+    return impl(keys, count, key);
+}
+
+/** Name of the kernel path selected at load time: "scalar", "sse2",
+ *  "avx2", or "neon". */
+const char *activeIsa();
+
+} // namespace stms::simd
+
+#endif // STMS_COMMON_SIMD_HH

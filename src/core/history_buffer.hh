@@ -17,15 +17,23 @@
  * is within the retention window (capacity entries behind the head),
  * which is exactly the staleness rule index-table pointers are checked
  * against.
+ *
+ * Storage is structure-of-arrays — block addresses in one padded
+ * array, end marks in another — so the window operations are flat
+ * kernels: readWindow() hands a stream engine a whole packed block of
+ * successors with two copies instead of an entry-at-a-time walk, and
+ * scanWindow() runs the simd.hh first-match scan over the retained
+ * window. Both are bit-identical to the per-entry loops they replace
+ * (tests/core/history_buffer_test.cc pins this against the scalar
+ * reference).
  */
 
 #ifndef STMS_CORE_HISTORY_BUFFER_HH
 #define STMS_CORE_HISTORY_BUFFER_HH
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 
 namespace stms
@@ -66,7 +74,24 @@ class HistoryBuffer
     bool valid(SeqNum seq) const;
 
     /** Read an entry; @p seq must satisfy valid(). */
-    const HistoryEntry &at(SeqNum seq) const;
+    HistoryEntry at(SeqNum seq) const;
+
+    /**
+     * Copy the @p max_entries entries starting at @p first into
+     * @p blocks / @p marks (wrap handled internally). @p first must
+     * satisfy valid() and the window [first, first + max_entries)
+     * must not pass head(). The stream engines' queue-fill path.
+     */
+    void readWindow(SeqNum first, std::uint32_t max_entries,
+                    Addr *blocks, std::uint8_t *marks) const;
+
+    /**
+     * First sequence number in [first, head()) whose logged address
+     * equals @p block, or kInvalidSeq. @p first must satisfy valid()
+     * or equal head(). SIMD first-match over the retained window,
+     * bit-identical to the scalar walk.
+     */
+    SeqNum scanWindow(SeqNum first, Addr block) const;
 
     /**
      * Set the end-of-stream mark on @p seq if it is still retained.
@@ -88,15 +113,31 @@ class HistoryBuffer
     std::uint64_t footprintBytes() const;
 
   private:
+    /** Storage slot of @p seq (caller checked valid()). */
+    std::uint64_t
+    slotOf(SeqNum seq) const
+    {
+        return unbounded() ? seq : seq % capacity_;
+    }
+
+    /** Grow the unbounded arrays to hold at least one more entry. */
+    void growUnbounded();
+
     std::uint64_t capacity_;
     std::uint32_t entriesPerBlock_;
-    /** Bounded (circular) storage. Allocated uninitialized: an entry
-     *  is written by append() before any read can see it (valid()
-     *  bounds every access by head_), so the multi-megabyte window
-     *  costs no zero-fill and faults in only as the log grows. */
-    std::unique_ptr<HistoryEntry[]> store_;
-    /** Unbounded (idealized) storage, grown on append. */
-    std::vector<HistoryEntry> grow_;
+    /**
+     * SoA entry storage: blocks_ carries simd.hh scan padding;
+     * marks_ is the end-mark byte per slot. Bounded mode sizes both
+     * at capacity_ once; unbounded mode doubles them on demand.
+     * Slots are written by append() before any read can see them
+     * (valid() bounds every access by head_), so the storage is
+     * allocated uninitialized — no zero-fill, pages fault in as the
+     * log grows — and comes from the run arena when one is installed.
+     */
+    ArenaBuffer<Addr> blocks_;
+    ArenaBuffer<std::uint8_t> marks_;
+    /** Allocated entry slots (excludes scan padding). */
+    std::uint64_t slots_ = 0;
     SeqNum head_ = 0;
 };
 

@@ -29,10 +29,11 @@
 #define STMS_CORE_INDEX_BUCKET_HH
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 
+#include "common/arena.hh"
 #include "common/log.hh"
+#include "common/simd.hh"
 #include "common/types.hh"
 #include "common/zeroed_buffer.hh"
 
@@ -57,7 +58,10 @@ class BucketStore
   public:
     BucketStore() = default;
 
-    /** Allocate @p buckets empty buckets of @p entries pairs each. */
+    /** Allocate @p buckets empty buckets of @p entries pairs each.
+     *  The key array carries simd.hh's scan padding, and both arrays
+     *  come from the run arena when one is installed (torn down for
+     *  free, recycled warm across pipeline runs). */
     void
     reset(std::uint64_t buckets, std::uint32_t entries)
     {
@@ -66,25 +70,25 @@ class BucketStore
         entries_ = entries;
         buckets_ = buckets;
         counts_.reset(buckets);
-        keys_ = std::make_unique_for_overwrite<std::uint64_t[]>(
-            buckets * entries);
-        pointers_ = std::make_unique_for_overwrite<std::uint64_t[]>(
-            buckets * entries);
+        keys_.reset(buckets * entries + simd::kScanPadU64);
+        pointers_.reset(buckets * entries);
     }
 
-    /** Find @p key in @p bucket; a hit refreshes the LRU order. */
+    /** Find @p key in @p bucket; a hit refreshes the LRU order. The
+     *  scan is the SIMD first-match kernel, bit-identical to the
+     *  scalar loop by construction (simd.hh). */
     std::optional<std::uint64_t>
     lookup(std::uint64_t bucket, std::uint64_t key)
     {
         const std::uint32_t count = counts_[bucket];
         std::uint64_t *keys = &keys_[bucket * entries_];
-        for (std::uint32_t i = 0; i < count; ++i) {
-            if (keys[i] == key) {
-                std::uint64_t *pointers = &pointers_[bucket * entries_];
-                const std::uint64_t hit = pointers[i];
-                promote(keys, pointers, i, key, hit);
-                return hit;
-            }
+        const std::size_t i = simd::findFirstEqual(keys, count, key);
+        if (i != simd::kNpos) {
+            std::uint64_t *pointers = &pointers_[bucket * entries_];
+            const std::uint64_t hit = pointers[i];
+            promote(keys, pointers, static_cast<std::uint32_t>(i), key,
+                    hit);
+            return hit;
         }
         return std::nullopt;
     }
@@ -98,11 +102,11 @@ class BucketStore
         const std::uint32_t count = counts_[bucket];
         std::uint64_t *keys = &keys_[bucket * entries_];
         std::uint64_t *pointers = &pointers_[bucket * entries_];
-        for (std::uint32_t i = 0; i < count; ++i) {
-            if (keys[i] == key) {
-                promote(keys, pointers, i, key, pointer);
-                return BucketUpdate::Refreshed;
-            }
+        const std::size_t i = simd::findFirstEqual(keys, count, key);
+        if (i != simd::kNpos) {
+            promote(keys, pointers, static_cast<std::uint32_t>(i), key,
+                    pointer);
+            return BucketUpdate::Refreshed;
         }
         if (count < entries_) {
             promote(keys, pointers, count, key, pointer);
@@ -167,9 +171,10 @@ class BucketStore
      *  needs initialization. */
     ZeroedBuffer<std::uint8_t> counts_;
     /** keys_[bucket * entries_ + slot], MRU-first; uninitialized
-     *  beyond each bucket's count. */
-    std::unique_ptr<std::uint64_t[]> keys_;
-    std::unique_ptr<std::uint64_t[]> pointers_;
+     *  beyond each bucket's count, padded per simd.hh's scan
+     *  contract. */
+    ArenaBuffer<std::uint64_t> keys_;
+    ArenaBuffer<std::uint64_t> pointers_;
 };
 
 } // namespace stms::detail

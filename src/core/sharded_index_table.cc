@@ -140,17 +140,20 @@ ShardedIndexTable::lookupBatch(
                 "lookupBatch output smaller than input");
     // Literal lookup() calls in element order: results, per-shard
     // stats, and LRU motion are bit-identical to the scalar loop for
-    // every shard count by construction.
+    // every shard count by construction. The prefetch hint's shard
+    // bases are hoisted out of the loop (hoistPrefetch) — the
+    // per-probe recomputation showed up in BM_BatchedIndexProbe.
     const bool bounded = !unbounded();
+    const HoistedPrefetch hint = hoistPrefetch();
     const std::size_t ahead =
         std::min(kIndexProbeAhead, blocks.size());
     if (bounded) {
         for (std::size_t i = 0; i < ahead; ++i)
-            prefetchOne(blocks[i]);
+            hint.prefetch(blocks[i]);
     }
     for (std::size_t i = 0; i < blocks.size(); ++i) {
         if (bounded && i + kIndexProbeAhead < blocks.size())
-            prefetchOne(blocks[i + kIndexProbeAhead]);
+            hint.prefetch(blocks[i + kIndexProbeAhead]);
         out[i] = lookup(blocks[i]);
     }
 }
@@ -162,15 +165,16 @@ ShardedIndexTable::updateBatch(std::span<const Addr> blocks,
     stms_assert(pointers.size() >= blocks.size(),
                 "updateBatch pointer span smaller than input");
     const bool bounded = !unbounded();
+    const HoistedPrefetch hint = hoistPrefetch();
     const std::size_t ahead =
         std::min(kIndexProbeAhead, blocks.size());
     if (bounded) {
         for (std::size_t i = 0; i < ahead; ++i)
-            prefetchOne(blocks[i]);
+            hint.prefetch(blocks[i]);
     }
     for (std::size_t i = 0; i < blocks.size(); ++i) {
         if (bounded && i + kIndexProbeAhead < blocks.size())
-            prefetchOne(blocks[i + kIndexProbeAhead]);
+            hint.prefetch(blocks[i + kIndexProbeAhead]);
         update(blocks[i], pointers[i]);
     }
 }
@@ -180,8 +184,9 @@ ShardedIndexTable::prefetchBatch(std::span<const Addr> blocks) const
 {
     if (unbounded())
         return;  // Nothing to warm: the maps' layout is opaque.
+    const HoistedPrefetch hint = hoistPrefetch();
     for (const Addr block : blocks)
-        prefetchOne(block);
+        hint.prefetch(block);
 }
 
 std::uint64_t

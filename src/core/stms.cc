@@ -44,9 +44,15 @@ StmsPrefetcher::attach(PrefetchPort &port, std::uint32_t num_cores,
             config_.historyEntriesPerCore,
             config_.entriesPerHistoryBlock));
     }
-    streams_.assign(num_cores,
-                    std::vector<Stream>(config_.streamsPerCore));
+    // Streams hold move-only arena-backed sets, so the slot matrix is
+    // sized in place instead of assigned from a copied prototype.
+    streams_.clear();
+    streams_.resize(num_cores);
+    for (auto &slots : streams_)
+        slots.resize(config_.streamsPerCore);
     lookupsInFlight_.assign(num_cores, 0);
+    fetchBlocks_.reset(config_.entriesPerHistoryBlock);
+    fetchMarks_.reset(config_.entriesPerHistoryBlock);
 }
 
 CoreId
@@ -82,32 +88,21 @@ StmsPrefetcher::metaFootprintBytes() const
     return total;
 }
 
-namespace
-{
-
 /**
- * Drop issued-map entries the demand stream has moved past: once the
+ * Drop issued-set entries the demand stream has moved past: once the
  * core consumed (or skipped to) @p upto, older issued blocks are dead
  * weight in the confidence window. Their buffer entries still age out
  * via LRU and get counted erroneous there; a small slack tolerates
  * local reordering.
  */
 void
-retirePassed(std::unordered_map<Addr, SeqNum> &issued, SeqNum upto)
+StmsPrefetcher::retirePassed(IssuedSet &issued, SeqNum upto)
 {
     constexpr SeqNum slack = 8;
     if (upto == kInvalidSeq || upto < slack)
         return;
-    const SeqNum limit = upto - slack;
-    for (auto it = issued.begin(); it != issued.end();) {
-        if (it->second < limit)
-            it = issued.erase(it);
-        else
-            ++it;
-    }
+    issued.retireBelow(upto - slack);
 }
-
-} // namespace
 
 bool
 StmsPrefetcher::isHealthy(const Stream &stream) const
@@ -409,25 +404,45 @@ StmsPrefetcher::fillQueue(CoreId core, std::uint32_t slot_index)
     Stream &stream = slot(core, slot_index);
     HistoryBuffer &hb = historyOf(stream.hbOwner);
 
-    std::uint32_t fetched = 0;
-    while (fetched < config_.entriesPerHistoryBlock &&
-           stream.queue.size() < config_.addressQueueDepth &&
-           stream.nextFetchSeq < hb.head()) {
-        if (config_.maxStreamDepth != 0 &&
-            stream.followed >= config_.maxStreamDepth)
-            break;
-        if (!hb.valid(stream.nextFetchSeq)) {
-            endStream(core, slot_index, /*write_end_mark=*/false);
-            return;
-        }
-        const HistoryEntry &entry = hb.at(stream.nextFetchSeq);
-        stream.queue.push_back(QueuedEntry{stream.nextFetchSeq,
-                                           entry.block, entry.endMark});
-        ++stream.nextFetchSeq;
-        ++stream.followed;
-        ++stats_.followed;
-        ++fetched;
+    // Batched form of the old entry-at-a-time walk: the fetch budget
+    // is resolved up front (identical to evaluating the loop
+    // conditions per entry — validity is monotone toward the head and
+    // nothing appends mid-fill), then one readWindow() copies the
+    // whole run out of the packed log.
+    std::uint64_t budget = config_.entriesPerHistoryBlock;
+    budget = std::min<std::uint64_t>(
+        budget, stream.queue.size() < config_.addressQueueDepth
+                    ? config_.addressQueueDepth - stream.queue.size()
+                    : 0);
+    budget = std::min<std::uint64_t>(
+        budget, stream.nextFetchSeq < hb.head()
+                    ? hb.head() - stream.nextFetchSeq
+                    : 0);
+    if (config_.maxStreamDepth != 0) {
+        budget = std::min<std::uint64_t>(
+            budget, stream.followed < config_.maxStreamDepth
+                        ? config_.maxStreamDepth - stream.followed
+                        : 0);
     }
+    if (budget == 0)
+        return;
+    if (!hb.valid(stream.nextFetchSeq)) {
+        // The stream body aged out of the circular buffer.
+        endStream(core, slot_index, /*write_end_mark=*/false);
+        return;
+    }
+
+    const auto fetched = static_cast<std::uint32_t>(budget);
+    hb.readWindow(stream.nextFetchSeq, fetched, fetchBlocks_.data(),
+                  fetchMarks_.data());
+    for (std::uint32_t i = 0; i < fetched; ++i) {
+        stream.queue.push_back(QueuedEntry{stream.nextFetchSeq + i,
+                                           fetchBlocks_[i],
+                                           fetchMarks_[i] != 0});
+    }
+    stream.nextFetchSeq += fetched;
+    stream.followed += fetched;
+    stats_.followed += fetched;
 }
 
 void
@@ -468,7 +483,7 @@ StmsPrefetcher::pump(CoreId core, std::uint32_t slot_index)
         const IssueResult result =
             port_->issuePrefetch(*this, core, entry.block);
         if (result == IssueResult::Issued) {
-            stream.issued[entry.block] = entry.seq;
+            stream.issued.insert(entry.block, entry.seq);
             stream.lastActivity = missClock_;
         } else if (result == IssueResult::NoResources) {
             stream.queue.push_front(entry);
@@ -494,14 +509,14 @@ StmsPrefetcher::onPrefetchUsed(CoreId core, Addr block, bool partial)
     auto &slots = streams_[core];
     for (std::uint32_t i = 0; i < slots.size(); ++i) {
         Stream &stream = slots[i];
-        auto it = stream.issued.find(block);
-        if (it == stream.issued.end())
+        SeqNum *issued_seq = stream.issued.find(block);
+        if (issued_seq == nullptr)
             continue;
         if (stream.lastConsumed == kInvalidSeq ||
-            it->second > stream.lastConsumed) {
-            stream.lastConsumed = it->second;
+            *issued_seq > stream.lastConsumed) {
+            stream.lastConsumed = *issued_seq;
         }
-        stream.issued.erase(it);
+        stream.issued.erase(issued_seq);
         stream.unusedStreak = 0;
         ++stream.consumed;
         ++stats_.consumed;
@@ -518,10 +533,10 @@ StmsPrefetcher::onPrefetchUnused(CoreId core, Addr block)
     auto &slots = streams_[core];
     for (std::uint32_t i = 0; i < slots.size(); ++i) {
         Stream &stream = slots[i];
-        auto it = stream.issued.find(block);
-        if (it == stream.issued.end())
+        SeqNum *issued_seq = stream.issued.find(block);
+        if (issued_seq == nullptr)
             continue;
-        stream.issued.erase(it);
+        stream.issued.erase(issued_seq);
         ++stream.unusedStreak;
         if (stream.unusedStreak >= config_.killThreshold)
             endStream(core, i, /*write_end_mark=*/true);

@@ -32,9 +32,10 @@
 #include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/simd.hh"
 #include "core/bucket_buffer.hh"
 #include "core/history_buffer.hh"
 #include "core/index_table.hh"
@@ -211,6 +212,93 @@ class StmsPrefetcher : public Prefetcher
         bool endMark;
     };
 
+    /**
+     * Flat {block -> seq} set of a stream's issued-unconsumed
+     * prefetches. Bounded by the confidence window (at most
+     * addressQueueDepth entries), probed on every prefetch-buffer hit
+     * and eviction — a SIMD sweep over one or two cache lines where
+     * the hash map chased a heap node per probe. Keys are unique and
+     * nothing observes iteration order, so swap-removal (including
+     * the bulk retire sweep) cannot perturb model results.
+     */
+    class IssuedSet
+    {
+      public:
+        std::uint64_t size() const { return count_; }
+        bool empty() const { return count_ == 0; }
+
+        /** Seq slot of @p block, or nullptr. */
+        SeqNum *
+        find(Addr block)
+        {
+            const std::size_t slot =
+                simd::findFirstEqual(blocks_.data(), count_, block);
+            return slot == simd::kNpos ? nullptr : &seqs_[slot];
+        }
+
+        /** Map-style upsert of {block, seq}. */
+        void
+        insert(Addr block, SeqNum seq)
+        {
+            if (SeqNum *existing = find(block)) {
+                *existing = seq;
+                return;
+            }
+            if (count_ == slots_)
+                grow();
+            blocks_[count_] = block;
+            seqs_[count_] = seq;
+            ++count_;
+        }
+
+        /** Remove the entry whose seq slot find() returned. */
+        void
+        erase(SeqNum *seq)
+        {
+            const std::size_t slot =
+                static_cast<std::size_t>(seq - seqs_.data());
+            --count_;
+            blocks_[slot] = blocks_[count_];
+            seqs_[slot] = seqs_[count_];
+        }
+
+        /** Drop every entry with seq < limit (retire sweep). */
+        void
+        retireBelow(SeqNum limit)
+        {
+            for (std::size_t slot = 0; slot < count_;) {
+                if (seqs_[slot] < limit) {
+                    --count_;
+                    blocks_[slot] = blocks_[count_];
+                    seqs_[slot] = seqs_[count_];
+                } else {
+                    ++slot;
+                }
+            }
+        }
+
+      private:
+        void
+        grow()
+        {
+            const std::size_t grown = slots_ == 0 ? 8 : slots_ * 2;
+            ArenaBuffer<Addr> blocks(grown + simd::kScanPadU64);
+            ArenaBuffer<SeqNum> seqs(grown);
+            for (std::size_t slot = 0; slot < count_; ++slot) {
+                blocks[slot] = blocks_[slot];
+                seqs[slot] = seqs_[slot];
+            }
+            blocks_ = std::move(blocks);
+            seqs_ = std::move(seqs);
+            slots_ = grown;
+        }
+
+        ArenaBuffer<Addr> blocks_;  ///< simd.hh scan padding.
+        ArenaBuffer<SeqNum> seqs_;
+        std::size_t slots_ = 0;
+        std::size_t count_ = 0;
+    };
+
     /** One stream slot of a core engine (Fig. 2 "stream engine"). */
     struct Stream
     {
@@ -218,7 +306,7 @@ class StmsPrefetcher : public Prefetcher
         CoreId hbOwner = 0;
         SeqNum nextFetchSeq = 0;
         std::deque<QueuedEntry> queue;
-        std::unordered_map<Addr, SeqNum> issued;
+        IssuedSet issued;
         SeqNum lastConsumed = kInvalidSeq;
         Addr pausedAt = kInvalidAddr;
         std::uint32_t unusedStreak = 0;
@@ -248,6 +336,9 @@ class StmsPrefetcher : public Prefetcher
     /** True if the stream has made progress recently. */
     bool isHealthy(const Stream &stream) const;
 
+    /** Drop issued entries the demand stream has moved past. */
+    static void retirePassed(IssuedSet &issued, SeqNum upto);
+
     /** Total issued-unconsumed blocks across a core's slots. */
     std::uint64_t issuedOutstanding(CoreId core) const;
 
@@ -260,6 +351,10 @@ class StmsPrefetcher : public Prefetcher
     /** streams_[core][slot]. */
     std::vector<std::vector<Stream>> streams_;
     std::vector<std::uint32_t> lookupsInFlight_;
+    /** Queue-fill scratch for HistoryBuffer::readWindow (one packed
+     *  history block per fetch; fillQueue is never reentered). */
+    ArenaBuffer<Addr> fetchBlocks_;
+    ArenaBuffer<std::uint8_t> fetchMarks_;
     /** Lifetime miss count (never reset; staleness clock). */
     std::uint64_t missClock_ = 0;
     StmsStats stats_;

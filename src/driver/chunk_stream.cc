@@ -61,14 +61,14 @@ class ChunkedWorkloadSource::LaneCursor final
     dropChunk()
     {
         if (!chunk_.empty()) {
-            chunk_.clear();
+            source_.recycleChunk(std::move(chunk_));
             source_.noteChunkDead();
         }
     }
 
     ChunkedWorkloadSource &source_;
     ChunkQueue &queue_;
-    std::vector<TraceRecord> chunk_;
+    ChunkVec chunk_;
     std::size_t index_ = 0;
     bool exhausted_ = false;
 };
@@ -138,8 +138,7 @@ ChunkedWorkloadSource::produce()
     // waiting on a *different* lane's queue (lanes consume at
     // different record rates; with tiny chunks the skew exceeds any
     // fixed queue bound almost immediately).
-    std::vector<std::optional<std::vector<TraceRecord>>> parked(
-        spec_.numCores);
+    std::vector<std::optional<ChunkVec>> parked(spec_.numCores);
 
     // A lane's queue is closed the moment the lane is fully produced
     // and flushed — NOT at end of stream. Waiting for every lane
@@ -183,17 +182,19 @@ ChunkedWorkloadSource::produce()
                 }
                 continue;
             }
-            std::vector<TraceRecord> chunk;
-            chunk.reserve(static_cast<std::size_t>(
+            const auto cap = static_cast<std::size_t>(
                 std::min<std::uint64_t>(chunkRecords_,
-                                        spec_.recordsPerCore)));
+                                        spec_.recordsPerCore));
+            ChunkVec chunk = takeChunk();
+            chunk.resize(cap);
             const auto fill_start = std::chrono::steady_clock::now();
+            std::size_t filled;
             {
                 telemetry::ScopedSpan span("stage", "generate",
                                            label_);
-                lanes[lane].fill(
-                    chunk, static_cast<std::size_t>(chunkRecords_));
+                filled = lanes[lane].fill(chunk.data(), cap);
             }
+            chunk.resize(filled);
             // Relaxed: monotonic accumulator read by
             // produceSeconds() — mid-run reads are documented
             // approximate, and the final read happens after the
@@ -270,6 +271,33 @@ ChunkedWorkloadSource::noteChunkDead()
     resident_.fetch_sub(1, std::memory_order_relaxed);
     if (shared_)
         shared_->noteDead();
+}
+
+ChunkedWorkloadSource::ChunkVec
+ChunkedWorkloadSource::takeChunk()
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        if (!pool_.empty()) {
+            ChunkVec chunk = std::move(pool_.back());
+            pool_.pop_back();
+            return chunk;
+        }
+    }
+    // Pool dry: bind a fresh buffer to the source arena. Only the
+    // producer thread ever lands here, so the arena sees exactly one
+    // allocating thread (its single-thread contract).
+    return ChunkVec(ArenaAllocator<TraceRecord>(&chunkArena_));
+}
+
+void
+ChunkedWorkloadSource::recycleChunk(ChunkVec &&chunk)
+{
+    // clear() destroys records (trivially) but keeps capacity; the
+    // arena storage itself is reclaimed only when the source dies.
+    chunk.clear();
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    pool_.push_back(std::move(chunk));
 }
 
 void

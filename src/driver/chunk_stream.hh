@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.hh"
 #include "driver/bounded_queue.hh"
 #include "telemetry/trace_writer.hh"
 #include "trace_io/trace_source.hh"
@@ -153,7 +154,19 @@ class ChunkedWorkloadSource final : public trace_io::TraceSource
 
   private:
     class LaneCursor;
-    using ChunkQueue = BoundedQueue<std::vector<TraceRecord>>;
+    /**
+     * Chunk buffers are bound to this source's private arena rather
+     * than the global heap: the producer thread is the only allocator
+     * (single-threaded, lock-free bumps), and ArenaAllocator's no-op
+     * deallocate lets the consuming simulator thread destroy chunk
+     * vectors without ever touching the arena. Drained buffers cycle
+     * back through a pool so their capacity is reused — in steady
+     * state the arena stops growing at roughly the residency bound
+     * (lanes x (capacity + 2) chunks), and per-chunk allocator
+     * traffic drops to zero.
+     */
+    using ChunkVec = std::vector<TraceRecord, ArenaAllocator<TraceRecord>>;
+    using ChunkQueue = BoundedQueue<ChunkVec>;
 
     /** Queued chunks per lane; +2 for produced/consumed chunks gives
      *  the residency bound in the file comment. */
@@ -164,10 +177,24 @@ class ChunkedWorkloadSource final : public trace_io::TraceSource
     void noteChunkDead();
     void notePop();
 
+    /** Producer side: a recycled chunk buffer, or a fresh arena-bound
+     *  one when the pool is dry (start-up only, in steady state). */
+    ChunkVec takeChunk();
+
+    /** Consumer side: return a drained buffer's capacity to the pool.
+     *  Safe from any thread; clears but never deallocates. */
+    void recycleChunk(ChunkVec &&chunk);
+
     WorkloadSpec spec_;
     std::uint64_t chunkRecords_;
     ChunkAccounting *shared_;
     std::string label_;
+    /** Declared before the pool and queues so vectors still holding
+     *  arena-bound allocators die first (their deallocate is a no-op,
+     *  but keep the obvious order anyway). */
+    Arena chunkArena_;
+    std::mutex poolMutex_;
+    std::vector<ChunkVec> pool_;
     std::vector<std::unique_ptr<ChunkQueue>> queues_;
     std::atomic<std::uint64_t> resident_{0};
     std::atomic<std::uint64_t> peakResident_{0};

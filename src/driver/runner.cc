@@ -13,6 +13,7 @@
 #include <malloc.h>
 #endif
 
+#include "common/arena.hh"
 #include "common/log.hh"
 #include "driver/bounded_queue.hh"
 #include "driver/chunk_stream.hh"
@@ -95,6 +96,11 @@ peakRssKb()
 bool
 resetPeakRss()
 {
+    // The run arena retains its blocks across runs by design (warm
+    // reuse); for the same double-counting reason as malloc_trim
+    // below, release this thread's cached run arena so a later phase
+    // running on *other* threads is not floored by it.
+    trimThreadRunArena();
 #ifdef __GLIBC__
     // Return freed heap to the kernel first: malloc retains freed
     // pages in its arenas, so without the trim the watermark resets

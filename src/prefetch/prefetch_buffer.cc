@@ -1,12 +1,29 @@
 #include "prefetch/prefetch_buffer.hh"
 
+#include <cstring>
+
 #include "common/log.hh"
+#include "common/simd.hh"
 
 namespace stms
 {
 
+namespace
+{
+
+/** Slot of @p block in the MRU-first array, or simd::kNpos. */
+std::size_t
+slotOf(const ArenaBuffer<Addr> &blocks, std::uint32_t count,
+       Addr block)
+{
+    return simd::findFirstEqual(blocks.data(), count, block);
+}
+
+} // namespace
+
 PrefetchBuffer::PrefetchBuffer(std::uint32_t capacity)
-    : capacity_(capacity)
+    : capacity_(capacity),
+      blocks_(capacity + simd::kScanPadU64)
 {
     stms_assert(capacity > 0, "prefetch buffer needs capacity");
 }
@@ -14,18 +31,19 @@ PrefetchBuffer::PrefetchBuffer(std::uint32_t capacity)
 bool
 PrefetchBuffer::contains(Addr block) const
 {
-    return index_.count(blockAlign(block)) != 0;
+    return slotOf(blocks_, count_, blockAlign(block)) != simd::kNpos;
 }
 
 bool
 PrefetchBuffer::consume(Addr block)
 {
-    block = blockAlign(block);
-    auto it = index_.find(block);
-    if (it == index_.end())
+    const std::size_t slot = slotOf(blocks_, count_, blockAlign(block));
+    if (slot == simd::kNpos)
         return false;
-    lru_.erase(it->second);
-    index_.erase(it);
+    // Close the gap; entries behind the hit keep their LRU order.
+    std::memmove(&blocks_[slot], &blocks_[slot + 1],
+                 (count_ - slot - 1) * sizeof(Addr));
+    --count_;
     return true;
 }
 
@@ -33,22 +51,24 @@ std::optional<Addr>
 PrefetchBuffer::insert(Addr block)
 {
     block = blockAlign(block);
-    auto it = index_.find(block);
-    if (it != index_.end()) {
+    const std::size_t slot = slotOf(blocks_, count_, block);
+    if (slot != simd::kNpos) {
         // Refresh recency of a duplicate fill.
-        lru_.splice(lru_.begin(), lru_, it->second);
+        std::memmove(&blocks_[1], &blocks_[0], slot * sizeof(Addr));
+        blocks_[0] = block;
         return std::nullopt;
     }
 
     std::optional<Addr> evicted;
-    if (lru_.size() >= capacity_) {
-        const Addr victim = lru_.back();
-        lru_.pop_back();
-        index_.erase(victim);
-        evicted = victim;
+    std::uint32_t shifted = count_;
+    if (count_ >= capacity_) {
+        evicted = blocks_[count_ - 1];  // LRU victim.
+        shifted = count_ - 1;
+    } else {
+        ++count_;
     }
-    lru_.push_front(block);
-    index_[block] = lru_.begin();
+    std::memmove(&blocks_[1], &blocks_[0], shifted * sizeof(Addr));
+    blocks_[0] = block;
     return evicted;
 }
 

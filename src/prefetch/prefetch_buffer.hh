@@ -6,16 +6,22 @@
  * LRU pressure evicts them; an unused eviction is an erroneous
  * prefetch. Keeping prefetched data out of the caches avoids pollution
  * (Sec. 4.2, following Jouppi's victim/stream buffers).
+ *
+ * Storage is one flat MRU-first address array — at 32 entries that is
+ * four cache lines scanned with the simd.hh first-match kernel, where
+ * the old list+hash-map pair cost a heap node and a pointer chase per
+ * block. Recency moves are the same shift-to-front the index buckets
+ * use, so LRU order (and therefore every eviction) is bit-identical
+ * to the list implementation.
  */
 
 #ifndef STMS_PREFETCH_PREFETCH_BUFFER_HH
 #define STMS_PREFETCH_PREFETCH_BUFFER_HH
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 
 namespace stms
@@ -26,6 +32,9 @@ class PrefetchBuffer
 {
   public:
     explicit PrefetchBuffer(std::uint32_t capacity = 32);
+
+    PrefetchBuffer(PrefetchBuffer &&) = default;
+    PrefetchBuffer &operator=(PrefetchBuffer &&) = default;
 
     /** Non-destructive presence check. */
     bool contains(Addr block) const;
@@ -47,17 +56,14 @@ class PrefetchBuffer
     bool invalidate(Addr block);
 
     std::uint32_t capacity() const { return capacity_; }
-    std::uint32_t size() const
-    {
-        return static_cast<std::uint32_t>(lru_.size());
-    }
-    std::uint32_t room() const { return capacity_ - size(); }
+    std::uint32_t size() const { return count_; }
+    std::uint32_t room() const { return capacity_ - count_; }
 
   private:
     std::uint32_t capacity_;
-    /** MRU at front. */
-    std::list<Addr> lru_;
-    std::unordered_map<Addr, std::list<Addr>::iterator> index_;
+    std::uint32_t count_ = 0;
+    /** blocks_[0, count_), MRU at slot 0; simd.hh scan padding. */
+    ArenaBuffer<Addr> blocks_;
 };
 
 } // namespace stms

@@ -168,9 +168,8 @@ MemorySystem::handleMiss(CoreId core, Addr block, bool is_write,
                          AccessCallback done)
 {
     const Cycle now = events_.now();
-    auto it = mshrs_.find(block);
-    if (it != mshrs_.end()) {
-        Mshr &mshr = it->second;
+    if (Mshr *merged = mshrs_.find(block)) {
+        Mshr &mshr = *merged;
         mshr.write |= is_write;
         if (mshr.prefetch && !mshr.demandWaiting) {
             // Demand request caught an in-flight prefetch: the miss is
@@ -216,9 +215,10 @@ MemorySystem::handleMiss(CoreId core, Addr block, bool is_write,
 
     mem_->request(TrafficClass::DemandRead, Priority::High, block, 1,
                   [this, block](Cycle done_tick) {
-                      auto node = mshrs_.extract(block);
-                      stms_assert(!node.empty(), "fill without MSHR");
-                      finishDemandFill(block, std::move(node.mapped()),
+                      const std::size_t slot = mshrs_.indexOf(block);
+                      stms_assert(slot != mshrs_.kNpos,
+                                  "fill without MSHR");
+                      finishDemandFill(block, mshrs_.take(slot),
                                        done_tick);
                   });
 
@@ -307,7 +307,7 @@ MemorySystem::issuePrefetch(Prefetcher &owner, CoreId core, Addr block)
 
     if (l1s_[core]->contains(block) || l2_.contains(block) ||
         buffer(pf_id, core).contains(block) ||
-        mshrs_.count(block) != 0) {
+        mshrs_.contains(block)) {
         ++pfStats_[pf_id].redundant;
         return IssueResult::AlreadyPresent;
     }
@@ -331,10 +331,10 @@ MemorySystem::issuePrefetch(Prefetcher &owner, CoreId core, Addr block)
 
     mem_->request(TrafficClass::Prefetch, Priority::Low, block, 1,
                   [this, block](Cycle done_tick) {
-                      auto node = mshrs_.extract(block);
-                      stms_assert(!node.empty(),
+                      const std::size_t slot = mshrs_.indexOf(block);
+                      stms_assert(slot != mshrs_.kNpos,
                                   "prefetch fill without MSHR");
-                      finishPrefetchFill(block, std::move(node.mapped()),
+                      finishPrefetchFill(block, mshrs_.take(slot),
                                          done_tick);
                   });
     return IssueResult::Issued;

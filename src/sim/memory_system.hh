@@ -15,9 +15,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/addr_map.hh"
 #include "common/types.hh"
 #include "prefetch/prefetch_buffer.hh"
 #include "prefetch/prefetcher.hh"
@@ -283,7 +283,10 @@ class MemorySystem : public PrefetchPort
     /** buffers_[pf][core]. */
     std::vector<std::vector<PrefetchBuffer>> buffers_;
     std::vector<std::vector<std::uint32_t>> inflightPrefetches_;
-    std::unordered_map<Addr, Mshr> mshrs_;
+    /** In-flight fills, keyed by block. Flat SIMD-scanned table: the
+     *  file is small (demand window + prefetch caps) but probed per
+     *  demand access and prefetch issue (common/addr_map.hh). */
+    FlatAddrMap<Mshr> mshrs_;
     std::vector<PrefetcherStats> pfStats_;
     std::vector<MlpMeter> mlpMeters_;
     MemorySystemStats stats_;

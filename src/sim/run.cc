@@ -1,5 +1,6 @@
 #include "sim/run.hh"
 
+#include "common/arena.hh"
 #include "prefetch/stride.hh"
 
 namespace stms
@@ -29,6 +30,14 @@ runTrace(const Trace &trace, const RunConfig &run_config)
 RunOutput
 runTrace(trace_io::TraceSource &source, const RunConfig &run_config)
 {
+    // Every run's short-lived structures (bucket stores, history
+    // buffers, MSHR maps, issued sets) bump-allocate from this
+    // thread's run arena; the outermost scope resets it on exit, so
+    // back-to-back runs in a sweep reuse the same blocks instead of
+    // hitting the global allocator — the contention the --pipeline
+    // worker threads used to serialize on. RunOutput holds only plain
+    // values, so nothing arena-backed escapes the scope.
+    ScopedRunArena arena_scope;
     SimConfig config = run_config.sim;
     config.warmupRecords = static_cast<std::uint64_t>(
         run_config.warmupFraction *

@@ -127,6 +127,14 @@ class LaneGenerator
     std::size_t fill(std::vector<TraceRecord> &out,
                      std::size_t max_records);
 
+    /**
+     * fill() into caller-owned storage of at least @p max_records
+     * records — the allocator-agnostic form the chunk pipeline uses to
+     * fill arena-backed chunk buffers. Same record sequence as the
+     * vector overload.
+     */
+    std::size_t fill(TraceRecord *out, std::size_t max_records);
+
     /** All recordsPerCore records have been emitted. */
     bool done() const;
 

@@ -1,0 +1,95 @@
+/** @file Unit tests for the flat address map (common/addr_map.hh). */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <unordered_map>
+
+#include "common/addr_map.hh"
+
+namespace stms
+{
+namespace
+{
+
+TEST(FlatAddrMap, InsertFindTake)
+{
+    FlatAddrMap<int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_FALSE(map.contains(0x40));
+    map.emplace(0x40, 1);
+    map.emplace(0x80, 2);
+    map.emplace(0xc0, 3);
+    EXPECT_EQ(map.size(), 3u);
+    ASSERT_NE(map.find(0x80), nullptr);
+    EXPECT_EQ(*map.find(0x80), 2);
+    EXPECT_EQ(map.find(0x100), nullptr);
+
+    const std::size_t slot = map.indexOf(0x40);
+    ASSERT_NE(slot, map.kNpos);
+    EXPECT_EQ(map.take(slot), 1);
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_FALSE(map.contains(0x40));
+    EXPECT_TRUE(map.contains(0x80));
+    EXPECT_TRUE(map.contains(0xc0));
+}
+
+TEST(FlatAddrMap, GrowsPastInitialCapacity)
+{
+    FlatAddrMap<std::uint64_t> map;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        map.emplace(i * 64, std::uint64_t{i});
+    EXPECT_EQ(map.size(), 100u);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        ASSERT_NE(map.find(i * 64), nullptr) << i;
+        EXPECT_EQ(*map.find(i * 64), i);
+    }
+}
+
+TEST(FlatAddrMap, MovableOnlyValues)
+{
+    FlatAddrMap<std::unique_ptr<int>> map;
+    map.emplace(0x40, std::make_unique<int>(7));
+    map.emplace(0x80, std::make_unique<int>(8));
+    auto taken = map.take(map.indexOf(0x40));
+    EXPECT_EQ(*taken, 7);
+    EXPECT_EQ(**map.find(0x80), 8);
+}
+
+TEST(FlatAddrMap, RandomizedAgainstUnorderedMap)
+{
+    FlatAddrMap<std::uint64_t> flat;
+    std::unordered_map<Addr, std::uint64_t> reference;
+    std::mt19937_64 rng(99);
+    for (int op = 0; op < 5000; ++op) {
+        const Addr key = (rng() % 64) * 64;
+        if (rng() % 2 == 0 && !reference.contains(key)) {
+            flat.emplace(key, static_cast<std::uint64_t>(op));
+            reference.emplace(key, static_cast<std::uint64_t>(op));
+        } else if (reference.contains(key)) {
+            const std::size_t slot = flat.indexOf(key);
+            ASSERT_NE(slot, flat.kNpos);
+            EXPECT_EQ(flat.take(slot), reference.at(key));
+            reference.erase(key);
+        } else {
+            EXPECT_FALSE(flat.contains(key));
+        }
+        EXPECT_EQ(flat.size(), reference.size());
+    }
+    for (const auto &[key, value] : reference) {
+        ASSERT_NE(flat.find(key), nullptr);
+        EXPECT_EQ(*flat.find(key), value);
+    }
+}
+
+TEST(FlatAddrMapDeath, DuplicateKeyPanics)
+{
+    FlatAddrMap<int> map;
+    map.emplace(0x40, 1);
+    EXPECT_DEATH(map.emplace(0x40, 2), "duplicate flat-map key");
+}
+
+} // namespace
+} // namespace stms

@@ -1,0 +1,139 @@
+/** @file Bit-identity tests for the SIMD scan kernels (common/simd.hh). */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/simd.hh"
+
+namespace stms
+{
+namespace
+{
+
+/** Allocate a padded scan array per the kernel contract, filling the
+ *  tail padding with the worst case: copies of the probe key, which a
+ *  buggy kernel would falsely report as a match past count. */
+std::vector<std::uint64_t>
+paddedArray(const std::vector<std::uint64_t> &keys, std::uint64_t probe)
+{
+    std::vector<std::uint64_t> padded = keys;
+    padded.resize(keys.size() + simd::kScanPadU64, probe);
+    return padded;
+}
+
+void
+expectKernelMatchesScalar(const std::vector<std::uint64_t> &keys,
+                          std::uint64_t probe)
+{
+    const std::vector<std::uint64_t> padded = paddedArray(keys, probe);
+    const std::size_t expected =
+        simd::findFirstEqualScalar(padded.data(), keys.size(), probe);
+    const std::size_t got =
+        simd::findFirstEqual(padded.data(), keys.size(), probe);
+    EXPECT_EQ(got, expected)
+        << "count=" << keys.size() << " probe=" << probe;
+}
+
+TEST(SimdFindFirstEqual, ActiveIsaIsKnown)
+{
+    const std::string isa = simd::activeIsa();
+    EXPECT_TRUE(isa == "scalar" || isa == "sse2" || isa == "avx2" ||
+                isa == "neon")
+        << isa;
+}
+
+TEST(SimdFindFirstEqual, EmptyArrayNeverMatches)
+{
+    // count == 0 with only padding behind the pointer.
+    std::vector<std::uint64_t> padded(simd::kScanPadU64, 42);
+    EXPECT_EQ(simd::findFirstEqual(padded.data(), 0, 42), simd::kNpos);
+    EXPECT_EQ(simd::findFirstEqualScalar(padded.data(), 0, 42),
+              simd::kNpos);
+}
+
+TEST(SimdFindFirstEqual, AllBucketOccupancies)
+{
+    // The index-table bucket scan runs at every occupancy 0..12 (the
+    // paper's 12-entry buckets). Probe each position plus a miss.
+    for (std::size_t count = 0; count <= 12; ++count) {
+        std::vector<std::uint64_t> keys(count);
+        for (std::size_t i = 0; i < count; ++i)
+            keys[i] = 1000 + i;
+        for (std::size_t hit = 0; hit < count; ++hit)
+            expectKernelMatchesScalar(keys, 1000 + hit);
+        expectKernelMatchesScalar(keys, 999);  // miss
+    }
+}
+
+TEST(SimdFindFirstEqual, FirstMatchWinsOnDuplicates)
+{
+    for (std::size_t count = 2; count <= 16; ++count) {
+        std::vector<std::uint64_t> keys(count, 7);  // all duplicates
+        expectKernelMatchesScalar(keys, 7);
+        const std::vector<std::uint64_t> padded = paddedArray(keys, 7);
+        EXPECT_EQ(simd::findFirstEqual(padded.data(), count, 7), 0u);
+    }
+}
+
+TEST(SimdFindFirstEqual, TailLanesAreMasked)
+{
+    // A match sitting only in the padding (index >= count) must be
+    // invisible at every misalignment of count vs the vector width.
+    for (std::size_t count = 0; count <= 2 * simd::kScanLaneU64 + 1;
+         ++count) {
+        std::vector<std::uint64_t> keys(count, 1);
+        expectKernelMatchesScalar(keys, 2);  // only padding holds 2
+        const std::vector<std::uint64_t> padded = paddedArray(keys, 2);
+        EXPECT_EQ(simd::findFirstEqual(padded.data(), count, 2),
+                  simd::kNpos);
+    }
+}
+
+TEST(SimdFindFirstEqual, ExtremeKeyValues)
+{
+    const std::vector<std::uint64_t> specials = {
+        0, 1, ~0ULL, ~0ULL - 1, 0x8000000000000000ULL,
+        0x7fffffffffffffffULL, 0x00000000ffffffffULL,
+        0xffffffff00000000ULL};
+    // The SSE2 kernel compares 32-bit halves and combines them; keys
+    // agreeing in one half but not the other are its failure mode.
+    std::vector<std::uint64_t> keys = specials;
+    keys.push_back(0x1234567800000000ULL);
+    keys.push_back(0x0000000012345678ULL);
+    for (const std::uint64_t probe : specials)
+        expectKernelMatchesScalar(keys, probe);
+    expectKernelMatchesScalar(keys, 0xdeadbeefULL);
+}
+
+TEST(SimdFindFirstEqual, RandomizedAgainstScalar)
+{
+    std::mt19937_64 rng(1234);
+    for (int round = 0; round < 2000; ++round) {
+        const std::size_t count = rng() % 64;
+        std::vector<std::uint64_t> keys(count);
+        // Small key domain => frequent duplicates and hits.
+        for (auto &key : keys)
+            key = rng() % 32;
+        const std::uint64_t probe = rng() % 32;
+        expectKernelMatchesScalar(keys, probe);
+    }
+}
+
+TEST(SimdFindFirstEqual, PaddedScanCountCoversContract)
+{
+    for (std::size_t count = 0; count <= 33; ++count) {
+        EXPECT_GE(simd::paddedScanCount(count), count);
+        EXPECT_EQ(simd::paddedScanCount(count) % simd::kScanLaneU64,
+                  0u);
+        // Padding by kScanPadU64 always satisfies the read contract.
+        EXPECT_LE(simd::paddedScanCount(count),
+                  count + simd::kScanPadU64 + simd::kScanLaneU64);
+    }
+}
+
+} // namespace
+} // namespace stms

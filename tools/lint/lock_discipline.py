@@ -17,6 +17,15 @@ Two invariants the concurrency work depends on:
    reintroducing std::function there is a silent perf regression the
    benchmarks only catch later.  The ban list names the converted
    files; cold callbacks elsewhere may keep std::function.
+3. The per-run data-plane structures (index buckets, history buffers,
+   prefetch buffers, the flat MSHR map) allocate through the run
+   arena (common/arena.hh: ArenaBuffer / ArenaAllocator); raw ``new``,
+   ``malloc``-family calls, or ``make_unique`` in those files
+   reintroduce the per-run global-heap traffic the arena exists to
+   eliminate — and bypass the SIMD padded-read allocation contract
+   (simd.hh) the arena-backed buffers encode.  ZeroedBuffer (calloc
+   semantics for stat counters) stays sanctioned: it lives outside the
+   banned files and is not a per-run hot-path allocation.
 """
 
 from __future__ import annotations
@@ -42,12 +51,28 @@ HOT_PATH_NO_STD_FUNCTION = frozenset(
     }
 )
 
+#: Arena-managed hot-path files (PR 10): every allocation here must go
+#: through ArenaBuffer / ArenaAllocator, never the global heap.
+ARENA_MANAGED_NO_RAW_ALLOC = frozenset(
+    {
+        "src/common/addr_map.hh",
+        "src/core/history_buffer.cc",
+        "src/core/history_buffer.hh",
+        "src/core/index_bucket.hh",
+        "src/prefetch/prefetch_buffer.cc",
+        "src/prefetch/prefetch_buffer.hh",
+    }
+)
+
 _GUARD_DECL_RE = re.compile(
     r"std::(?:unique_lock|lock_guard|scoped_lock|shared_lock)\s*"
     r"<[^>]*>\s+(\w+)"
 )
 _LOCK_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*(lock|unlock)\s*\(\s*\)")
 _STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+_RAW_ALLOC_RE = re.compile(
+    r"\bnew\b|\b(?:malloc|calloc|realloc)\s*\(|\bmake_unique\s*<"
+)
 
 
 def check(root):
@@ -83,6 +108,22 @@ def check(root):
                         "InplaceFunction (common/inplace_function.hh)"
                         ": std::function heap-allocates per callback "
                         "and regresses the event queue",
+                    )
+                )
+
+        if rel in ARENA_MANAGED_NO_RAW_ALLOC:
+            for match in _RAW_ALLOC_RE.finditer(code):
+                violations.append(
+                    Violation(
+                        rel,
+                        line_of(code, match.start()),
+                        LINT_NAME,
+                        "raw heap allocation in an arena-managed "
+                        "hot-path file: use ArenaBuffer / "
+                        "ArenaAllocator (common/arena.hh) so per-run "
+                        "storage comes from the run arena and honors "
+                        "the SIMD padded-read contract (common/"
+                        "simd.hh)",
                     )
                 )
     return violations

@@ -1,0 +1,19 @@
+// Fixture: raw heap allocations in an arena-managed hot-path file.
+// Comments mentioning new or malloc() are fine; code is not.
+#include <cstdlib>
+#include <memory>
+
+struct BadBucketStore
+{
+    void
+    reset(unsigned buckets)
+    {
+        keys_ = new unsigned long[buckets];          // flagged
+        scratch_ = std::malloc(buckets);             // flagged
+        owner_ = std::make_unique<int>(7);           // flagged
+    }
+
+    unsigned long *keys_ = nullptr;
+    void *scratch_ = nullptr;
+    std::unique_ptr<int> owner_;
+};

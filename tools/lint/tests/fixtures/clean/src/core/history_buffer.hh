@@ -1,0 +1,16 @@
+// Fixture: arena-managed file allocating only through ArenaBuffer;
+// a comment may say "new entry" or "malloc-free" without tripping.
+#include "common/arena.hh"
+
+struct CleanHistoryLog
+{
+    void
+    reset(unsigned long entries)
+    {
+        blocks_.reset(entries + 3);  // padded per the scan contract
+        marks_.reset(entries);
+    }
+
+    stms::ArenaBuffer<unsigned long> blocks_;
+    stms::ArenaBuffer<unsigned char> marks_;
+};

@@ -20,6 +20,9 @@ class LockDisciplineTest(unittest.TestCase):
             ("src/driver/bad_lock.cc", 9),    # g_mutex.lock()
             ("src/driver/bad_lock.cc", 11),   # g_mutex.unlock()
             ("src/sim/event_queue.hh", 6),    # std::function
+            ("src/core/index_bucket.hh", 11),  # raw new
+            ("src/core/index_bucket.hh", 12),  # std::malloc
+            ("src/core/index_bucket.hh", 13),  # make_unique
         }
         self.assertEqual(found, expected)
 
@@ -37,6 +40,16 @@ class LockDisciplineTest(unittest.TestCase):
             if v.path == "src/sim/event_queue.hh"
         )
         self.assertIn("InplaceFunction", message)
+
+    def test_raw_alloc_message_names_arena(self):
+        messages = [
+            v.message
+            for v in lock_discipline.check(FIXTURES / "bad")
+            if v.path == "src/core/index_bucket.hh"
+        ]
+        self.assertEqual(len(messages), 3)
+        for message in messages:
+            self.assertIn("ArenaBuffer", message)
 
     def test_clean_fixture_is_quiet(self):
         self.assertEqual(
